@@ -1,0 +1,32 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one paper figure/table, prints the
+paper-shaped rows, and archives them under ``results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_FULL=1`` for paper-scale workloads (much slower).
+"""
+
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    d = pathlib.Path(__file__).resolve().parent.parent / "results"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Print a report and persist it to results/<name>.txt."""
+
+    def _archive(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _archive

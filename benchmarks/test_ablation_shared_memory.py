@@ -1,0 +1,57 @@
+"""Ablation: shared-memory capacity vs the fused-panel switch point.
+
+§IV-E: "For a GPU with a relatively small shared memory, the panel
+decomposition would switch from irrGETF2 to the slower column-wise
+approach earlier than on a GPU with a large shared memory."  We sweep the
+per-block shared-memory limit and report the tallest panel the fused
+kernel can take, plus the end-to-end irrLU effect on a batch that
+straddles the switch point.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.batched import IrrBatch, irr_getrf, panel_shared_bytes
+from repro.device import A100, Device
+from repro.experiments.common import is_fast_mode
+from repro.workloads import random_square_batch
+
+_KB = 1024
+
+
+def _max_fused_height(limit_bytes, width=32):
+    h = 0
+    while panel_shared_bytes(h + 1, 0, width) <= limit_bytes:
+        h += 1
+    return h
+
+
+def test_ablation_shared_memory(benchmark, archive):
+    batch = 100 if is_fast_mode() else 400
+    max_size = 384 if is_fast_mode() else 768
+    mats = random_square_batch(batch, max_size, seed=13)
+    limits = [32 * _KB, 64 * _KB, 163 * _KB]
+
+    def run_all():
+        out = []
+        for limit in limits:
+            spec = replace(A100(), max_shared_per_block=limit,
+                           shared_mem_per_sm=max(limit, 64 * _KB),
+                           name=f"A100/{limit // _KB}KB")
+            dev = Device(spec)
+            b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+            with dev.timed_region() as t:
+                irr_getrf(dev, b)
+            out.append((limit, _max_fused_height(limit), t["elapsed"]))
+        return out
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    archive("ablation_shared_memory", format_table(
+        ["smem/block (KB)", "max fused panel height", "irrLU time (ms)"],
+        [[lim // _KB, h, t * 1e3] for lim, h, t in rows],
+        title="Ablation — shared-memory capacity vs fused-panel reach"))
+
+    heights = [h for _, h, _ in rows]
+    times = [t for _, _, t in rows]
+    assert heights == sorted(heights)          # more smem -> taller panels
+    assert times[-1] <= times[0] * 1.05        # ... and never slower

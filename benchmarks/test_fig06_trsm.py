@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 6 (irrTRSM vs MAGMA-style TRSM)."""
+
+from repro.experiments import fig06_trsm
+
+
+def test_fig06_trsm(benchmark, archive):
+    results = benchmark.pedantic(fig06_trsm.run, rounds=1, iterations=1)
+    archive("fig06_trsm", fig06_trsm.report(results))
+    # paper shape: clear asymptotic speedup, comparable accuracy
+    assert results["speedup"][-1] > 2.0
+    assert max(results["irrTRSM_err"]) < 1e-12

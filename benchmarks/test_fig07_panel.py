@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (fused vs column-wise panel)."""
+
+from repro.device.spec import MI100
+from repro.experiments import fig07_panel
+
+
+def test_fig07_panel_a100(benchmark, archive):
+    results = benchmark.pedantic(fig07_panel.run, rounds=1, iterations=1)
+    archive("fig07_panel_a100", fig07_panel.report(results))
+    for fused, col, fits in zip(results["fused_gflops"],
+                                results["columnwise_gflops"],
+                                results["fused_fits"]):
+        if fits:
+            assert fused > col
+
+
+def test_fig07_panel_mi100(benchmark, archive):
+    # §IV-E: the MI100's 64 KB LDS forces the column-wise fallback at a
+    # much smaller panel height than the A100.
+    results = benchmark.pedantic(lambda: fig07_panel.run(spec=MI100()),
+                                 rounds=1, iterations=1)
+    archive("fig07_panel_mi100", fig07_panel.report(results))
+    a100 = fig07_panel.run()
+    assert sum(results["fused_fits"]) < sum(a100["fused_fits"])

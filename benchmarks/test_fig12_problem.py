@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the Fig 12 / §V-B problem-pipeline record."""
+
+from repro.experiments import fig12_problem
+
+
+def test_fig12_problem(benchmark, archive):
+    results = benchmark.pedantic(fig12_problem.run, rounds=1, iterations=1)
+    archive("fig12_problem", fig12_problem.report(results))
+    # §V-B: machine precision after one refinement step, for every RHS
+    assert all(r < 1e-13 for r in results["residuals"])
+    # amortization: repeated solves are cheap relative to analysis+factor
+    assert max(results["t_solves_wall"]) < \
+        5 * (results["t_analyze_wall"] + 1e-9)
+    assert results["factor_nnz"] > results["nnz"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 13 (front sizes/batch sizes per level)."""
+
+from repro.experiments import fig13_levels
+
+
+def test_fig13_levels(benchmark, archive):
+    results = benchmark.pedantic(fig13_levels.run, rounds=1, iterations=1)
+    archive("fig13_levels", fig13_levels.report(results))
+    stats = results["levels"]  # deepest level first
+    assert stats[0]["batch_size"] > stats[-1]["batch_size"]
+    assert stats[-1]["mean_size"] > stats[0]["mean_size"]
+    assert stats[-1]["batch_size"] == 1

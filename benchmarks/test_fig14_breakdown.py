@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 14 (per-operation batched vs looped)."""
+
+from repro.experiments import fig14_breakdown
+
+
+def test_fig14_breakdown(benchmark, archive):
+    results = benchmark.pedantic(fig14_breakdown.run, rounds=1, iterations=1)
+    archive("fig14_breakdown", fig14_breakdown.report(results))
+    # paper shape: irrLU/irrTRSM beat the looped vendor routines for
+    # "almost all matrix sizes" — always once the batch is substantial,
+    # and on the majority of levels overall.
+    wins = 0
+    for lev in results["levels"]:
+        if lev["batched"]["lu"] < lev["looped"]["lu"]:
+            wins += 1
+        if lev["batch_size"] >= 8:
+            assert lev["batched"]["lu"] < lev["looped"]["lu"]
+            assert lev["batched"]["trsm"] < 1.5 * lev["looped"]["trsm"]
+    assert wins >= len(results["levels"]) // 2

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table I (sparse-solver comparison on Maxwell)."""
+
+from repro.experiments import table1_solvers
+
+
+def test_table1_solvers(benchmark, archive):
+    results = benchmark.pedantic(table1_solvers.run, rounds=1, iterations=1)
+    archive("table1_solvers", table1_solvers.report(results))
+
+    times = {(r["solver"], r["device"].split("-")[0]): r["factor_seconds"]
+             for r in results["rows"]}
+    t_best = times[("irr-batched", "A100")]
+    # paper shape: the proposed solution outperforms every other solver.
+    for key, t in times.items():
+        if key[0] != "irr-batched":
+            assert t_best < t
+    # launch/sync counters shrink vs the STRUMPACK model (9.1s -> 0.33s,
+    # 6.5s -> 0.16s in the paper; we assert the direction and margin).
+    c = results["counters"]
+    assert c["batched"]["launch_time"] < c["strumpack"]["launch_time"]
+    assert c["batched"]["sync_wait"] < c["strumpack"]["sync_wait"]
+    # §V-B: machine-precision residual after one refinement step.
+    assert results["residuals"][-1] < 1e-14

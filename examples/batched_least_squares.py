@@ -1,0 +1,53 @@
+"""Batched least squares with irrQR — the paper's future-work extension.
+
+"The proposed interface and the DCWI layer would work seamlessly for
+other decompositions, such as the QR factorization" (§VI).  This example
+fits polynomial models of *different degrees to series of different
+lengths* — an irregular batch no uniform QR interface accepts — with one
+``irr_geqrf`` call.
+
+Run:  python examples/batched_least_squares.py
+"""
+
+import numpy as np
+
+from repro.batched import IrrBatch, irr_geqrf, qr_least_squares
+from repro.device import A100, Device
+
+rng = np.random.default_rng(7)
+
+# --- an irregular regression workload ------------------------------------
+# Each problem: m_i noisy samples of a polynomial, fit degree d_i.
+problems = []
+for _ in range(12):
+    m = int(rng.integers(20, 200))
+    degree = int(rng.integers(1, 6))
+    t = np.sort(rng.uniform(-1, 1, m))
+    coeffs = rng.standard_normal(degree + 1)
+    y = np.polyval(coeffs, t) + 0.01 * rng.standard_normal(m)
+    vander = np.vander(t, degree + 1)       # m x (d+1) design matrix
+    problems.append((vander, y, coeffs))
+
+print(f"{len(problems)} regression problems, designs from "
+      f"{min(p[0].shape for p in problems)} to "
+      f"{max(p[0].shape for p in problems)}\n")
+
+# --- one batched QR over all design matrices ------------------------------
+device = Device(A100())
+batch = IrrBatch.from_host(device, [p[0].copy() for p in problems])
+taus = irr_geqrf(device, batch)
+device.synchronize()
+print(f"batched QR: {device.profiler.launch_count} launches, "
+      f"{device.host_time * 1e6:.1f} us simulated\n")
+
+# --- back-substitute each fit and compare to the ground truth -------------
+print(f"{'m':>5} {'degree':>7} {'coeff err':>12} {'resid':>10}")
+for i, (vander, y, coeffs) in enumerate(problems):
+    x = qr_least_squares(batch.matrix(i), taus[i], y)
+    coeff_err = np.abs(x - coeffs).max()
+    resid = np.linalg.norm(vander @ x - y) / np.linalg.norm(y)
+    print(f"{vander.shape[0]:>5} {vander.shape[1] - 1:>7} "
+          f"{coeff_err:>12.2e} {resid:>10.2e}")
+
+print("\nEvery fit recovers its coefficients to the noise floor from one "
+      "irregular batched call.")

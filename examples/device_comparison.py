@@ -1,0 +1,54 @@
+"""Run the same irregular workload on different device models.
+
+Demonstrates the architectural effects §V discusses: the MI100's smaller
+shared memory forces deeper panel splits, its higher launch overheads
+hurt fine-grained phases, and a hypothetical device with huge shared
+memory keeps the fused panel kernel everywhere.
+
+Run:  python examples/device_comparison.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table, getrf_flops_paper_square
+from repro.batched import IrrBatch, irr_getrf
+from repro.device import A100, MI100, Device
+from repro.workloads import random_square_batch
+
+batch = 150
+max_size = 512
+mats = random_square_batch(batch, max_size, seed=42)
+flops = sum(getrf_flops_paper_square(m.shape[0]) for m in mats)
+
+specs = [
+    A100(),
+    MI100(),
+    replace(A100(), name="A100/8KB-smem", max_shared_per_block=8 * 1024),
+    replace(A100(), name="A100/zero-launch-cost", launch_overhead_host=0.0,
+            launch_overhead_device=0.0),
+]
+
+rows = []
+for spec in specs:
+    dev = Device(spec)
+    b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+    with dev.timed_region() as t:
+        irr_getrf(dev, b)
+    agg = dev.profiler.by_kernel()
+    fused = sum(s.count for n, s in agg.items() if n.startswith("irrgetf2"))
+    colwise = sum(s.count for n, s in agg.items()
+                  if n.startswith("irrpanel"))
+    rows.append([spec.name, flops / t["elapsed"] / 1e9,
+                 t["launch_count"], fused, colwise,
+                 t["host_launch_time"] * 1e3])
+
+print(format_table(
+    ["device", "Gflop/s", "launches", "fused panels", "columnwise launches",
+     "host launch ms"],
+    rows,
+    title=(f"irrLU on {batch} matrices, sizes ~ U[1, {max_size}] — "
+           "device-model comparison")))
+
+print("\nTakeaways: shared-memory capacity moves panel work between the "
+      "fused and\ncolumn-wise paths; launch overhead is a first-order cost "
+      "for irregular batches.")

@@ -1,0 +1,50 @@
+"""The paper's application: an indefinite Maxwell problem solved by the
+multifrontal sparse direct solver with batched irr kernels (§V-B).
+
+Assembles (∇×E, ∇×E') − Ω²(E, E') with first-order Nédélec elements on a
+toroidal hex mesh (Ω = 16, κ = Ω/1.05, the paper's parameters), factors
+the highly indefinite system on the simulated A100, and solves to machine
+precision with one step of iterative refinement.
+
+Run:  python examples/maxwell_solver.py
+"""
+
+import numpy as np
+
+from repro.device import A100, Device
+from repro.fem import HexMesh, MaxwellProblem, torus_map
+from repro.sparse import SparseLU
+
+# --- discretize the torus ------------------------------------------------
+mesh = HexMesh(16, 8, 8, periodic_x=True, mapping=torus_map())
+problem = MaxwellProblem.build(mesh, omega=16.0)
+A, b = problem.reduced_system()
+print(f"mesh: {mesh!r}")
+print(f"system: {A.shape[0]} interior edge dofs, {A.nnz} nonzeros, "
+      f"omega = {problem.omega}, kappa = {problem.kappa:.3f}\n")
+
+# --- phase 1+2: analyze and factor on the simulated GPU ------------------
+solver = SparseLU(A, leaf_size=16)
+solver.analyze()
+stats = solver.symb.level_statistics()
+print(f"assembly tree: {len(solver.symb.fronts)} fronts, "
+      f"{len(stats)} levels, root front {stats[-1]['max_size']}")
+
+device = Device(A100())
+solver.factor(backend="batched", device=device)
+res = solver.factor_result
+print(f"numerical factorization (A100 model): {res.elapsed * 1e3:.2f} ms, "
+      f"{res.counters['launch_count']} launches")
+print("breakdown:", {k: f"{v * 1e3:.2f} ms"
+                     for k, v in sorted(res.breakdown.items())})
+
+# --- phase 3: solve + iterative refinement --------------------------------
+x, info = solver.solve(b, refine_steps=1)
+print(f"\nresiduals: initial {info.residuals[0]:.3e} -> "
+      f"after 1 refinement step {info.residuals[-1]:.3e}")
+
+# reuse the factorization for another right-hand side (cf. §I)
+b2 = np.sin(np.arange(A.shape[0]))
+x2, info2 = solver.solve(b2)
+print(f"second RHS with the same factors: residual "
+      f"{info2.final_residual:.3e}")

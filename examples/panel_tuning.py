@@ -1,0 +1,38 @@
+"""Tune the irrLU panel width (the §IV-E design parameter).
+
+The paper fixes the panel width per run ("say typically 16 – 32 columns
+per iteration") because the best value depends on the size distribution
+and on the GPU's shared memory.  This example sweeps it for two very
+different batches and shows why there is no single best answer — the
+auto-tuning open problem the paper's conclusion mentions.
+
+Run:  python examples/panel_tuning.py
+"""
+
+from repro.analysis import format_table, getrf_flops_paper_square
+from repro.batched import IrrBatch, irr_getrf
+from repro.device import A100, Device
+from repro.workloads import large_square_batch, random_square_batch
+
+workloads = {
+    "many small (300 x U[1,96])": random_square_batch(300, 96, seed=1),
+    "few large (6 x 1024)": large_square_batch(6, 1024, seed=2),
+}
+
+rows = []
+for label, mats in workloads.items():
+    flops = sum(getrf_flops_paper_square(m.shape[0]) for m in mats)
+    best = None
+    for nb in (8, 16, 32, 64):
+        dev = Device(A100())
+        b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+        with dev.timed_region() as t:
+            irr_getrf(dev, b, nb=nb)
+        rate = flops / t["elapsed"] / 1e9
+        rows.append([label, nb, rate, t["launch_count"]])
+        if best is None or rate > best[1]:
+            best = (nb, rate)
+    rows.append([label, "best", f"nb={best[0]}", ""])
+
+print(format_table(["workload", "panel width", "Gflop/s", "launches"],
+                   rows, title="panel-width tuning on the A100 model"))

@@ -1,0 +1,82 @@
+"""Scaling the factorization beyond one device's memory and one device.
+
+Demonstrates the two §III-A mechanisms for problems that outgrow a GPU:
+
+1. **Out-of-core traversals** — "if the entire assembly tree does not fit
+   in the device memory, then the factorization is split in multiple
+   traversals of subtrees that do fit on the device";
+2. **Distributed memory** — "the assembly tree is split in multiple
+   subtrees, each of which is assigned to a single MPI rank and
+   corresponding GPU, while the top log P levels ... [use] ScaLAPACK
+   (CPU-only) or SLATE".
+
+Both modes produce bit-identical factors to the plain single-device run.
+
+Run:  python examples/scaling_modes.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis import format_table
+from repro.device import A100, Device
+from repro.sparse import multifrontal_factor_distributed, \
+    multifrontal_factor_gpu, nested_dissection, plan_traversals, \
+    symbolic_analysis
+
+
+def laplacian_3d(n):
+    one = sp.eye(n)
+    d1 = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n))
+    a = (sp.kron(sp.kron(d1, one), one) + sp.kron(sp.kron(one, d1), one) +
+         sp.kron(sp.kron(one, one), d1)).tocsr()
+    return a + 0.1 * sp.eye(n ** 3)
+
+
+a = laplacian_3d(9)
+nd = nested_dissection(a, leaf_size=16)
+ap = a[nd.perm][:, nd.perm].tocsr()
+symb = symbolic_analysis(ap, nd)
+front_bytes = sum(8 * f.order ** 2 for f in symb.fronts)
+print(f"problem: {a.shape[0]} unknowns, {len(symb.fronts)} fronts, "
+      f"{front_bytes / 1e6:.2f} MB of frontal matrices\n")
+
+# --- baseline: everything resident on one device --------------------------
+ref = multifrontal_factor_gpu(Device(A100()), ap, symb)
+print(f"single device, fully resident: {ref.elapsed * 1e3:.2f} ms\n")
+
+# --- out-of-core: shrink the budget, watch the traversal count ------------
+rows = []
+for frac in (1.0, 0.5, 0.25, 0.1):
+    budget = max(int(front_bytes * frac),
+                 max(8 * f.order ** 2 for f in symb.fronts))
+    chunks = plan_traversals(symb, budget)
+    dev = Device(A100())
+    res = multifrontal_factor_gpu(dev, ap, symb, memory_budget=budget)
+    same = all(np.array_equal(f1.f11, f2.f11) for f1, f2 in
+               zip(ref.factors.fronts, res.factors.fronts))
+    rows.append([f"{frac:.0%}", len(chunks), res.elapsed * 1e3,
+                 dev.profiler.transfer_count, same])
+print(format_table(
+    ["memory budget", "traversals", "factor ms", "transfers", "identical"],
+    rows, title="out-of-core traversals vs device memory budget"))
+
+# --- distributed: rank-per-subtree -----------------------------------------
+rows = []
+for p in (1, 2, 4, 8):
+    res = multifrontal_factor_distributed(A100(), ap, symb, p)
+    same = all(np.array_equal(f1.f11, f2.f11) for f1, f2 in
+               zip(ref.factors.fronts, res.factors.fronts))
+    rows.append([p, max(res.per_rank_seconds) * 1e3,
+                 res.gather_seconds * 1e3, res.top_seconds * 1e3,
+                 res.comm_bytes // 1024,
+                 f"{res.assignment.imbalance:.2f}", same])
+print()
+print(format_table(
+    ["ranks", "local ms (max)", "gather ms", "top ms", "comm KB",
+     "imbalance", "identical"],
+    rows, title="distributed factorization (rank-per-subtree + top part)"))
+
+print("\nThe subtree phase scales with ranks; the top of the tree and the "
+      "Schur\ngather are the serial fraction — Amdahl in action, visible "
+      "even in a model.")

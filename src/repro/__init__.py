@@ -1,0 +1,26 @@
+"""irrLU-GPU reproduction (SC22).
+
+A pure-Python, production-quality reproduction of "Addressing Irregular
+Patterns of Matrix Computations on GPUs and Their Impact on Applications
+Powered by Sparse Direct Solvers": variable-size batched dense kernels
+(irrGEMM / irrTRSM / irrLU-GPU with the expanded interface and DCWI), a
+multifrontal sparse direct solver built on them, an indefinite-Maxwell
+FEM application, and a discrete-event GPU execution model that stands in
+for the A100/MI100 hardware.
+
+Quick start::
+
+    from repro.device import Device, A100
+    from repro.batched import IrrBatch, irr_getrf
+
+    dev = Device(A100())
+    batch = IrrBatch.from_host(dev, list_of_numpy_matrices)
+    pivots = irr_getrf(dev, batch)
+"""
+
+from . import analysis, batched, device, fem, sparse, workloads
+
+__version__ = "1.0.0"
+
+__all__ = ["device", "batched", "sparse", "fem", "workloads", "analysis",
+           "__version__"]

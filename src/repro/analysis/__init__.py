@@ -1,0 +1,17 @@
+"""Flop counting, error metrics and report formatting."""
+
+from .errors import lu_backward_error, max_trsm_backward_error, \
+    relative_residual, trsm_backward_error
+from .flops import batch_getrf_flops, batch_trsm_flops, gemm_flops, \
+    getrf_flops, getrf_flops_paper_square, trsm_flops
+from .report import fmt_rate, fmt_time, format_series, format_table
+from .stability import StabilityReport, front_pivot_report, growth_factor
+
+__all__ = [
+    "getrf_flops", "getrf_flops_paper_square", "trsm_flops", "gemm_flops",
+    "batch_getrf_flops", "batch_trsm_flops",
+    "trsm_backward_error", "max_trsm_backward_error", "lu_backward_error",
+    "relative_residual",
+    "format_table", "format_series", "fmt_time", "fmt_rate",
+    "growth_factor", "front_pivot_report", "StabilityReport",
+]

@@ -1,0 +1,62 @@
+"""ASCII table/series formatting shared by every benchmark harness.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "fmt_time", "fmt_rate"]
+
+
+def _cell(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    srows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_name: str, xs: Sequence,
+                  series: dict[str, Sequence]) -> str:
+    """Render one figure's data: x column plus one column per curve."""
+    headers = [x_name, *series.keys()]
+    rows = [[x, *(vals[i] for vals in series.values())]
+            for i, x in enumerate(xs)]
+    return format_table(headers, rows, title=title)
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable simulated time."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def fmt_rate(flops: float, seconds: float) -> float:
+    """Gflop/s from an aggregate flop count and elapsed seconds."""
+    return flops / seconds / 1e9 if seconds > 0 else 0.0

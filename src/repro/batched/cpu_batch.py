@@ -1,0 +1,86 @@
+"""MKL-like ``getrf_batch`` CPU baseline (§V-A's reference CPU solution).
+
+Numerics are real (LAPACK via SciPy); the simulated time models a batch
+of independent factorizations spread across the cores of a
+:class:`~repro.device.spec.CpuSpec`: each matrix runs on one core at a
+size-dependent efficiency, and the batch finishes when the most loaded
+core does (longest-processing-time assignment, the schedule a
+work-stealing batch library approximates).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..analysis.flops import getrf_flops
+from ..device.spec import CpuSpec
+
+__all__ = ["cpu_getrf_batch", "CpuBatchResult"]
+
+
+@dataclass
+class CpuBatchResult:
+    """Factors, pivots and the modeled execution time of a CPU batch."""
+
+    factors: list[np.ndarray]
+    pivots: list[np.ndarray]
+    seconds: float
+
+
+def _matrix_seconds(m: int, n: int, spec: CpuSpec) -> float:
+    flops = getrf_flops(m, n)
+    core_rate = spec.freq_hz * spec.flops_per_cycle_per_core
+    eff = spec.getrf_efficiency(min(m, n))
+    return spec.per_call_overhead + flops / (core_rate * eff)
+
+
+def cpu_getrf_batch(matrices: list[np.ndarray], spec: CpuSpec,
+                    ) -> CpuBatchResult:
+    """Factor a batch of host matrices; model the multicore batch time.
+
+    Matrices may have arbitrary independent sizes.  Returns packed LU
+    factors (LAPACK layout), 0-based pivot vectors, and the modeled
+    wall-clock seconds.
+    """
+    factors: list[np.ndarray] = []
+    pivots: list[np.ndarray] = []
+    times: list[float] = []
+    for a in matrices:
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2:
+            raise ValueError("matrices must be 2-D")
+        m, n = a.shape
+        if min(m, n) == 0:
+            factors.append(a.copy())
+            pivots.append(np.empty(0, dtype=np.int64))
+            continue
+        lu, piv = sla.lu_factor(a, check_finite=False) if m == n else \
+            _rect_lu(a)
+        factors.append(lu)
+        pivots.append(np.asarray(piv, dtype=np.int64))
+        times.append(_matrix_seconds(m, n, spec))
+
+    # LPT schedule onto the cores: sort descending, always give the next
+    # matrix to the least-loaded core.
+    loads = [0.0] * spec.n_cores
+    heapq.heapify(loads)
+    for t in sorted(times, reverse=True):
+        heapq.heappush(loads, heapq.heappop(loads) + t)
+    seconds = max(loads) if times else 0.0
+    return CpuBatchResult(factors=factors, pivots=pivots, seconds=seconds)
+
+
+def _rect_lu(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """LAPACK-style packed LU of a rectangular matrix."""
+    lu = a.copy()
+    m, n = lu.shape
+    k = min(m, n)
+    ipiv = np.arange(k, dtype=np.int64)
+    info = np.zeros(1, dtype=np.int64)
+    from .panel import factor_panel_block
+    factor_panel_block(lu, k, ipiv, info, 0, 0)
+    return lu, ipiv

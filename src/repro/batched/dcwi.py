@@ -1,0 +1,155 @@
+"""Dynamic Compute-Workload Inference (DCWI) — §IV-B of the paper.
+
+Algorithms over irregular batches are written against the *required*
+dimensions (scalars sized to the largest matrix in the batch).  Each
+kernel then infers, per matrix, the *actual* workload from three pieces of
+information carried by the expanded interface:
+
+* the required dimensions (``m``, ``n``, ``k``, …),
+* the local dimensions (``m_vec[i]``, ``n_vec[i]`` — per-matrix, never
+  mutated during the algorithm),
+* the scalar pointer offsets (``Ai``, ``Aj`` — applied uniformly to every
+  matrix).
+
+The inferred workload is classified as FULL (the matrix still needs the
+whole required operation), PARTIAL (a smaller one), or NONE (this matrix
+was already fully processed — its threads do no work).  Inference is
+kernel-specific: for ``C = op(A)·op(B)`` the offsets of ``A`` must be
+compared against ``(m, k)`` for ``op = N`` but against ``(k, m)`` for
+``op = T`` — getting this wrong is exactly the class of bug the paper
+warns produces memory faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Workload", "infer_extent", "infer_matrix", "infer_gemm",
+           "infer_trsm", "GemmWork", "op_shape"]
+
+
+class Workload(Enum):
+    """Classification of a matrix's remaining work at one algorithm step."""
+
+    NONE = "none"
+    PARTIAL = "partial"
+    FULL = "full"
+
+
+def infer_extent(required: int, local: int, offset: int) -> int:
+    """Actual extent along one dimension.
+
+    ``required`` is the global (largest-matrix) extent, ``local`` the
+    matrix's own dimension, ``offset`` how far into the matrix the
+    submatrix starts.  Negative results clamp to zero (matrix exhausted).
+    """
+    return max(0, min(int(required), int(local) - int(offset)))
+
+
+def infer_matrix(m: int, n: int, local_m: int, local_n: int,
+                 ai: int, aj: int) -> tuple[int, int, Workload]:
+    """Workload of a plain ``m × n`` submatrix operation at offset (ai, aj)."""
+    mi = infer_extent(m, local_m, ai)
+    ni = infer_extent(n, local_n, aj)
+    if mi == 0 or ni == 0:
+        return 0, 0, Workload.NONE
+    cls = Workload.FULL if (mi == m and ni == n) else Workload.PARTIAL
+    return mi, ni, cls
+
+
+def op_shape(trans: str, local_m: int, local_n: int,
+             oi: int, oj: int) -> tuple[int, int]:
+    """Available (rows, cols) of ``op(X)`` for a matrix with the given
+    local dims and offsets.
+
+    For ``trans == 'N'`` the available rows come from the row dimension;
+    for ``trans == 'T'``/``'C'`` the roles swap — the semantic subtlety
+    §IV-B calls out.
+    """
+    avail_rows = max(0, int(local_m) - int(oi))
+    avail_cols = max(0, int(local_n) - int(oj))
+    if trans == "N":
+        return avail_rows, avail_cols
+    if trans in ("T", "C"):
+        return avail_cols, avail_rows
+    raise ValueError(f"invalid trans {trans!r}")
+
+
+@dataclass(frozen=True)
+class GemmWork:
+    """Per-matrix inferred GEMM workload."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def cls(self) -> Workload:
+        if self.m == 0 or self.n == 0:
+            return Workload.NONE
+        return Workload.PARTIAL  # refined by infer_gemm against required
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+
+def infer_gemm(transa: str, transb: str, m: int, n: int, k: int,
+               a_local: tuple[int, int], a_off: tuple[int, int],
+               b_local: tuple[int, int], b_off: tuple[int, int],
+               c_local: tuple[int, int], c_off: tuple[int, int],
+               ) -> tuple[GemmWork, Workload]:
+    """Infer the actual ``C ← α·op(A)·op(B) + β·C`` workload for one matrix.
+
+    Returns the inferred dims plus the classification.  ``k == 0`` with
+    nonzero ``m, n`` still requires the β-scaling of ``C`` (a PARTIAL
+    workload), matching BLAS semantics.
+    """
+    a_rows, a_cols = op_shape(transa, *a_local, *a_off)
+    b_rows, b_cols = op_shape(transb, *b_local, *b_off)
+    c_rows = max(0, c_local[0] - c_off[0])
+    c_cols = max(0, c_local[1] - c_off[1])
+
+    mi = max(0, min(m, c_rows, a_rows))
+    ni = max(0, min(n, c_cols, b_cols))
+    ki = max(0, min(k, a_cols, b_rows))
+
+    work = GemmWork(mi, ni, ki)
+    if mi == 0 or ni == 0:
+        return work, Workload.NONE
+    if (mi, ni, ki) == (m, n, k):
+        return work, Workload.FULL
+    return work, Workload.PARTIAL
+
+
+def infer_trsm(side: str, m: int, n: int,
+               t_local: tuple[int, int], t_off: tuple[int, int],
+               b_local: tuple[int, int], b_off: tuple[int, int],
+               ) -> tuple[int, int, Workload]:
+    """Infer the actual triangular-solve workload for one matrix.
+
+    ``side == 'L'`` solves ``op(T)·X = α·B`` with ``T`` of order ``m``;
+    ``side == 'R'`` solves ``X·op(T) = α·B`` with ``T`` of order ``n``.
+    The triangular order is limited by *both* dimensions of the stored
+    ``T`` submatrix (it must contain the full order×order triangle).
+    """
+    t_rows = max(0, t_local[0] - t_off[0])
+    t_cols = max(0, t_local[1] - t_off[1])
+    t_order = min(t_rows, t_cols)
+    b_rows = max(0, b_local[0] - b_off[0])
+    b_cols = max(0, b_local[1] - b_off[1])
+
+    if side == "L":
+        mi = max(0, min(m, t_order, b_rows))
+        ni = max(0, min(n, b_cols))
+    elif side == "R":
+        mi = max(0, min(m, b_rows))
+        ni = max(0, min(n, t_order, b_cols))
+    else:
+        raise ValueError(f"invalid side {side!r}")
+
+    if mi == 0 or ni == 0:
+        return mi, ni, Workload.NONE
+    cls = Workload.FULL if (mi, ni) == (m, n) else Workload.PARTIAL
+    return mi, ni, cls

@@ -1,0 +1,223 @@
+"""irrLU-GPU — blocked LU with partial pivoting on an irregular batch.
+
+The driver composes the building blocks exactly as Fig 1 / §IV describe,
+written against the *largest* workload in the batch
+(``max_i min(m_i, n_i)``); DCWI inside every kernel shrinks each matrix's
+contribution as it finishes:
+
+for each panel ``j`` of width ``ib``:
+
+1. panel factorization — fused ``irrGETF2`` when the largest panel fits
+   in shared memory, else the column-wise 4-kernel path (§IV-E);
+2. ``irrLASWP`` — propagate the panel's row interchanges to the columns
+   left and right of the panel (§IV-F);
+3. ``irrTRSM`` — ``A[j:j+ib, j+ib:] ← L₁₁⁻¹ · A[j:j+ib, j+ib:]`` (§IV-D);
+4. ``irrGEMM`` — trailing update
+   ``A[j+ib:, j+ib:] −= A[j+ib:, j:j+ib] · A[j:j+ib, j+ib:]`` (§IV-C).
+
+There are no auxiliary pointer/integer-arithmetic kernels anywhere: the
+host only moves scalar offsets.
+
+The result overwrites each matrix with its LAPACK-style packed factors
+(unit-lower ``L`` below the diagonal, ``U`` on and above), with per-matrix
+pivot vectors in a :class:`PanelPivots`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.simulator import Device
+from .gemm import irr_gemm
+from .interface import IrrBatch
+from .laswp import irr_laswp
+from .panel import PanelPivots, columnwise_getf2, fused_getf2, \
+    panel_shared_bytes
+from .trsm import irr_trsm
+
+__all__ = ["irr_getrf", "lu_reconstruct", "lu_solve_factored",
+           "DEFAULT_PANEL_WIDTH"]
+
+#: the paper's design parameter: 16–32 columns per panel iteration.
+DEFAULT_PANEL_WIDTH = 32
+
+
+def irr_getrf(device: Device, batch: IrrBatch, *,
+              nb: int | str = "auto",
+              panel: str = "auto", laswp_variant: str = "rehearsed",
+              concurrent_swaps: bool = False,
+              stream=None) -> PanelPivots:
+    """Factor every matrix of an irregular batch as ``P·A = L·U``.
+
+    Parameters
+    ----------
+    batch:
+        Matrices of arbitrary, independent sizes (including 0×0 and 1×1).
+        Overwritten with the packed LU factors.
+    nb:
+        Panel width (the paper's 16–32 column design parameter).
+        ``"auto"`` picks the widest of 32/16/8 whose worst-case panel
+        (``M_max × nb`` doubles) fits the device's per-block shared
+        memory, so the fused ``irrGETF2`` kernel stays usable — the
+        shared-memory-capacity dependence §IV-E describes.  Falls back
+        to 32 (column-wise panels) when none fits.
+    panel:
+        ``"auto"`` switches from the fused shared-memory kernel to the
+        column-wise path when the largest panel no longer fits (the
+        architecture-dependent behaviour of §IV-E); ``"fused"`` or
+        ``"columnwise"`` force a path (``"fused"`` raises when the panel
+        cannot fit).
+    laswp_variant:
+        ``"rehearsed"`` (default, §IV-F) or ``"looped"``.
+    concurrent_swaps:
+        The §VI extension: run the *left* row interchanges on a secondary
+        stream, overlapped with the right swaps / TRSM / GEMM of the same
+        iteration.  Correct because nothing on the main stream reads
+        columns left of the panel again; the side stream waits (via an
+        event) for each iteration's panel, whose pivots it consumes.
+
+    Returns
+    -------
+    PanelPivots
+        Per-matrix pivot vectors and LAPACK-style ``info`` codes.
+    """
+    if panel not in ("auto", "fused", "columnwise"):
+        raise ValueError(f"unknown panel mode {panel!r}")
+    if nb == "auto":
+        nb = DEFAULT_PANEL_WIDTH
+    if not isinstance(nb, int) or nb < 1:
+        raise ValueError("panel width must be a positive integer or 'auto'")
+
+    pivots = PanelPivots(batch)
+    kmax = batch.max_min_mn
+    if kmax == 0 or len(batch) == 0:
+        return pivots
+
+    m_req = batch.max_m
+    n_req = batch.max_n
+    side = device.new_stream() if concurrent_swaps else None
+
+    for j in range(0, kmax, nb):
+        ib = min(nb, kmax - j)
+
+        # -- 1. panel --------------------------------------------------
+        _factor_panel(device, batch, pivots, j, ib, panel=panel,
+                      laswp_variant=laswp_variant, stream=stream)
+
+        # -- 2. row interchanges outside the panel ----------------------
+        if j > 0:
+            if side is not None:
+                after_panel = device.record_event(
+                    stream=stream if stream is not None else 0)
+                irr_laswp(device, batch, pivots, j, ib, "left",
+                          variant=laswp_variant, stream=side,
+                          wait_events=[after_panel])
+            else:
+                irr_laswp(device, batch, pivots, j, ib, "left",
+                          variant=laswp_variant, stream=stream)
+        if n_req > j + ib:
+            irr_laswp(device, batch, pivots, j, ib, "right",
+                      variant=laswp_variant, stream=stream)
+
+            # -- 3. update the upper factor (unit-lower solve) -----------
+            irr_trsm(device, "L", "L", "N", "U", ib, n_req - j - ib, 1.0,
+                     batch, (j, j), batch, (j, j + ib), stream=stream)
+
+            # -- 4. trailing-matrix rank-ib update -----------------------
+            if m_req > j + ib:
+                irr_gemm(device, "N", "N", m_req - j - ib, n_req - j - ib,
+                         ib, -1.0, batch, (j + ib, j), batch, (j, j + ib),
+                         1.0, batch, (j + ib, j + ib), stream=stream)
+
+    return pivots
+
+
+#: sub-panel width below which the column-wise path is used when even the
+#: recursion cannot make the fused kernel fit.
+MIN_FUSED_WIDTH = 8
+
+
+def _factor_panel(device: Device, batch: IrrBatch, pivots: PanelPivots,
+                  j: int, ib: int, *, panel: str, laswp_variant: str,
+                  stream) -> None:
+    """Factor the panel at global column ``j``, width ``ib``.
+
+    ``panel="auto"`` is the shared-memory-adaptive path of §IV-E, extended
+    with the *recursive* splitting the expanded interface makes possible
+    (§IV-A: "the new interface ... also enables recursive algorithms"):
+    when the largest panel does not fit in shared memory, the panel is
+    split in halves — factor the left half, propagate its pivots to the
+    right half (windowed irrLASWP), solve and update the right half
+    (irrTRSM + irrGEMM restricted to the panel), factor it, and propagate
+    its pivots back to the left half.  Only scalar offsets move; no
+    pointer-arithmetic kernels run.
+    """
+    if panel == "columnwise":
+        columnwise_getf2(device, batch, pivots, j, ib, stream=stream)
+        return
+    fits = panel_shared_bytes(batch.max_m, j, ib, batch.itemsize) <= \
+        device.spec.max_shared_per_block
+    if fits or panel == "fused":
+        fused_getf2(device, batch, pivots, j, ib, stream=stream)
+        return
+    if ib <= MIN_FUSED_WIDTH:
+        columnwise_getf2(device, batch, pivots, j, ib, stream=stream)
+        return
+
+    ib1 = ib // 2
+    ib2 = ib - ib1
+    m_req = batch.max_m
+    _factor_panel(device, batch, pivots, j, ib1, panel=panel,
+                  laswp_variant=laswp_variant, stream=stream)
+    # first-half pivots -> right half of this panel only
+    irr_laswp(device, batch, pivots, j, ib1, (j + ib1, j + ib),
+              variant=laswp_variant, stream=stream)
+    irr_trsm(device, "L", "L", "N", "U", ib1, ib2, 1.0,
+             batch, (j, j), batch, (j, j + ib1), stream=stream)
+    if m_req > j + ib1:
+        irr_gemm(device, "N", "N", m_req - j - ib1, ib2, ib1, -1.0,
+                 batch, (j + ib1, j), batch, (j, j + ib1), 1.0,
+                 batch, (j + ib1, j + ib1), stream=stream)
+    _factor_panel(device, batch, pivots, j + ib1, ib2, panel=panel,
+                  laswp_variant=laswp_variant, stream=stream)
+    # second-half pivots -> left half of this panel
+    irr_laswp(device, batch, pivots, j + ib1, ib2, (j, j + ib1),
+              variant=laswp_variant, stream=stream)
+
+
+def lu_reconstruct(factored: np.ndarray, ipiv: np.ndarray) -> np.ndarray:
+    """Rebuild ``A`` from packed LU factors and pivots (test utility).
+
+    Applies the row interchanges in reverse to ``L·U``, undoing
+    ``P·A = L·U``.
+    """
+    m, n = factored.shape
+    k = min(m, n)
+    lower = np.tril(factored[:, :k], -1) + np.eye(m, k, dtype=factored.dtype)
+    upper = np.triu(factored[:k, :])
+    a = lower @ upper
+    for r in range(k - 1, -1, -1):
+        p = int(ipiv[r])
+        if p != r:
+            a[[r, p], :] = a[[p, r], :]
+    return a
+
+
+def lu_solve_factored(factored: np.ndarray, ipiv: np.ndarray,
+                      b: np.ndarray) -> np.ndarray:
+    """Solve ``A·x = b`` from packed square LU factors (test utility)."""
+    import scipy.linalg as sla
+
+    n = factored.shape[0]
+    x = np.array(b, dtype=np.result_type(factored.dtype, np.asarray(b).dtype),
+                 copy=True)
+    if x.ndim == 1:
+        x = x[:, None]
+    for r in range(n):
+        p = int(ipiv[r])
+        if p != r:
+            x[[r, p], :] = x[[p, r], :]
+    x = sla.solve_triangular(factored, x, lower=True, unit_diagonal=True,
+                             check_finite=False)
+    x = sla.solve_triangular(factored, x, lower=False, check_finite=False)
+    return x if np.ndim(b) == 2 else x[:, 0]

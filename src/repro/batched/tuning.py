@@ -1,0 +1,100 @@
+"""Distribution-aware auto-tuning for irregular batches (§VI).
+
+The paper's conclusion flags auto-tuning as an open problem: "most of the
+tuning techniques that we are aware of take the problem size as an input
+... In the case of irrLU-GPU ... we have a mix of sizes that are known
+only at run time.  It is certainly a research direction to find robust
+auto-tuning techniques based on the distributions of sizes in a single
+batch."
+
+This module implements the natural first answer: *measure a sketch of the
+batch*.  The size distribution is summarized (it is known at run time —
+the local-dimension vectors are on the host), a small random sub-batch is
+sampled per candidate configuration, and the candidate with the best
+modeled throughput wins.  Because the sub-batch preserves the size
+distribution, the winner transfers to the full batch; the sampling cost
+is a few percent of one full factorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.simulator import Device
+from ..device.spec import DeviceSpec
+from .getrf import irr_getrf
+from .interface import IrrBatch
+
+__all__ = ["autotune_getrf", "TuningResult", "size_distribution_summary"]
+
+#: candidate grid: the §IV-E design parameter plus the §IV-F/§VI variants
+_CANDIDATES = [
+    {"nb": nb, "laswp_variant": lv, "concurrent_swaps": cs}
+    for nb in (8, 16, 32, 64)
+    for lv in ("rehearsed", "looped")
+    for cs in (False, True)
+]
+
+
+@dataclass
+class TuningResult:
+    """The chosen configuration and the full candidate table."""
+
+    best: dict
+    trials: list[tuple[dict, float]] = field(default_factory=list)
+    sample_size: int = 0
+
+    def speedup_over_worst(self) -> float:
+        times = [t for _, t in self.trials]
+        return max(times) / min(times) if times else 1.0
+
+
+def size_distribution_summary(m_vec, n_vec) -> dict:
+    """The run-time size statistics the tuner keys on."""
+    k = np.minimum(np.asarray(m_vec), np.asarray(n_vec))
+    if len(k) == 0:
+        return {"count": 0, "min": 0, "median": 0, "max": 0, "spread": 0.0}
+    return {
+        "count": int(len(k)),
+        "min": int(k.min()),
+        "median": float(np.median(k)),
+        "max": int(k.max()),
+        #: irregularity measure: interquartile range over the median
+        "spread": float((np.percentile(k, 75) - np.percentile(k, 25)) /
+                        max(np.median(k), 1.0)),
+    }
+
+
+def autotune_getrf(spec: DeviceSpec, matrices: list[np.ndarray], *,
+                   sample_size: int = 24, seed: int = 0,
+                   candidates: list[dict] | None = None) -> TuningResult:
+    """Pick irrLU parameters for this batch's size distribution.
+
+    Runs each candidate configuration on a sampled sub-batch on a *fresh*
+    simulated device (so trials don't perturb the caller's device state)
+    and returns the fastest.  ``matrices`` are host matrices; the
+    factorization trials work on copies.
+    """
+    if not matrices:
+        return TuningResult(best=dict(_CANDIDATES[0]), trials=[])
+    rng = np.random.default_rng(seed)
+    n_samp = min(sample_size, len(matrices))
+    idx = rng.choice(len(matrices), size=n_samp, replace=False)
+    sample = [matrices[i] for i in idx]
+
+    trials: list[tuple[dict, float]] = []
+    for cand in (candidates or _CANDIDATES):
+        dev = Device(spec)
+        batch = IrrBatch.from_host(dev, [m.copy() for m in sample])
+        try:
+            with dev.timed_region() as t:
+                irr_getrf(dev, batch, **cand)
+        except ValueError:
+            continue  # infeasible candidate (e.g. forced fused panel)
+        trials.append((dict(cand), t["elapsed"]))
+
+    trials.sort(key=lambda kv: kv[1])
+    return TuningResult(best=trials[0][0], trials=trials,
+                        sample_size=n_samp)

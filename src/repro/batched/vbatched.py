@@ -1,0 +1,121 @@
+"""The paper's flat vbatched API, verbatim (Figs 2–3 correspondence).
+
+The library's native surface (:class:`IrrBatch` + offsets) is the
+Pythonic form of the expanded interface.  This module additionally
+provides the *literal* calling convention of the paper's Fig 3 — scalar
+required dimensions, per-matrix dimension vectors, pointer arrays with
+leading dimensions, scalar offsets — so that code written against the
+MAGMA fork's C interface translates line by line:
+
+.. code-block:: c
+
+    magma_dgemm_vbatched(transA, transB, m, n, k, alpha,
+                         dA_array, Ai, Aj, ldda,
+                         dB_array, Bi, Bj, lddb, beta,
+                         dC_array, Ci, Cj, lddc,
+                         m_vec, n_vec, k_vec, batch_count, queue);
+
+Here ``dA_array`` is a list of 2-D :class:`DeviceArray` buffers (the
+pointer array), ``ldda`` their leading dimensions (validated against the
+buffers), and the dimension vectors describe each matrix's local
+operation sizes — exactly the quantities DCWI consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.memory import DeviceArray
+from ..device.simulator import Device
+from .gemm import irr_gemm
+from .getrf import irr_getrf
+from .interface import IrrBatch
+from .panel import PanelPivots
+from .trsm import irr_trsm
+
+__all__ = ["gemm_vbatched", "trsm_vbatched", "getrf_vbatched"]
+
+
+def _as_batch(device: Device, arrays: list[DeviceArray], ldda,
+              m_vec, n_vec, batch_count: int, what: str) -> IrrBatch:
+    """Validate a (pointer array, ldda, dims) triple into an IrrBatch."""
+    if len(arrays) != batch_count:
+        raise ValueError(
+            f"{what}: pointer array has {len(arrays)} entries, "
+            f"batch_count is {batch_count}")
+    ldda = np.asarray(ldda, dtype=np.int64)
+    if ldda.ndim == 0:
+        ldda = np.full(batch_count, int(ldda), dtype=np.int64)
+    for i, a in enumerate(arrays):
+        if a.shape[0] != int(ldda[i]):
+            raise ValueError(
+                f"{what}[{i}]: buffer leading dimension {a.shape[0]} "
+                f"does not match ldda[{i}] = {int(ldda[i])}")
+    return IrrBatch(device, arrays,
+                    np.asarray(m_vec, dtype=np.int64),
+                    np.asarray(n_vec, dtype=np.int64))
+
+
+def gemm_vbatched(device: Device, transA: str, transB: str,
+                  m: int, n: int, k: int, alpha: float,
+                  dA_array: list[DeviceArray], Ai: int, Aj: int, ldda,
+                  dB_array: list[DeviceArray], Bi: int, Bj: int, lddb,
+                  beta: float,
+                  dC_array: list[DeviceArray], Ci: int, Cj: int, lddc,
+                  m_vec, n_vec, k_vec, batch_count: int, *,
+                  queue=None) -> None:
+    """Fig 3's nonuniform batched GEMM, paper calling convention.
+
+    The per-matrix operation dimensions are given explicitly:
+    ``op(A)_i`` is ``m_vec[i] × k_vec[i]``, ``op(B)_i`` is
+    ``k_vec[i] × n_vec[i]``, ``C_i`` is ``m_vec[i] × n_vec[i]`` — all
+    *before* the scalar offsets, which DCWI folds in.
+    """
+    m_vec = np.asarray(m_vec, dtype=np.int64)
+    n_vec = np.asarray(n_vec, dtype=np.int64)
+    k_vec = np.asarray(k_vec, dtype=np.int64)
+    if not (len(m_vec) == len(n_vec) == len(k_vec) == batch_count):
+        raise ValueError("dimension vectors must have batch_count entries")
+
+    # Local dims of the stored operands in storage orientation.
+    a_rows = m_vec + Ai if transA == "N" else k_vec + Ai
+    a_cols = k_vec + Aj if transA == "N" else m_vec + Aj
+    b_rows = k_vec + Bi if transB == "N" else n_vec + Bi
+    b_cols = n_vec + Bj if transB == "N" else k_vec + Bj
+    A = _as_batch(device, dA_array, ldda, a_rows, a_cols, batch_count, "A")
+    B = _as_batch(device, dB_array, lddb, b_rows, b_cols, batch_count, "B")
+    C = _as_batch(device, dC_array, lddc, m_vec + Ci, n_vec + Cj,
+                  batch_count, "C")
+    irr_gemm(device, transA, transB, m, n, k, alpha, A, (Ai, Aj),
+             B, (Bi, Bj), beta, C, (Ci, Cj), stream=queue)
+
+
+def trsm_vbatched(device: Device, side: str, uplo: str, transA: str,
+                  diag: str, m: int, n: int, alpha: float,
+                  dA_array: list[DeviceArray], Ai: int, Aj: int, ldda,
+                  dB_array: list[DeviceArray], Bi: int, Bj: int, lddb,
+                  m_vec, n_vec, batch_count: int, *, queue=None) -> None:
+    """Nonuniform batched TRSM, paper calling convention.
+
+    ``m_vec``/``n_vec`` are the per-matrix right-hand-side block shapes;
+    the triangular order per matrix is the side-relevant one.
+    """
+    m_vec = np.asarray(m_vec, dtype=np.int64)
+    n_vec = np.asarray(n_vec, dtype=np.int64)
+    order = m_vec if side == "L" else n_vec
+    T = _as_batch(device, dA_array, ldda, order + Ai, order + Aj,
+                  batch_count, "A")
+    Bb = _as_batch(device, dB_array, lddb, m_vec + Bi, n_vec + Bj,
+                   batch_count, "B")
+    irr_trsm(device, side, uplo, transA, diag, m, n, alpha, T, (Ai, Aj),
+             Bb, (Bi, Bj), stream=queue)
+
+
+def getrf_vbatched(device: Device,
+                   dA_array: list[DeviceArray], ldda,
+                   m_vec, n_vec, batch_count: int, *,
+                   queue=None, **kw) -> PanelPivots:
+    """irrLU-GPU with the paper's top-level calling convention
+    (``/home/irrlu/src/dgetrf_vbatched.cpp`` in the artifact image)."""
+    A = _as_batch(device, dA_array, ldda, m_vec, n_vec, batch_count, "A")
+    return irr_getrf(device, A, stream=queue, **kw)

@@ -1,0 +1,156 @@
+"""Vendor-library execution models: cuBLAS GEMM and cuSOLVER getrf.
+
+These are the comparators the paper measures against:
+
+* :func:`vendor_gemm` — a single-matrix GEMM at vendor-library efficiency
+  (``gemm_vendor`` class: higher asymptote than the generic irrGEMM,
+  which is why Fig 14 hybridizes to "cuBLAS in a loop" for fronts
+  > 256).
+* :func:`vendor_trsm` — single-matrix triangular solve.
+* :func:`vendor_getrf` — a single-matrix LU with the launch structure of
+  a library solver: per 64-column panel, a panel kernel, a pivot-swap
+  kernel, a TRSM and a GEMM.  Calling this per matrix across parallel
+  streams is the paper's "cuSOLVER/rocSOLVER called within 16 concurrent
+  GPU streams" baseline (Figs 10/11): each call is a *sequence* of
+  launches serialized through the host, and each kernel occupies few SMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..device.kernel import KernelCost, gemm_compute_ramp
+from ..device.memory import DeviceArray
+from ..device.simulator import Device
+from .panel import factor_panel_block
+
+__all__ = ["vendor_gemm", "vendor_trsm", "vendor_getrf", "VENDOR_PANEL_NB"]
+
+_ITEM = 8
+VENDOR_PANEL_NB = 64
+
+
+def vendor_gemm(device: Device, transa: str, transb: str, alpha: float,
+                a: np.ndarray, b: np.ndarray, beta: float, c: np.ndarray,
+                *, stream=None, name: str = "cublas_gemm") -> KernelCost:
+    """One cuBLAS-style GEMM launch: ``C ← α·op(A)·op(B) + β·C``."""
+    opa = a.T if transa == "T" else a
+    opb = b.T if transb == "T" else b
+    m, k = opa.shape
+    k2, n = opb.shape
+    if k != k2 or c.shape != (m, n):
+        raise ValueError(
+            f"gemm shape mismatch: op(A) {opa.shape}, op(B) {opb.shape}, "
+            f"C {c.shape}")
+
+    def kernel() -> KernelCost:
+        if beta == 0.0:
+            c[...] = alpha * (opa @ opb)
+        else:
+            c[...] = alpha * (opa @ opb) + beta * c
+        blocks = max(1, -(-m // 64)) * max(1, -(-n // 64))
+        return KernelCost(
+            flops=2.0 * m * n * k,
+            bytes_read=(m * k + k * n + (m * n if beta else 0)) * _ITEM,
+            bytes_written=m * n * _ITEM,
+            blocks=blocks, threads_per_block=256,
+            shared_mem_per_block=min(2 * 64 * 64 * _ITEM,
+                                     device.spec.max_shared_per_block),
+            kernel_class="gemm_vendor",
+            compute_ramp=gemm_compute_ramp(m, n, k),
+        )
+
+    return device.launch(name, kernel, stream=stream)
+
+
+def vendor_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,
+                alpha: float, t: np.ndarray, b: np.ndarray, *,
+                stream=None, name: str = "cublas_trsm") -> KernelCost:
+    """One cuBLAS-style TRSM launch, in place in ``b``."""
+    lower = (uplo == "L") != (trans == "T")
+    tt = t.T if trans == "T" else t
+    unit = diag == "U"
+
+    def kernel() -> KernelCost:
+        if side == "L":
+            b[...] = sla.solve_triangular(tt, alpha * b, lower=lower,
+                                          unit_diagonal=unit,
+                                          check_finite=False)
+            order, nrhs = b.shape
+        else:
+            x = sla.solve_triangular(tt.T, alpha * b.T, lower=not lower,
+                                     unit_diagonal=unit, check_finite=False)
+            b[...] = x.T
+            nrhs, order = b.shape
+        return KernelCost(
+            flops=float(order) * order * nrhs,
+            bytes_read=(order * order / 2 + b.size) * _ITEM,
+            bytes_written=b.size * _ITEM,
+            blocks=max(1, -(-nrhs // 64)), threads_per_block=256,
+            kernel_class="solver_vendor",
+            compute_ramp=gemm_compute_ramp(order, nrhs, order),
+        )
+
+    return device.launch(name, kernel, stream=stream)
+
+
+def vendor_getrf(device: Device, a: DeviceArray | np.ndarray, *,
+                 stream=None, nb: int = VENDOR_PANEL_NB,
+                 name: str = "cusolver_getrf") -> np.ndarray:
+    """Single-matrix LU with a library solver's launch structure.
+
+    Factors ``a`` in place (packed L/U) and returns the pivot vector.
+    Issues the kernel sequence a real cuSOLVER ``getrf`` performs: for
+    each panel — a (narrow, low-occupancy) panel kernel, a row-swap
+    kernel, a TRSM on the panel's U block and a trailing GEMM.
+    """
+    data = a.data if isinstance(a, DeviceArray) else a
+    m, n = data.shape
+    k = min(m, n)
+    ipiv = np.arange(k, dtype=np.int64)
+    info = np.zeros(1, dtype=np.int64)
+
+    for j in range(0, k, nb):
+        ib = min(nb, k - j)
+
+        def panel(j=j, ib=ib) -> KernelCost:
+            rows = m - j
+            width = min(j + ib, n) - j
+            flops = factor_panel_block(data[j:, j:j + width], ib, ipiv,
+                                       info, 0, j)
+            return KernelCost(
+                flops=flops, bytes_read=rows * width * _ITEM * ib / 4,
+                bytes_written=rows * width * _ITEM,
+                blocks=max(1, -(-rows // 512)), threads_per_block=512,
+                kernel_class="getf2", compute_ramp=min(1.0, ib / 32.0))
+
+        device.launch(f"{name}:panel", panel, stream=stream)
+
+        def swaps(j=j, ib=ib) -> KernelCost:
+            nbytes = 0.0
+            for r in range(j, min(j + ib, k)):
+                p = int(ipiv[r])
+                if p != r:
+                    if j > 0:
+                        data[[r, p], :j] = data[[p, r], :j]
+                    if n > j + ib:
+                        data[[r, p], j + ib:] = data[[p, r], j + ib:]
+                    nbytes += 2 * (n - ib) * _ITEM
+            return KernelCost(bytes_read=nbytes, bytes_written=nbytes,
+                              blocks=max(1, -(-n // 256)),
+                              threads_per_block=256, kernel_class="swap",
+                              memory_ramp=0.3)
+
+        device.launch(f"{name}:laswp", swaps, stream=stream)
+
+        if n > j + ib:
+            vendor_trsm(device, "L", "L", "N", "U", 1.0,
+                        data[j:j + ib, j:j + ib], data[j:j + ib, j + ib:],
+                        stream=stream, name=f"{name}:trsm")
+            if m > j + ib:
+                vendor_gemm(device, "N", "N", -1.0,
+                            data[j + ib:, j:j + ib], data[j:j + ib, j + ib:],
+                            1.0, data[j + ib:, j + ib:],
+                            stream=stream, name=f"{name}:gemm")
+    return ipiv

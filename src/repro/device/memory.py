@@ -1,0 +1,114 @@
+"""Device memory: arrays that live on a simulated device.
+
+A :class:`DeviceArray` is a thin wrapper around a NumPy array tagged with
+the :class:`~repro.device.simulator.Device` that owns it.  Kernels perform
+their numerics directly on the wrapped arrays (functional layer) while the
+device accounts simulated time (timing layer).
+
+Allocation is tracked against the device's memory capacity so that the
+"as large as the GPU memory affords" boundary of irrLU-GPU is a real,
+testable failure mode (:class:`DeviceOutOfMemory`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .simulator import Device
+
+__all__ = ["DeviceArray", "DeviceOutOfMemory"]
+
+
+class DeviceOutOfMemory(MemoryError):
+    """Raised when an allocation would exceed the device memory capacity."""
+
+
+class DeviceArray:
+    """An array resident in (simulated) device global memory.
+
+    Supports the small surface the kernels need: shape/dtype inspection,
+    slicing into *views* (views share the parent's allocation and are not
+    charged again), and explicit round-trips to the host.  All arithmetic
+    happens inside kernels via the ``.data`` NumPy array.
+    """
+
+    __slots__ = ("device", "data", "nbytes_owned", "_base")
+
+    def __init__(self, device: "Device", data: np.ndarray,
+                 base: "DeviceArray | None" = None):
+        self.device = device
+        self.data = data
+        self._base = base
+        self.nbytes_owned = 0 if base is not None else data.nbytes
+
+    # -- construction -----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def base(self) -> "DeviceArray | None":
+        return self._base
+
+    def view(self, key) -> "DeviceArray":
+        """Return a sub-array view sharing this allocation (no copy)."""
+        sub = self.data[key]
+        if sub.base is None and sub.size and sub is not self.data:
+            raise ValueError("view() produced a copy; use fancy-free slicing")
+        return DeviceArray(self.device, sub, base=self._base or self)
+
+    def __getitem__(self, key) -> "DeviceArray":
+        return self.view(key)
+
+    # -- host transfers ---------------------------------------------------
+    def to_host(self) -> np.ndarray:
+        """Copy to host (D2H); charges transfer time on the device clock."""
+        self.device._account_transfer(self.data.nbytes)
+        return np.array(self.data, copy=True)
+
+    def copy_from_host(self, host: np.ndarray) -> "DeviceArray":
+        """Copy host data into this array (H2D)."""
+        host = np.asarray(host)
+        if host.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch: device {self.data.shape} vs host {host.shape}")
+        self.device._account_transfer(host.nbytes)
+        self.data[...] = host
+        return self
+
+    def free(self) -> None:
+        """Release this allocation back to the device."""
+        if self._base is None and self.nbytes_owned:
+            self.device._release(self.nbytes_owned)
+            self.nbytes_owned = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DeviceArray(device={self.device.spec.name!r}, "
+                f"shape={self.data.shape}, dtype={self.data.dtype})")
+
+
+def total_nbytes(shapes: Iterable[Sequence[int]], dtype) -> int:
+    """Total bytes needed for a collection of array shapes."""
+    itemsize = np.dtype(dtype).itemsize
+    total = 0
+    for shape in shapes:
+        n = 1
+        for s in shape:
+            n *= int(s)
+        total += n * itemsize
+    return total

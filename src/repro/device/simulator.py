@@ -1,0 +1,340 @@
+"""The simulated device: eager numerics, discrete-event timing.
+
+Execution model
+---------------
+*Functional layer.*  ``Device.launch(name, fn, cost, stream=...)`` runs
+``fn()`` immediately — kernels are ordinary Python callables operating on
+:class:`~repro.device.memory.DeviceArray` data, so every numerical result
+is real.  Callers must keep data-dependent kernels on one stream (FIFO
+semantics); the eager execution order then coincides with a legal device
+schedule.
+
+*Timing layer.*  Each launch appends a :class:`LaunchRecord` carrying its
+host issue time (the host clock advances by ``launch_overhead_host`` per
+launch, which serializes multi-stream submission) and roofline cost.
+``Device.synchronize()`` resolves all pending records with a discrete-event
+simulation:
+
+- a kernel becomes *ready* at ``max(host_issue, predecessor-in-stream end)``;
+- co-resident kernels share the SMs — when the total SM demand exceeds the
+  device, every active kernel's progress rate scales by
+  ``n_sm / total_demand``;
+- completion re-enables the next kernel in the same stream.
+
+The host then waits for the makespan (recorded as synchronize wait — the
+``cudaStreamSynchronize`` counter of Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .kernel import KernelCost, LaunchRecord, intrinsic_duration, sm_demand
+from .memory import DeviceArray, DeviceOutOfMemory
+from .profiler import Profiler
+from .spec import DeviceSpec
+from .stream import Stream
+
+__all__ = ["Device"]
+
+_PCIE_BANDWIDTH = 25e9      # bytes/s
+_PCIE_LATENCY = 10e-6       # seconds per transfer
+
+
+class Device:
+    """A simulated GPU: memory arena, streams, launch trace, clocks."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self.profiler = Profiler()
+        self.host_time = 0.0
+        self.device_time = 0.0            # makespan of resolved kernels
+        self.allocated_bytes = 0
+        self.peak_allocated_bytes = 0
+        self._streams: dict[int, Stream] = {0: Stream(0)}
+        self._seq = 0
+        self._pending: list[LaunchRecord] = []
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def empty(self, shape, dtype=np.float64) -> DeviceArray:
+        """Allocate an uninitialized array in device memory."""
+        arr = np.empty(shape, dtype=dtype)
+        self._claim(arr.nbytes)
+        return DeviceArray(self, arr)
+
+    def zeros(self, shape, dtype=np.float64) -> DeviceArray:
+        arr = np.zeros(shape, dtype=dtype)
+        self._claim(arr.nbytes)
+        return DeviceArray(self, arr)
+
+    def from_host(self, host: np.ndarray) -> DeviceArray:
+        """Allocate and copy a host array to the device (H2D transfer)."""
+        host = np.asarray(host)
+        self._claim(host.nbytes)
+        self._account_transfer(host.nbytes)
+        return DeviceArray(self, np.array(host, copy=True))
+
+    def _claim(self, nbytes: int) -> None:
+        if self.allocated_bytes + nbytes > self.spec.memory_capacity:
+            raise DeviceOutOfMemory(
+                f"{self.spec.name}: allocation of {nbytes} bytes exceeds "
+                f"capacity ({self.allocated_bytes} of "
+                f"{self.spec.memory_capacity} in use)")
+        self.allocated_bytes += nbytes
+        self.peak_allocated_bytes = max(self.peak_allocated_bytes,
+                                        self.allocated_bytes)
+
+    def _release(self, nbytes: int) -> None:
+        self.allocated_bytes -= nbytes
+
+    def _account_transfer(self, nbytes: int) -> None:
+        seconds = _PCIE_LATENCY + nbytes / _PCIE_BANDWIDTH
+        self.host_time += seconds
+        self.profiler.note_transfer(seconds)
+
+    # ------------------------------------------------------------------
+    # streams and launches
+    # ------------------------------------------------------------------
+    def stream(self, sid: int) -> Stream:
+        """Get or create the stream with the given id."""
+        if sid not in self._streams:
+            self._streams[sid] = Stream(sid)
+        return self._streams[sid]
+
+    def new_stream(self) -> Stream:
+        """Create a fresh stream with an unused id (cudaStreamCreate)."""
+        sid = max(self._streams) + 1
+        self.host_time += self.spec.sync_overhead_host
+        return self.stream(sid)
+
+    @property
+    def default_stream(self) -> Stream:
+        return self._streams[0]
+
+    def record_event(self, stream: Stream | int | None = None) -> "Event":
+        """Capture a stream's current position (cudaEventRecord).
+
+        A later launch passing this event in ``wait_events`` cannot start
+        until everything launched into ``stream`` before the record has
+        completed.
+        """
+        from .stream import Event
+        if isinstance(stream, int):
+            stream = self.stream(stream)
+        elif stream is None:
+            stream = self.default_stream
+        self.host_time += self.spec.sync_overhead_host
+        return Event(stream=stream.sid, seq=stream.last_seq)
+
+    def launch(self, name: str, fn: Callable[[], KernelCost | None] | None,
+               cost: KernelCost | None = None, *,
+               stream: Stream | int | None = None,
+               wait_events: Sequence | None = None) -> KernelCost:
+        """Launch a kernel: run its numerics now, queue its timing.
+
+        ``fn`` may return a :class:`KernelCost` (preferred: the cost often
+        depends on DCWI-inferred workloads known only inside the kernel);
+        otherwise ``cost`` must be supplied.  Shared-memory feasibility is
+        validated against the device limit.
+        """
+        if isinstance(stream, int):
+            stream = self.stream(stream)
+        elif stream is None:
+            stream = self.default_stream
+
+        returned = fn() if fn is not None else None
+        if isinstance(returned, KernelCost):
+            cost = returned
+        if cost is None:
+            raise ValueError(f"kernel {name!r} supplied no KernelCost")
+        if cost.shared_mem_per_block > self.spec.max_shared_per_block:
+            raise ValueError(
+                f"kernel {name!r} requests {cost.shared_mem_per_block} B of "
+                f"shared memory > per-block limit "
+                f"{self.spec.max_shared_per_block} B on {self.spec.name}")
+
+        self.host_time += self.spec.launch_overhead_host
+        self.profiler.note_launch(self.spec.launch_overhead_host)
+
+        rec = LaunchRecord(name=name, stream=stream.sid, cost=cost,
+                           seq=self._seq, host_issue=self.host_time,
+                           wait_events=list(wait_events or ()))
+        self._seq += 1
+        stream.push(rec)
+        self._pending.append(rec)
+        return cost
+
+    def host_compute(self, seconds: float) -> None:
+        """Advance the host clock by CPU-side work (e.g. CPU panels)."""
+        self.host_time += max(seconds, 0.0)
+
+    # ------------------------------------------------------------------
+    # timing resolution
+    # ------------------------------------------------------------------
+    def synchronize(self) -> float:
+        """Resolve all pending launches; host blocks until the device idles.
+
+        Returns the host time after synchronization.
+        """
+        makespan = self._resolve()
+        wait = makespan - self.host_time
+        self.profiler.note_sync(wait)
+        self.host_time = max(self.host_time, makespan)
+        self.host_time += self.spec.sync_overhead_host
+        return self.host_time
+
+    def _resolve(self) -> float:
+        """Discrete-event simulation of every pending launch."""
+        if not self._pending:
+            return self.device_time
+
+        # Per-stream FIFO chains; the head of each chain arrives at
+        # max(host_issue, previous completion in that stream).
+        chains: dict[int, list[LaunchRecord]] = {}
+        for rec in self._pending:
+            chains.setdefault(rec.stream, []).append(rec)
+        for sid, recs in chains.items():
+            recs.sort(key=lambda r: r.seq)
+
+        heads: dict[int, int] = {sid: 0 for sid in chains}
+        prev_end: dict[int, float] = {sid: self._streams[sid].tail
+                                      for sid in chains}
+        active: list[LaunchRecord] = []
+        now = 0.0
+        makespan = self.device_time
+
+        stream_busy: dict[int, bool] = {sid: False for sid in chains}
+
+        # Resolve the events pending launches wait on: each event completes
+        # when the last pending kernel at-or-before its recorded position
+        # finishes (or is already complete if nothing is pending there).
+        event_gate: dict[int, list] = {}   # gating record seq -> [events]
+        for rec in self._pending:
+            for ev in rec.wait_events:
+                if ev.resolved:
+                    continue
+                gate = None
+                for other in chains.get(ev.stream, ()):  # sorted by seq
+                    if other.seq <= ev.seq:
+                        gate = other
+                    else:
+                        break
+                if gate is None:
+                    ev.completed_at = self._streams[ev.stream].tail \
+                        if ev.stream in self._streams else 0.0
+                else:
+                    event_gate.setdefault(gate.seq, []).append(ev)
+
+        def arrival_time(sid: int) -> float | None:
+            i = heads[sid]
+            if i >= len(chains[sid]) or stream_busy[sid]:
+                return None  # exhausted, or FIFO predecessor still running
+            rec = chains[sid][i]
+            t = max(rec.host_issue, prev_end[sid])
+            for ev in rec.wait_events:
+                if not ev.resolved:
+                    return None  # blocked on a cross-stream event
+                t = max(t, ev.completed_at)
+            return t
+
+        while True:
+            total_demand = sum(r.sm_demand for r in active)
+            rate = 1.0 if total_demand <= self.spec.n_sm else \
+                self.spec.n_sm / total_demand
+
+            t_complete = math.inf
+            completing: LaunchRecord | None = None
+            for r in active:
+                t = now + r.remaining / rate
+                if t < t_complete:
+                    t_complete, completing = t, r
+
+            t_arrive = math.inf
+            arriving_sid: int | None = None
+            for sid in chains:
+                t = arrival_time(sid)
+                if t is not None and t < t_arrive:
+                    t_arrive, arriving_sid = t, sid
+
+            if completing is None and arriving_sid is None:
+                if any(heads[sid] < len(chains[sid]) for sid in chains):
+                    raise RuntimeError(
+                        "event deadlock: pending launches wait on events "
+                        "that can never complete")
+                break
+
+            # Arrivals break ties so a kernel never completes "around" a
+            # co-resident arrival that should have slowed it down.
+            if t_arrive <= t_complete:
+                dt = max(t_arrive - now, 0.0)
+                for r in active:
+                    r.remaining -= dt * rate
+                now = t_arrive
+                rec = chains[arriving_sid][heads[arriving_sid]]
+                heads[arriving_sid] += 1
+                rec.start = now
+                rec.sm_demand = sm_demand(rec.cost, self.spec)
+                rec.intrinsic = intrinsic_duration(rec.cost, self.spec)
+                rec.remaining = rec.intrinsic
+                active.append(rec)
+                stream_busy[arriving_sid] = True
+            else:
+                dt = max(t_complete - now, 0.0)
+                for r in active:
+                    r.remaining -= dt * rate
+                now = t_complete
+                completing.end = now
+                completing.remaining = 0.0
+                active.remove(completing)
+                stream_busy[completing.stream] = False
+                prev_end[completing.stream] = now
+                for ev in event_gate.pop(completing.seq, ()):
+                    ev.completed_at = now
+                self._streams[completing.stream].tail = now
+                makespan = max(makespan, now)
+                self.profiler.add_record(completing)
+
+        self._pending.clear()
+        self.device_time = makespan
+        return makespan
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timed_region(self) -> Iterator[dict]:
+        """Measure simulated elapsed host time across a region.
+
+        Synchronizes at entry and exit (like wrapping a measured region in
+        ``cudaDeviceSynchronize``); yields a dict later filled with
+        ``elapsed`` plus the counter deltas for the region.
+        """
+        self.synchronize()
+        t0 = self.host_time
+        snap0 = self.profiler.snapshot()
+        out: dict = {}
+        yield out
+        self.synchronize()
+        snap1 = self.profiler.snapshot()
+        out["elapsed"] = self.host_time - t0
+        for key in snap0:
+            out[key] = snap1[key] - snap0[key]
+
+    def reset(self) -> None:
+        """Clear clocks, trace and profiler (allocations are kept)."""
+        self.synchronize()
+        self.host_time = 0.0
+        self.device_time = 0.0
+        for s in self._streams.values():
+            s.tail = 0.0
+        self.profiler.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Device({self.spec.name!r}, host_time={self.host_time:.6f}, "
+                f"alloc={self.allocated_bytes}B)")

@@ -1,0 +1,16 @@
+"""Experiment harnesses — one module per paper figure/table.
+
+Each module exposes ``run(fast=None) -> dict`` and ``report(dict) -> str``
+and can be executed directly (``python -m repro.experiments.fig10_irrlu``).
+Set ``REPRO_FULL=1`` for paper-scale workloads.
+"""
+
+from . import fig06_trsm, fig07_panel, fig10_irrlu, fig11_large, \
+    fig12_problem, fig13_levels, fig14_breakdown, table1_solvers
+from .common import is_fast_mode, resolve_fast
+
+__all__ = [
+    "fig06_trsm", "fig07_panel", "fig10_irrlu", "fig11_large",
+    "fig12_problem", "fig13_levels", "fig14_breakdown", "table1_solvers",
+    "is_fast_mode", "resolve_fast",
+]

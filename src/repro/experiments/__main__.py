@@ -1,0 +1,60 @@
+"""Regenerate every paper figure/table from the command line.
+
+Usage::
+
+    python -m repro.experiments                # all experiments, fast mode
+    python -m repro.experiments fig10 table1   # a subset
+    REPRO_FULL=1 python -m repro.experiments   # paper-scale workloads
+
+Reports print to stdout and are archived under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from . import fig06_trsm, fig07_panel, fig10_irrlu, fig11_large, \
+    fig12_problem, fig13_levels, fig14_breakdown, is_fast_mode, \
+    table1_solvers
+
+_EXPERIMENTS = {
+    "fig06": fig06_trsm,
+    "fig07": fig07_panel,
+    "fig10": fig10_irrlu,
+    "fig11": fig11_large,
+    "fig12": fig12_problem,
+    "fig13": fig13_levels,
+    "fig14": fig14_breakdown,
+    "table1": table1_solvers,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    names = argv or list(_EXPERIMENTS)
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"choose from {sorted(_EXPERIMENTS)}")
+        return 2
+
+    results_dir = pathlib.Path.cwd() / "results"
+    results_dir.mkdir(exist_ok=True)
+    mode = "fast" if is_fast_mode() else "FULL (paper-scale)"
+    print(f"regenerating {len(names)} experiment(s) in {mode} mode\n")
+
+    for name in names:
+        mod = _EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        report = mod.report(mod.run())
+        dt = time.perf_counter() - t0
+        print(report)
+        print(f"[{name}: {dt:.1f}s wall]\n")
+        (results_dir / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes ``run(fast=None) -> dict`` (the data of
+one paper figure/table) and ``report(results) -> str`` (the paper-shaped
+ASCII rendering).  ``fast`` defaults to True unless ``REPRO_FULL=1`` is
+set in the environment: fast mode shrinks batch sizes and sweeps so the
+whole suite regenerates in minutes on a laptop, at the cost of noisier
+absolute numbers.  The qualitative shapes (who wins, rough factors,
+crossovers) are preserved in both modes.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["is_fast_mode", "resolve_fast"]
+
+
+def is_fast_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def resolve_fast(fast: bool | None) -> bool:
+    return is_fast_mode() if fast is None else fast

@@ -1,0 +1,83 @@
+"""Figure 6 — irrTRSM vs MAGMA-style TRSM: FLOP rate and backward error.
+
+"The comparison focuses on small triangular systems while varying the
+number of right hand sides, which is the typical use case in the LU
+decomposition.  Figure 6 shows an asymptotic performance gain of 7.6×,
+while achieving a slightly better accuracy."
+"""
+
+from __future__ import annotations
+
+from ..analysis.errors import max_trsm_backward_error
+from ..analysis.flops import batch_trsm_flops
+from ..analysis.report import fmt_rate, format_series
+from ..batched.interface import IrrBatch
+from ..batched.trsm import irr_trsm, magma_style_trsm
+from ..device.simulator import Device
+from ..device.spec import A100
+from ..workloads.random_batch import triangular_batch
+from .common import resolve_fast
+
+__all__ = ["run", "report", "main"]
+
+
+def run(fast: bool | None = None, *, seed: int = 0) -> dict:
+    fast = resolve_fast(fast)
+    batch = 200 if fast else 1000
+    max_order = 128 if fast else 256
+    rhs_sweep = [1, 2, 4, 8, 16, 32, 64] if fast else \
+        [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+    rows = {"irrTRSM_gflops": [], "magma_gflops": [],
+            "irrTRSM_err": [], "magma_err": [], "speedup": []}
+    for nrhs in rhs_sweep:
+        ts, bs = triangular_batch(batch, max_order, nrhs, seed=seed)
+        m = max(t.shape[0] for t in ts)
+        flops = batch_trsm_flops([t.shape[0] for t in ts],
+                                 [nrhs] * batch)
+
+        dev = Device(A100())
+        T = IrrBatch.from_host(dev, ts)
+        B = IrrBatch.from_host(dev, [b.copy() for b in bs])
+        with dev.timed_region() as t_irr:
+            irr_trsm(dev, "L", "L", "N", "N", m, nrhs, 1.0,
+                     T, (0, 0), B, (0, 0))
+        err_irr = max_trsm_backward_error(ts, B.to_host(), bs, uplo="L")
+
+        dev2 = Device(A100())
+        T2 = IrrBatch.from_host(dev2, ts)
+        B2 = IrrBatch.from_host(dev2, [b.copy() for b in bs])
+        with dev2.timed_region() as t_magma:
+            magma_style_trsm(dev2, "L", "L", "N", "N", m, nrhs, 1.0,
+                             T2, (0, 0), B2, (0, 0))
+        err_magma = max_trsm_backward_error(ts, B2.to_host(), bs, uplo="L")
+
+        rows["irrTRSM_gflops"].append(fmt_rate(flops, t_irr["elapsed"]))
+        rows["magma_gflops"].append(fmt_rate(flops, t_magma["elapsed"]))
+        rows["irrTRSM_err"].append(err_irr)
+        rows["magma_err"].append(err_magma)
+        rows["speedup"].append(t_magma["elapsed"] / t_irr["elapsed"])
+
+    return {"rhs": rhs_sweep, "batch": batch, "max_order": max_order,
+            **rows}
+
+
+def report(results: dict) -> str:
+    return format_series(
+        f"Fig 6 — irrTRSM vs MAGMA-style TRSM "
+        f"(batch={results['batch']}, orders<= {results['max_order']}, A100 "
+        f"model)",
+        "nrhs", results["rhs"],
+        {"irrTRSM Gflop/s": results["irrTRSM_gflops"],
+         "MAGMA Gflop/s": results["magma_gflops"],
+         "speedup": results["speedup"],
+         "irrTRSM bwd err": results["irrTRSM_err"],
+         "MAGMA bwd err": results["magma_err"]})
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,77 @@
+"""Figure 7 — panel factorization: fused irrGETF2 vs column-wise path.
+
+"Figure 7 shows sample performance results for panels of different
+heights but of the same width."  The fused kernel wins while the largest
+panel fits in shared memory (saving memory traffic); beyond the capacity
+it cannot launch at all and the column-wise 4-kernel path takes over.
+"""
+
+from __future__ import annotations
+
+from ..analysis.flops import batch_getrf_flops
+from ..analysis.report import fmt_rate, format_series
+from ..batched.interface import IrrBatch
+from ..batched.panel import PanelPivots, columnwise_getf2, fused_getf2, \
+    panel_shared_bytes
+from ..device.simulator import Device
+from ..device.spec import A100, DeviceSpec
+from ..workloads.random_batch import panel_batch
+from .common import resolve_fast
+
+__all__ = ["run", "report", "main"]
+
+
+def run(fast: bool | None = None, *, width: int = 32, seed: int = 0,
+        spec: DeviceSpec | None = None) -> dict:
+    fast = resolve_fast(fast)
+    spec = spec or A100()
+    batch = 100 if fast else 500
+    heights = [64, 128, 256, 512] if fast else \
+        [64, 128, 256, 512, 1024, 2048, 4096]
+
+    out = {"heights": heights, "width": width, "batch": batch,
+           "device": spec.name, "fused_gflops": [],
+           "columnwise_gflops": [], "fused_fits": []}
+    for h in heights:
+        mats = panel_batch(batch, h, width, seed=seed)
+        flops = batch_getrf_flops([m.shape[0] for m in mats],
+                                  [width] * batch)
+        fits = panel_shared_bytes(h, 0, width) <= spec.max_shared_per_block
+        out["fused_fits"].append(fits)
+
+        if fits:
+            dev = Device(spec)
+            b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+            piv = PanelPivots(b)
+            with dev.timed_region() as t:
+                fused_getf2(dev, b, piv, 0, width)
+            out["fused_gflops"].append(fmt_rate(flops, t["elapsed"]))
+        else:
+            out["fused_gflops"].append(0.0)
+
+        dev = Device(spec)
+        b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+        piv = PanelPivots(b)
+        with dev.timed_region() as t:
+            columnwise_getf2(dev, b, piv, 0, width)
+        out["columnwise_gflops"].append(fmt_rate(flops, t["elapsed"]))
+    return out
+
+
+def report(results: dict) -> str:
+    fused = [g if fit else "n/a (smem)" for g, fit in
+             zip(results["fused_gflops"], results["fused_fits"])]
+    return format_series(
+        f"Fig 7 — panel factorization, width={results['width']}, "
+        f"batch={results['batch']} ({results['device']} model)",
+        "height", results["heights"],
+        {"irrGETF2 (fused) Gflop/s": fused,
+         "column-wise Gflop/s": results["columnwise_gflops"]})
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

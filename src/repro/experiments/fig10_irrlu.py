@@ -1,0 +1,87 @@
+"""Figure 10 — irrLU-GPU FP64 performance on irregular batches.
+
+"Each testing point represents one thousand square matrices, whose sizes
+are randomly sampled between 1 and the value shown on the x-axis."
+Curves: irrLU-GPU on the A100 and MI100 models, the MKL-like CPU batch,
+and cuSOLVER/rocSOLVER in 16 concurrent streams.  Expected shape: the
+streamed baselines stay flat and low; the CPU is competitive (especially
+vs the MI100); irrLU on the A100 pulls ahead to a ~4.5× asymptotic gain
+over the CPU, the MI100 only ~2.7× and only for larger workloads.
+"""
+
+from __future__ import annotations
+
+from ..analysis.flops import getrf_flops_paper_square
+from ..analysis.report import fmt_rate, format_series
+from ..batched.cpu_batch import cpu_getrf_batch
+from ..batched.getrf import irr_getrf
+from ..batched.interface import IrrBatch
+from ..batched.streamed import streamed_getrf
+from ..device.simulator import Device
+from ..device.spec import A100, MI100, XEON_6140_2S
+from ..workloads.random_batch import random_square_batch
+from .common import resolve_fast
+
+__all__ = ["run", "report", "main"]
+
+
+def _aggregate_flops(mats) -> float:
+    # the paper's Fig 10/11 accounting (§V-A)
+    return sum(getrf_flops_paper_square(m.shape[0]) for m in mats)
+
+
+def run(fast: bool | None = None, *, seed: int = 0,
+        n_streams: int = 16) -> dict:
+    fast = resolve_fast(fast)
+    batch = 200 if fast else 1000
+    max_sizes = [32, 64, 128, 256, 512] if fast else \
+        [32, 64, 128, 256, 512, 768, 1024]
+
+    series = {"irrLU_A100": [], "irrLU_MI100": [], "CPU_MKL": [],
+              "streamed_A100": [], "streamed_MI100": []}
+    for mx in max_sizes:
+        mats = random_square_batch(batch, mx, seed=seed)
+        flops = _aggregate_flops(mats)
+
+        for label, spec in (("irrLU_A100", A100()),
+                            ("irrLU_MI100", MI100())):
+            dev = Device(spec)
+            b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+            with dev.timed_region() as t:
+                irr_getrf(dev, b)
+            series[label].append(fmt_rate(flops, t["elapsed"]))
+
+        res = cpu_getrf_batch(mats, XEON_6140_2S())
+        series["CPU_MKL"].append(fmt_rate(flops, res.seconds))
+
+        for label, spec in (("streamed_A100", A100()),
+                            ("streamed_MI100", MI100())):
+            dev = Device(spec)
+            b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+            with dev.timed_region() as t:
+                streamed_getrf(dev, b, n_streams=n_streams)
+            series[label].append(fmt_rate(flops, t["elapsed"]))
+
+    return {"max_sizes": max_sizes, "batch": batch,
+            "n_streams": n_streams, **series}
+
+
+def report(results: dict) -> str:
+    return format_series(
+        f"Fig 10 — irregular batched LU, FP64, batch="
+        f"{results['batch']}, sizes ~ U[1, N] (Gflop/s)",
+        "N", results["max_sizes"],
+        {"irrLU A100": results["irrLU_A100"],
+         "irrLU MI100": results["irrLU_MI100"],
+         "CPU getrf_batch": results["CPU_MKL"],
+         f"cuSOLVER {results['n_streams']}str": results["streamed_A100"],
+         f"rocSOLVER {results['n_streams']}str":
+             results["streamed_MI100"]})
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,110 @@
+"""Figure 12 / §V-B setup — the Maxwell problem and pipeline statistics.
+
+Fig 12 itself is the problem illustration (the toroidal mesh and the
+real part of the solution); its reproducible content is the pipeline
+record the surrounding text gives: problem sizes, the cost of the
+ordering and symbolic phases, and their *amortization* — "the costs for
+both ordering and symbolic phase can be amortized when solving multiple
+consecutive linear systems with the same sparsity pattern".
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis.report import format_table
+from ..device.simulator import Device
+from ..device.spec import A100
+from ..fem.maxwell import MaxwellProblem
+from ..fem.mesh import HexMesh, torus_map
+from ..sparse.solver import SparseLU
+from .common import resolve_fast
+
+__all__ = ["run", "report", "main"]
+
+
+def run(fast: bool | None = None, *, n_rhs: int = 4) -> dict:
+    fast = resolve_fast(fast)
+    n = 6 if fast else 10
+    mesh = HexMesh(2 * n, n, n, periodic_x=True, mapping=torus_map())
+
+    t0 = time.perf_counter()
+    prob = MaxwellProblem.build(mesh, omega=16.0)
+    a, b = prob.reduced_system()
+    t_assemble = time.perf_counter() - t0
+
+    solver = SparseLU(a, leaf_size=16)
+    t0 = time.perf_counter()
+    solver.analyze()
+    t_analyze = time.perf_counter() - t0
+
+    dev = Device(A100())
+    solver.factor(backend="batched", device=dev)
+    t_factor_sim = solver.factor_result.elapsed
+
+    solve_times = []
+    residuals = []
+    import numpy as np
+    rng = np.random.default_rng(0)
+    for r in range(n_rhs):
+        rhs = b if r == 0 else rng.standard_normal(a.shape[0])
+        t0 = time.perf_counter()
+        _x, info = solver.solve(rhs, refine_steps=1)
+        solve_times.append(time.perf_counter() - t0)
+        residuals.append(info.final_residual)
+
+    symb = solver.symb
+    stats = symb.level_statistics()
+    return {
+        "mesh": repr(mesh),
+        "n_dofs": a.shape[0],
+        "nnz": a.nnz,
+        "omega": prob.omega,
+        "kappa": prob.kappa,
+        "n_fronts": len(symb.fronts),
+        "n_levels": len(stats),
+        "root_front": stats[-1]["max_size"],
+        "factor_nnz": symb.factor_nonzeros(),
+        "factor_flops": symb.factor_flops(),
+        "t_assemble_wall": t_assemble,
+        "t_analyze_wall": t_analyze,
+        "t_factor_sim": t_factor_sim,
+        "t_solves_wall": solve_times,
+        "residuals": residuals,
+        "n_rhs": n_rhs,
+    }
+
+
+def report(results: dict) -> str:
+    r = results
+    rows = [
+        ["geometry", r["mesh"]],
+        ["interior edge dofs", r["n_dofs"]],
+        ["nonzeros in A", r["nnz"]],
+        ["omega / kappa", f"{r['omega']} / {r['kappa']:.4f}"],
+        ["fronts / levels / root front",
+         f"{r['n_fronts']} / {r['n_levels']} / {r['root_front']}"],
+        ["factor nonzeros (fill)", r["factor_nnz"]],
+        ["factor flops", f"{r['factor_flops']:.3e}"],
+        ["assembly (host wall)", f"{r['t_assemble_wall']:.3f} s"],
+        ["ordering+symbolic (host wall)", f"{r['t_analyze_wall']:.3f} s"],
+        ["numerical factorization (A100 model)",
+         f"{r['t_factor_sim'] * 1e3:.3f} ms"],
+        [f"solve+refine x{r['n_rhs']} (host wall each)",
+         ", ".join(f"{t:.3f}" for t in r["t_solves_wall"])],
+        ["residuals after 1 refinement",
+         ", ".join(f"{x:.2e}" for x in r["residuals"])],
+    ]
+    note = ("\nThe analyze cost is paid once; every additional right-hand "
+            "side reuses the\nfactorization (§I / §V-B amortization).")
+    return format_table(["quantity", "value"], rows,
+                        title="Fig 12 / §V-B — problem and pipeline record"
+                        ) + note
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

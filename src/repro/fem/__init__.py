@@ -1,0 +1,16 @@
+"""Finite element substrate: hex meshes, Nédélec elements, Maxwell."""
+
+from .maxwell import MaxwellProblem, assemble_curlcurl_mass, \
+    edge_dofs_of_field, field_F
+from .mesh import HexMesh, box_map, torus_map
+from .nedelec import element_matrices, geometry_jacobians, \
+    reference_basis, reference_curl
+from .quadrature import cube_rule, gauss_legendre_1d, segment_rule
+
+__all__ = [
+    "HexMesh", "box_map", "torus_map",
+    "reference_basis", "reference_curl", "element_matrices",
+    "geometry_jacobians", "cube_rule", "segment_rule", "gauss_legendre_1d",
+    "MaxwellProblem", "assemble_curlcurl_mass", "field_F",
+    "edge_dofs_of_field",
+]

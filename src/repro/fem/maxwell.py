@@ -1,0 +1,188 @@
+"""The indefinite Maxwell problem (§V-B).
+
+Assembles the weak form ``(∇×E, ∇×E') − Ω²(E, E') = (f, E')`` with
+first-order Nédélec elements on a hexahedral mesh, using the paper's
+tangential boundary data
+
+``f(x) = (κ² − Ω²)(sin κx₂, sin κx₃, sin κx₁)``.
+
+``F(x) = (sin κx₂, sin κx₃, sin κx₁)`` satisfies ``∇×∇×F = κ²F``, so the
+problem has the exact solution ``E = F`` — handy for verification.  For
+large Ω the operator ``K − Ω²M`` is highly indefinite, the regime that
+forces a direct solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .mesh import HexMesh
+from .nedelec import element_matrices, geometry_jacobians, reference_basis
+from .quadrature import cube_rule, segment_rule
+
+__all__ = ["MaxwellProblem", "assemble_curlcurl_mass", "field_F",
+           "edge_dofs_of_field"]
+
+
+def field_F(kappa: float, x: np.ndarray) -> np.ndarray:
+    """The paper's field ``(sin κx₂, sin κx₃, sin κx₁)`` at points x."""
+    x = np.atleast_2d(x)
+    return np.stack([np.sin(kappa * x[:, 1]), np.sin(kappa * x[:, 2]),
+                     np.sin(kappa * x[:, 0])], axis=1)
+
+
+def assemble_curlcurl_mass(mesh: HexMesh, *, quad_order: int = 2
+                           ) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """Assemble the global curl-curl (K) and mass (M) matrices."""
+    pts, wts = cube_rule(quad_order)
+    K_e, M_e = element_matrices(mesh.cell_vertex_coords(),
+                                quad_pts=pts, quad_wts=wts)
+    ce = mesh.cell_edges
+    rows = np.repeat(ce, 12, axis=1).ravel()
+    cols = np.tile(ce, (1, 12)).ravel()
+    n = mesh.n_edges
+    K = sp.csr_matrix((K_e.ravel(), (rows, cols)), shape=(n, n))
+    M = sp.csr_matrix((M_e.ravel(), (rows, cols)), shape=(n, n))
+    K.sum_duplicates()
+    M.sum_duplicates()
+    return K, M
+
+
+def edge_dofs_of_field(mesh: HexMesh, field, *, npts: int = 4) -> np.ndarray:
+    """Line integrals ``∫_e field·dl`` along every (possibly curved) edge.
+
+    ``field(points) -> (n, 3)`` evaluates the vector field at physical
+    points.  Integration runs in reference space with the chain rule, so
+    curved (mapped) edges are handled exactly up to quadrature order.
+    """
+    s, w = segment_rule(npts)
+    v0 = mesh.ref_vertices[mesh.edges[:, 0]]
+    v1 = mesh.ref_vertices[mesh.edges[:, 1]]
+    if mesh.periodic_x:
+        x0, x1 = v0[:, 0], v1[:, 0]
+        wrap = np.abs(x0 - x1) > 0.5
+        v1 = v1.copy()
+        v1[wrap, 0] = x1[wrap] + 1.0  # unwrap across the seam
+    dofs = np.zeros(mesh.n_edges)
+    eps = 1e-6
+    for sq, wq in zip(s, w):
+        ref = v0 + sq * (v1 - v0)
+        ref_x = ref.copy()
+        # physical tangent dX/ds by central differences of the mapping
+        step = eps * (v1 - v0)
+        xp = mesh.mapping(np.mod(ref + 0.5 * step, [1.0, np.inf, np.inf])
+                          if mesh.periodic_x else ref + 0.5 * step)
+        xm = mesh.mapping(np.mod(ref - 0.5 * step, [1.0, np.inf, np.inf])
+                          if mesh.periodic_x else ref - 0.5 * step)
+        tangent = (xp - xm) / eps
+        if mesh.periodic_x:
+            ref_x[:, 0] = np.mod(ref[:, 0], 1.0)
+        phys = mesh.mapping(ref_x)
+        vals = field(phys)
+        dofs += wq * np.einsum("ed,ed->e", vals, tangent)
+    return dofs
+
+
+@dataclass
+class MaxwellProblem:
+    """The assembled indefinite Maxwell system with tangential BCs.
+
+    ``operator = K − Ω²M`` over all edges; the *reduced* system restricts
+    to interior edges after eliminating the Dirichlet (tangential-trace)
+    data on boundary edges.
+    """
+
+    mesh: HexMesh
+    omega: float
+    kappa: float
+    K: sp.csr_matrix
+    M: sp.csr_matrix
+    operator: sp.csr_matrix
+    interior: np.ndarray       # interior edge ids
+    boundary: np.ndarray       # boundary edge ids
+    g: np.ndarray              # Dirichlet dofs on boundary edges
+    rhs_full: np.ndarray       # load vector over all edges
+
+    @classmethod
+    def build(cls, mesh: HexMesh, *, omega: float = 16.0,
+              kappa: float | None = None, sigma: float = 0.0,
+              quad_order: int = 2) -> "MaxwellProblem":
+        """Assemble the paper's problem (Ω = 16, κ = Ω/1.05 defaults).
+
+        ``sigma > 0`` adds a conductivity term ``+ iΩσ(E, E')``, the lossy
+        medium variant: the operator becomes complex symmetric (the
+        ``A ∈ C^{N×N}`` case of §III-A) while keeping the same sparsity
+        pattern and indefinite character.
+        """
+        kappa = omega / 1.05 if kappa is None else kappa
+        K, M = assemble_curlcurl_mass(mesh, quad_order=quad_order)
+        A = (K - omega ** 2 * M).tocsr()
+        if sigma != 0.0:
+            A = (A + 1j * omega * sigma * M).tocsr()
+
+        # load vector (f, E') with f = (κ²−Ω²) F
+        pts, wts = cube_rule(quad_order)
+        coords = mesh.cell_vertex_coords()
+        J = geometry_jacobians(coords, pts)
+        detJ = np.linalg.det(J)
+        Jinv = np.linalg.inv(J)
+        w_hat = reference_basis(pts)
+        w_phys = np.einsum("cqrd,qer->cqed", Jinv, w_hat)
+        # physical quadrature points via trilinear interpolation
+        from .nedelec import _CORNERS, _lin
+        shp = np.empty((pts.shape[0], 8))
+        for v, (a, b, c) in enumerate(_CORNERS):
+            shp[:, v] = _lin(a, pts[:, 0]) * _lin(b, pts[:, 1]) * \
+                _lin(c, pts[:, 2])
+        xq = np.einsum("qv,cvd->cqd", shp, coords)
+        scale = kappa ** 2 - omega ** 2
+        fq = scale * field_F(kappa, xq.reshape(-1, 3)).reshape(xq.shape)
+        b_e = np.einsum("cqd,cqed,q,cq->ce", fq, w_phys, wts, detJ)
+        rhs = np.zeros(mesh.n_edges)
+        np.add.at(rhs, mesh.cell_edges.ravel(), b_e.ravel())
+
+        bmask = mesh.boundary_edges
+        boundary = np.nonzero(bmask)[0]
+        interior = np.nonzero(~bmask)[0]
+        g_all = edge_dofs_of_field(mesh,
+                                   lambda x: field_F(kappa, x))
+        return cls(mesh=mesh, omega=omega, kappa=kappa, K=K, M=M,
+                   operator=A, interior=interior, boundary=boundary,
+                   g=g_all[boundary], rhs_full=rhs)
+
+    @property
+    def n_dofs(self) -> int:
+        return len(self.interior)
+
+    def reduced_system(self) -> tuple[sp.csr_matrix, np.ndarray]:
+        """(A_ii, b_i − A_ib·g): the linear system the solver factors."""
+        A = self.operator
+        a_ii = A[self.interior][:, self.interior].tocsr()
+        a_ib = A[self.interior][:, self.boundary]
+        b = self.rhs_full[self.interior] - a_ib @ self.g
+        return a_ii, b
+
+    def full_solution(self, x_interior: np.ndarray) -> np.ndarray:
+        """Scatter interior solution + boundary data to all edges."""
+        dtype = np.result_type(np.asarray(x_interior).dtype, self.g.dtype)
+        out = np.empty(self.mesh.n_edges, dtype=dtype)
+        out[self.interior] = x_interior
+        out[self.boundary] = self.g
+        return out
+
+    def exact_dofs(self) -> np.ndarray:
+        """Edge dofs of the exact solution E = F (verification)."""
+        return edge_dofs_of_field(self.mesh,
+                                  lambda x: field_F(self.kappa, x))
+
+    def solution_error(self, x_interior: np.ndarray) -> float:
+        """Relative L²(M)-norm error against the interpolated exact E."""
+        xh = self.full_solution(x_interior)
+        ex = self.exact_dofs()
+        diff = xh - ex
+        num = float(np.real(np.conj(diff) @ (self.M @ diff)))
+        den = float(np.real(np.conj(ex) @ (self.M @ ex)))
+        return np.sqrt(max(num, 0.0) / max(den, 1e-300))

@@ -1,0 +1,221 @@
+"""Structured hexahedral meshes with curved mappings (MFEM substitute).
+
+The paper's application discretizes a toroidal geometry with hexahedral
+finite elements.  We build structured hex meshes of the unit cube with an
+optional smooth coordinate mapping (including the torus map, with
+periodic identification in the toroidal direction), which supplies the
+same element machinery — trilinear geometry, per-element Jacobians — that
+an unstructured mesh exercises.
+
+Edge conventions: every global edge points in the +x/+y/+z reference
+direction, so edge orientations are globally consistent and no sign flips
+enter the Nédélec assembly (wrap-around edges of the periodic direction
+included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["HexMesh", "torus_map", "box_map"]
+
+Mapping = Callable[[np.ndarray], np.ndarray]
+
+
+def box_map(points: np.ndarray) -> np.ndarray:
+    """Identity mapping: the unit cube itself."""
+    return np.asarray(points, dtype=np.float64)
+
+
+def torus_map(major_radius: float = 2.0, width: float = 1.0,
+              height: float = 1.0) -> Mapping:
+    """Map the unit cube to a torus segment: ``x`` is the toroidal angle,
+    ``(y, z)`` the rectangular cross-section.  Combine with
+    ``periodic_x=True`` for the full torus."""
+
+    def mapping(points: np.ndarray) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        # clockwise angle keeps the map orientation-preserving (det J > 0)
+        theta = -2.0 * np.pi * p[..., 0]
+        r = major_radius + width * (p[..., 1] - 0.5)
+        out = np.empty_like(p)
+        out[..., 0] = r * np.cos(theta)
+        out[..., 1] = r * np.sin(theta)
+        out[..., 2] = height * (p[..., 2] - 0.5)
+        return out
+
+    return mapping
+
+
+@dataclass(frozen=True)
+class _EdgeTables:
+    edges: np.ndarray        # (nedges, 2) vertex ids
+    cell_edges: np.ndarray   # (ncells, 12) edge ids
+    boundary: np.ndarray     # bool mask over edges
+
+
+class HexMesh:
+    """A structured ``nx × ny × nz`` hexahedral mesh.
+
+    Local orderings (reference cube ``[0,1]³``):
+
+    * vertices: ``(i, j, k)`` corners in lexicographic x-fastest order,
+      i.e. vertex ``v = i + 2j + 4k`` for offsets ``i, j, k ∈ {0, 1}``;
+    * edges: 4 x-edges (at ``(y,z) ∈ {0,1}²``), then 4 y-edges (at
+      ``(x,z)``), then 4 z-edges (at ``(x,y)``), each set in
+      lexicographic order of its transverse coordinates.
+    """
+
+    #: local edge -> (corner pair) with the conventions above
+    LOCAL_EDGES = np.array([
+        # x-edges: (y, z) = (0,0), (1,0), (0,1), (1,1)
+        (0, 1), (2, 3), (4, 5), (6, 7),
+        # y-edges: (x, z) = (0,0), (1,0), (0,1), (1,1)
+        (0, 2), (1, 3), (4, 6), (5, 7),
+        # z-edges: (x, y) = (0,0), (1,0), (0,1), (1,1)
+        (0, 4), (1, 5), (2, 6), (3, 7),
+    ], dtype=np.int64)
+
+    def __init__(self, nx: int, ny: int, nz: int, *,
+                 periodic_x: bool = False,
+                 mapping: Mapping | None = None):
+        if min(nx, ny, nz) < 1:
+            raise ValueError("need at least one cell per direction")
+        if periodic_x and nx < 3:
+            raise ValueError("periodic direction needs at least 3 cells")
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.periodic_x = periodic_x
+        self.mapping = mapping or box_map
+
+        self._nvx = nx if periodic_x else nx + 1
+        self.n_vertices = self._nvx * (ny + 1) * (nz + 1)
+        self.n_cells = nx * ny * nz
+        self._build_vertices()
+        self._tables = self._build_edges()
+
+    # -- indexing ---------------------------------------------------------
+    def vertex_id(self, i: int, j: int, k: int) -> int:
+        if self.periodic_x:
+            i = i % self.nx
+        return (k * (self.ny + 1) + j) * self._nvx + i
+
+    def _build_vertices(self) -> None:
+        nvx = self._nvx
+        ii = np.arange(nvx)
+        jj = np.arange(self.ny + 1)
+        kk = np.arange(self.nz + 1)
+        K, J, I = np.meshgrid(kk, jj, ii, indexing="ij")
+        ref = np.stack([I.ravel() / self.nx, J.ravel() / self.ny,
+                        K.ravel() / self.nz], axis=1)
+        self.ref_vertices = ref
+        self.vertices = self.mapping(ref)
+
+    def cell_vertex_ids(self) -> np.ndarray:
+        """(ncells, 8) global vertex ids in the local corner order."""
+        out = np.empty((self.n_cells, 8), dtype=np.int64)
+        c = 0
+        for k in range(self.nz):
+            for j in range(self.ny):
+                for i in range(self.nx):
+                    for v, (di, dj, dk) in enumerate(
+                            [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+                             (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1)]):
+                        out[c, v] = self.vertex_id(i + di, j + dj, k + dk)
+                    c += 1
+        return out
+
+    def _build_edges(self) -> _EdgeTables:
+        """Global edge numbering + per-cell edge ids + boundary mask."""
+        edge_ids: dict[tuple[int, int], int] = {}
+        edges: list[tuple[int, int]] = []
+
+        def get(v0: int, v1: int) -> int:
+            key = (v0, v1)
+            eid = edge_ids.get(key)
+            if eid is None:
+                eid = len(edges)
+                edge_ids[key] = eid
+                edges.append(key)
+            return eid
+
+        cv = self.cell_vertex_ids()
+        cell_edges = np.empty((self.n_cells, 12), dtype=np.int64)
+        for c in range(self.n_cells):
+            for e, (a, b) in enumerate(self.LOCAL_EDGES):
+                cell_edges[c, e] = get(int(cv[c, a]), int(cv[c, b]))
+
+        edges_arr = np.array(edges, dtype=np.int64)
+
+        # Boundary edges: edges lying on a non-periodic outer face.
+        # Count cell incidence per (face-transverse) position instead of
+        # geometry: an edge on the domain boundary belongs to fewer than
+        # 4 cells (interior edges of a hex mesh touch exactly 4 cells,
+        # modulo the periodic direction).
+        counts = np.zeros(len(edges_arr), dtype=np.int64)
+        for c in range(self.n_cells):
+            counts[cell_edges[c]] += 1
+        boundary = counts < 4
+        return _EdgeTables(edges=edges_arr, cell_edges=cell_edges,
+                           boundary=boundary)
+
+    # -- public surface -----------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        return len(self._tables.edges)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """(nedges, 2) vertex ids; each edge points in + direction."""
+        return self._tables.edges
+
+    @property
+    def cell_edges(self) -> np.ndarray:
+        """(ncells, 12) edge ids in the local Nédélec ordering."""
+        return self._tables.cell_edges
+
+    @property
+    def boundary_edges(self) -> np.ndarray:
+        """Boolean mask of edges on the (non-periodic) domain boundary."""
+        return self._tables.boundary
+
+    def cell_vertex_coords(self) -> np.ndarray:
+        """(ncells, 8, 3) physical corner coordinates.
+
+        Corners are mapped from each cell's *own* reference coordinates
+        (not the shared vertex table) so that wrap-around cells of a
+        periodic mapping see a monotone coordinate across the seam —
+        identified vertices still coincide physically because the mapping
+        is periodic.
+        """
+        ref = np.empty((self.n_cells, 8, 3))
+        c = 0
+        offs = [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+                (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1)]
+        for k in range(self.nz):
+            for j in range(self.ny):
+                for i in range(self.nx):
+                    for v, (di, dj, dk) in enumerate(offs):
+                        ref[c, v] = ((i + di) / self.nx,
+                                     (j + dj) / self.ny,
+                                     (k + dk) / self.nz)
+                    c += 1
+        return self.mapping(ref.reshape(-1, 3)).reshape(self.n_cells, 8, 3)
+
+    def edge_midpoints(self) -> np.ndarray:
+        """(nedges, 3) physical midpoints (via the reference mapping)."""
+        ref = 0.5 * (self.ref_vertices[self.edges[:, 0]] +
+                     self.ref_vertices[self.edges[:, 1]])
+        if self.periodic_x:
+            # wrap-around edges: the two endpoints straddle x=1
+            x0 = self.ref_vertices[self.edges[:, 0], 0]
+            x1 = self.ref_vertices[self.edges[:, 1], 0]
+            wrap = np.abs(x0 - x1) > 0.5
+            ref[wrap, 0] = ((x0[wrap] + x1[wrap] + 1.0) / 2.0) % 1.0
+        return self.mapping(ref)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"HexMesh({self.nx}x{self.ny}x{self.nz}, "
+                f"periodic_x={self.periodic_x}, edges={self.n_edges})")

@@ -1,0 +1,129 @@
+"""Lowest-order Nédélec (edge) elements on hexahedra.
+
+The element family of the paper's application: first-order H(curl)
+conforming edge elements (MFEM's ``ND_FECollection(1)``), implemented on
+trilinearly-mapped hexahedra with the covariant Piola transform:
+
+* value:   ``w = J⁻ᵀ ŵ``
+* curl:    ``∇×w = (1/det J) · J · (∇̂×ŵ)``
+
+Reference basis (unit cube, edge ordering of
+:class:`~repro.fem.mesh.HexMesh`): the x-edge at transverse corner
+``(y₀, z₀)`` carries ``ŵ = ℓ_{y₀}(y) ℓ_{z₀}(z) x̂`` with
+``ℓ₀(t) = 1−t, ℓ₁(t) = t``; y- and z-edges by cyclic symmetry.  Each
+basis function has unit line integral along its own edge and zero along
+all others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reference_basis", "reference_curl", "geometry_jacobians",
+           "element_matrices", "TRANSVERSE_CORNERS"]
+
+#: transverse corner (t1, t2) of each of the 4 edges in one direction
+TRANSVERSE_CORNERS = np.array([(0, 0), (1, 0), (0, 1), (1, 1)],
+                              dtype=np.float64)
+
+
+def _lin(c: float, t: np.ndarray) -> np.ndarray:
+    return 1.0 - t if c == 0.0 else t
+
+
+def _dlin(c: float) -> float:
+    return -1.0 if c == 0.0 else 1.0
+
+
+def reference_basis(points: np.ndarray) -> np.ndarray:
+    """Evaluate the 12 reference basis vectors: returns (nq, 12, 3)."""
+    p = np.atleast_2d(points)
+    nq = p.shape[0]
+    x, y, z = p[:, 0], p[:, 1], p[:, 2]
+    out = np.zeros((nq, 12, 3))
+    for e, (a, b) in enumerate(TRANSVERSE_CORNERS):
+        out[:, e, 0] = _lin(a, y) * _lin(b, z)        # x-edges
+        out[:, 4 + e, 1] = _lin(a, x) * _lin(b, z)    # y-edges
+        out[:, 8 + e, 2] = _lin(a, x) * _lin(b, y)    # z-edges
+    return out
+
+
+def reference_curl(points: np.ndarray) -> np.ndarray:
+    """Evaluate the 12 reference curls: returns (nq, 12, 3).
+
+    For ``ŵ = g(y,z)·x̂``: ``∇×ŵ = (0, ∂g/∂z, −∂g/∂y)``, and cyclically
+    for the other directions.
+    """
+    p = np.atleast_2d(points)
+    nq = p.shape[0]
+    x, y, z = p[:, 0], p[:, 1], p[:, 2]
+    out = np.zeros((nq, 12, 3))
+    for e, (a, b) in enumerate(TRANSVERSE_CORNERS):
+        # x-edge: g = l_a(y) l_b(z)
+        out[:, e, 1] = _lin(a, y) * _dlin(b)
+        out[:, e, 2] = -_dlin(a) * _lin(b, z)
+        # y-edge: w = g(x,z) ŷ, curl = (−∂g/∂z, 0, ∂g/∂x)
+        out[:, 4 + e, 0] = -_lin(a, x) * _dlin(b)
+        out[:, 4 + e, 2] = _dlin(a) * _lin(b, z)
+        # z-edge: w = g(x,y) ẑ, curl = (∂g/∂y, −∂g/∂x, 0)
+        out[:, 8 + e, 0] = _lin(a, x) * _dlin(b)
+        out[:, 8 + e, 1] = -_dlin(a) * _lin(b, y)
+    return out
+
+
+_CORNERS = np.array([(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+                     (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1)],
+                    dtype=np.float64)
+
+
+def _trilinear_gradients(points: np.ndarray) -> np.ndarray:
+    """Gradients of the 8 trilinear geometry shape functions: (nq, 8, 3)."""
+    p = np.atleast_2d(points)
+    nq = p.shape[0]
+    out = np.empty((nq, 8, 3))
+    x, y, z = p[:, 0], p[:, 1], p[:, 2]
+    for v, (a, b, c) in enumerate(_CORNERS):
+        lx, ly, lz = _lin(a, x), _lin(b, y), _lin(c, z)
+        out[:, v, 0] = _dlin(a) * ly * lz
+        out[:, v, 1] = lx * _dlin(b) * lz
+        out[:, v, 2] = lx * ly * _dlin(c)
+    return out
+
+
+def geometry_jacobians(cell_coords: np.ndarray,
+                       points: np.ndarray) -> np.ndarray:
+    """Jacobians ``J[c, q] = ∂X/∂ξ`` for trilinear cells: (nc, nq, 3, 3).
+
+    ``cell_coords`` is (ncells, 8, 3) physical corner coordinates.
+    """
+    grads = _trilinear_gradients(points)          # (nq, 8, 3)
+    # J[c,q,d,r] = sum_v coords[c,v,d] * grads[q,v,r]
+    return np.einsum("cvd,qvr->cqdr", cell_coords, grads)
+
+
+def element_matrices(cell_coords: np.ndarray, *,
+                     quad_pts: np.ndarray, quad_wts: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Curl-curl and mass element matrices for a batch of cells.
+
+    Returns ``(K, M)`` each of shape (ncells, 12, 12):
+
+    * ``K[a,b] = ∫ (∇×w_a)·(∇×w_b) dX``
+    * ``M[a,b] = ∫ w_a·w_b dX``
+    """
+    w_hat = reference_basis(quad_pts)             # (nq, 12, 3)
+    c_hat = reference_curl(quad_pts)              # (nq, 12, 3)
+    J = geometry_jacobians(cell_coords, quad_pts)  # (nc, nq, 3, 3)
+    detJ = np.linalg.det(J)
+    if np.any(detJ <= 0):
+        raise ValueError("degenerate or inverted cell (det J <= 0)")
+    Jinv = np.linalg.inv(J)                       # (nc, nq, 3, 3)
+
+    # curl: (1/det) J c_hat ; value: J^{-T} w_hat
+    Jc = np.einsum("cqdr,qer->cqed", J, c_hat)     # (nc, nq, 12, 3)
+    JTw = np.einsum("cqrd,qer->cqed", Jinv, w_hat)  # J^{-T} w  (note index)
+
+    wq = quad_wts[None, :]                        # (1, nq)
+    K = np.einsum("cqad,cqbd,cq->cab", Jc, Jc, wq / detJ)
+    M = np.einsum("cqad,cqbd,cq->cab", JTw, JTw, wq * detJ)
+    return K, M

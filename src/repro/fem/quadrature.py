@@ -1,0 +1,28 @@
+"""Tensor-product Gauss–Legendre quadrature on the reference cube."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gauss_legendre_1d", "cube_rule", "segment_rule"]
+
+
+def gauss_legendre_1d(npts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss–Legendre points/weights on [0, 1]."""
+    if npts < 1:
+        raise ValueError("need at least one point")
+    x, w = np.polynomial.legendre.leggauss(npts)
+    return 0.5 * (x + 1.0), 0.5 * w
+
+
+def cube_rule(npts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Tensor rule on [0,1]³: returns (points (nq, 3), weights (nq,))."""
+    x, w = gauss_legendre_1d(npts)
+    pts = np.array([(a, b, c) for c in x for b in x for a in x])
+    wts = np.array([wa * wb * wc for wc in w for wb in w for wa in w])
+    return pts, wts
+
+
+def segment_rule(npts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss rule on a reference segment [0, 1] (for edge dofs/BCs)."""
+    return gauss_legendre_1d(npts)

@@ -1,0 +1,11 @@
+"""Numeric factorization and solve phases."""
+
+from .cpu_factor import factor_front_blocks, multifrontal_factor_cpu
+from .factors import FrontFactors, MultifrontalFactors, assemble_front
+from .triangular import multifrontal_solve
+
+__all__ = [
+    "multifrontal_factor_cpu", "factor_front_blocks",
+    "FrontFactors", "MultifrontalFactors", "assemble_front",
+    "multifrontal_solve",
+]

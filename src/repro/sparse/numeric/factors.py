@@ -1,0 +1,73 @@
+"""Factor storage shared by the CPU and GPU numeric phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..symbolic.analysis import SymbolicFactorization
+
+__all__ = ["FrontFactors", "MultifrontalFactors"]
+
+
+@dataclass
+class FrontFactors:
+    """Factored blocks of one front.
+
+    ``f11`` holds the packed LU of the pivot block (unit-lower L, U on and
+    above the diagonal) with pivot vector ``ipiv`` (pivoting restricted to
+    the pivot block, §III-A); ``f12`` is ``L⁻¹·P·F12`` (the U12 block) and
+    ``f21`` is ``F21·U⁻¹`` (the L21 block).
+    """
+
+    f11: np.ndarray
+    ipiv: np.ndarray
+    f12: np.ndarray
+    f21: np.ndarray
+
+
+@dataclass
+class MultifrontalFactors:
+    """All front factors, in the symbolic postorder."""
+
+    symb: SymbolicFactorization
+    fronts: list[FrontFactors] = field(default_factory=list)
+
+    def nnz(self) -> int:
+        return sum(f.f11.size + f.f12.size + f.f21.size
+                   for f in self.fronts)
+
+    def front(self, fid: int) -> FrontFactors:
+        return self.fronts[fid]
+
+
+def assemble_front(a_perm, info, child_schur: list[tuple[np.ndarray,
+                                                         np.ndarray]]
+                   ) -> np.ndarray:
+    """Build one dense frontal matrix: A entries + children extend-add.
+
+    ``child_schur`` is a list of ``(S, upd_indices)`` contributions; each
+    child update index must appear in this front's index set (guaranteed
+    by the symbolic analysis).
+    """
+    idx = info.indices
+    nf = info.order
+    s = info.sep_size
+    F = np.zeros((nf, nf), dtype=a_perm.dtype)
+    if nf == 0:
+        return F
+    # New A entries: rows and columns that touch the separator.
+    block = a_perm[idx[:s], :][:, idx].toarray()
+    F[:s, :] = block
+    if info.upd_size and s:
+        F[s:, :s] = a_perm[idx[s:], :][:, idx[:s]].toarray()
+    # Extend-add the children's Schur complements.
+    if child_schur:
+        pos = {int(g): l for l, g in enumerate(idx)}
+        for schur, upd in child_schur:
+            if len(upd) == 0:
+                continue
+            loc = np.array([pos[int(g)] for g in upd], dtype=np.int64)
+            F[np.ix_(loc, loc)] += schur
+    return F

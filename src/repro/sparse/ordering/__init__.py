@@ -1,0 +1,13 @@
+"""Fill-reducing orderings and static-pivoting preprocessing."""
+
+from .bisection import Bisection, bisect
+from .mc64 import Mc64Result, StructurallySingularError, mc64
+from .mindeg import minimum_degree_order
+from .nested_dissection import DEFAULT_LEAF_SIZE, NestedDissection, \
+    SeparatorTreeNode, nested_dissection
+
+__all__ = [
+    "bisect", "Bisection", "minimum_degree_order",
+    "nested_dissection", "NestedDissection", "SeparatorTreeNode",
+    "DEFAULT_LEAF_SIZE", "mc64", "Mc64Result", "StructurallySingularError",
+]

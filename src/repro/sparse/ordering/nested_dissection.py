@@ -1,0 +1,127 @@
+"""Nested-dissection ordering and its separator tree.
+
+The METIS-substitute fill-reducing ordering (§III-A): recursively bisect
+the adjacency graph with vertex separators; number each subtree's parts
+first and its separator last, so every separator receives higher indices
+than everything it separates.  The recursion tree *is* the assembly tree
+of the multifrontal factorization: each node's separator becomes the
+pivot block (F11) of one frontal matrix.
+
+Subgraphs at or below ``leaf_size`` are ordered by minimum degree and
+become leaf fronts containing all their vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import symmetrize_pattern
+from .bisection import bisect
+from .mindeg import minimum_degree_order
+
+__all__ = ["SeparatorTreeNode", "NestedDissection", "nested_dissection",
+           "DEFAULT_LEAF_SIZE"]
+
+DEFAULT_LEAF_SIZE = 32
+
+
+@dataclass
+class SeparatorTreeNode:
+    """One assembly-tree node in the *permuted* numbering.
+
+    The subtree owns the contiguous new-index range ``[lo, hi)``; the
+    node's separator (pivot block) owns ``[hi - sep_size, hi)``.
+    """
+
+    lo: int
+    hi: int
+    sep_size: int
+    children: list["SeparatorTreeNode"] = field(default_factory=list)
+
+    @property
+    def sep_begin(self) -> int:
+        return self.hi - self.sep_size
+
+    @property
+    def sep_range(self) -> range:
+        return range(self.sep_begin, self.hi)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def depth(self) -> int:
+        return 1 + max((c.depth() for c in self.children), default=0)
+
+    def node_count(self) -> int:
+        return 1 + sum(c.node_count() for c in self.children)
+
+    def postorder(self) -> list["SeparatorTreeNode"]:
+        out: list[SeparatorTreeNode] = []
+        stack: list[tuple[SeparatorTreeNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                out.append(node)
+            else:
+                stack.append((node, True))
+                for c in reversed(node.children):
+                    stack.append((c, False))
+        return out
+
+
+@dataclass
+class NestedDissection:
+    """Ordering result: ``perm[new] = old`` plus the separator tree."""
+
+    perm: np.ndarray
+    iperm: np.ndarray
+    tree: SeparatorTreeNode
+
+    @property
+    def n(self) -> int:
+        return len(self.perm)
+
+
+def nested_dissection(a: sp.spmatrix, *,
+                      leaf_size: int = DEFAULT_LEAF_SIZE) -> NestedDissection:
+    """Compute a nested-dissection ordering of (the pattern of) ``a``."""
+    if leaf_size < 1:
+        raise ValueError("leaf_size must be positive")
+    g = symmetrize_pattern(a)
+    n = g.shape[0]
+    perm = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return NestedDissection(perm=perm, iperm=perm.copy(),
+                                tree=SeparatorTreeNode(0, 0, 0))
+
+    def recurse(vertices: np.ndarray, lo: int) -> SeparatorTreeNode:
+        nv = len(vertices)
+        hi = lo + nv
+        if nv <= leaf_size:
+            order = minimum_degree_order(g, vertices)
+            perm[lo:hi] = order
+            return SeparatorTreeNode(lo=lo, hi=hi, sep_size=nv)
+
+        cut = bisect(g, vertices)
+        a_part, b_part, sep = cut.part_a, cut.part_b, cut.separator
+        if len(sep) >= nv or (len(a_part) == 0 and len(b_part) == 0) \
+                or len(a_part) == 0 or len(b_part) == 0:
+            # Bisection failed to make progress: order as one leaf front.
+            order = minimum_degree_order(g, vertices)
+            perm[lo:hi] = order
+            return SeparatorTreeNode(lo=lo, hi=hi, sep_size=nv)
+
+        node = SeparatorTreeNode(lo=lo, hi=hi, sep_size=len(sep))
+        node.children.append(recurse(a_part, lo))
+        node.children.append(recurse(b_part, lo + len(a_part)))
+        perm[hi - len(sep):hi] = sep
+        return node
+
+    tree = recurse(np.arange(n, dtype=np.int64), 0)
+    iperm = np.empty(n, dtype=np.int64)
+    iperm[perm] = np.arange(n, dtype=np.int64)
+    return NestedDissection(perm=perm, iperm=iperm, tree=tree)

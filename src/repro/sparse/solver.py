@@ -1,0 +1,187 @@
+"""SparseLU — the top-level sparse direct solver (§III-A).
+
+Wraps the three phases the paper describes:
+
+1. *Reordering and symbolic analysis* — optional MC64 static pivoting
+   (row permutation + scalings), nested-dissection fill reduction, and
+   the frontal symbolic factorization.
+2. *Numerical factorization* — on the CPU reference path or on a
+   simulated GPU with any of the kernel strategies (the paper's batched
+   irr kernels, the naive vendor loop, the STRUMPACK-like or
+   SuperLU-like models).
+3. *Solve* — forward/backward substitution through the assembly tree,
+   plus optional iterative refinement (§V-B solves "to machine precision
+   after a single step of iterative refinement").
+
+Example
+-------
+>>> solver = SparseLU(A, use_mc64=True)
+>>> solver.analyze()
+>>> solver.factor(device=Device(A100()), backend="batched")
+>>> x, info = solver.solve(b, refine_steps=1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..device.simulator import Device
+from .baselines import naive_loop_factor, strumpack_like_factor, \
+    superlu_like_factor
+from .numeric.cpu_factor import multifrontal_factor_cpu
+from .numeric.gpu_factor import GpuFactorResult, multifrontal_factor_gpu
+from .numeric.gpu_solve import multifrontal_solve_gpu
+from .numeric.triangular import multifrontal_solve
+from .ordering.mc64 import mc64
+from .ordering.nested_dissection import DEFAULT_LEAF_SIZE, nested_dissection
+from .symbolic.analysis import symbolic_analysis
+
+__all__ = ["SparseLU", "SolveInfo"]
+
+_BACKENDS = ("cpu", "batched", "looped", "strumpack", "superlu")
+
+
+@dataclass
+class SolveInfo:
+    """Per-solve diagnostics: residual after each refinement step."""
+
+    residuals: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+
+class SparseLU:
+    """Multifrontal sparse LU with selectable numeric backends."""
+
+    def __init__(self, a: sp.spmatrix, *, use_mc64: bool = False,
+                 leaf_size: int = DEFAULT_LEAF_SIZE):
+        a = sp.csr_matrix(a)
+        if np.iscomplexobj(a.data):
+            a = a.astype(np.complex128)
+        else:
+            a = a.astype(np.float64)
+        if a.shape[0] != a.shape[1]:
+            raise ValueError("matrix must be square")
+        self.a = a
+        self.n = a.shape[0]
+        self.use_mc64 = use_mc64
+        self.leaf_size = leaf_size
+        self._analyzed = False
+        self._factored = False
+        self.factor_result: GpuFactorResult | None = None
+
+    # ------------------------------------------------------------------
+    # phase 1
+    # ------------------------------------------------------------------
+    def analyze(self) -> "SparseLU":
+        """Orderings, scalings and symbolic factorization."""
+        a = self.a
+        if self.use_mc64:
+            self._mc64 = mc64(a.tocsc())
+            a = self._mc64.apply(a)
+        else:
+            self._mc64 = None
+        self.a_pre = a.tocsr()
+
+        self.nd = nested_dissection(self.a_pre, leaf_size=self.leaf_size)
+        self.a_perm = self.a_pre[self.nd.perm][:, self.nd.perm].tocsr()
+        self.symb = symbolic_analysis(self.a_perm, self.nd)
+        self._analyzed = True
+        return self
+
+    # ------------------------------------------------------------------
+    # phase 2
+    # ------------------------------------------------------------------
+    def factor(self, *, backend: str = "cpu",
+               device: Device | None = None, **kw) -> "SparseLU":
+        """Numerical factorization.
+
+        ``backend="cpu"`` runs the reference path; the other backends
+        (``"batched"``, ``"looped"``, ``"strumpack"``, ``"superlu"``)
+        require a simulated ``device`` and record simulated timings in
+        :attr:`factor_result`.
+        """
+        if not self._analyzed:
+            self.analyze()
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from {_BACKENDS}")
+        if backend == "cpu":
+            self.factors = multifrontal_factor_cpu(self.a_perm, self.symb)
+            self.factor_result = None
+        else:
+            if device is None:
+                raise ValueError(f"backend {backend!r} needs a device")
+            if backend == "batched":
+                res = multifrontal_factor_gpu(device, self.a_perm,
+                                              self.symb, strategy="batched",
+                                              **kw)
+            elif backend == "looped":
+                res = naive_loop_factor(device, self.a_perm, self.symb, **kw)
+            elif backend == "strumpack":
+                res = strumpack_like_factor(device, self.a_perm, self.symb,
+                                            **kw)
+            else:
+                res = superlu_like_factor(device, self.a_perm, self.symb,
+                                          **kw)
+            self.factors = res.factors
+            self.factor_result = res
+        self._factored = True
+        return self
+
+    # ------------------------------------------------------------------
+    # phase 3
+    # ------------------------------------------------------------------
+    def _solve_once(self, b: np.ndarray,
+                    device: Device | None = None) -> np.ndarray:
+        """One substitution pass: undo scalings/permutations around the
+        permuted multifrontal solve (on the host, or batched on a
+        device)."""
+        if self._mc64 is not None:
+            c = self._mc64.dr * b if b.ndim == 1 else \
+                self._mc64.dr[:, None] * b
+            c = c[self._mc64.row_of_col]
+        else:
+            c = b
+        if device is not None:
+            z = multifrontal_solve_gpu(device, self.factors,
+                                       c[self.nd.perm]).x
+        else:
+            z = multifrontal_solve(self.factors, c[self.nd.perm])
+        y = np.empty_like(z)
+        y[self.nd.perm] = z
+        if self._mc64 is not None:
+            y = self._mc64.dc * y if y.ndim == 1 else \
+                self._mc64.dc[:, None] * y
+        return y
+
+    def solve(self, b: np.ndarray, *, refine_steps: int = 1,
+              device: Device | None = None
+              ) -> tuple[np.ndarray, SolveInfo]:
+        """Solve ``A·x = b`` with optional iterative refinement.
+
+        Pass ``device`` to run the substitution phase with the batched
+        per-level GPU kernels instead of the host reference.
+        """
+        if not self._factored:
+            raise RuntimeError("factor() must run before solve()")
+        b = np.asarray(b, dtype=self.a.dtype)
+        x = self._solve_once(b, device)
+        info = SolveInfo()
+        norm_b = float(np.linalg.norm(b))
+        denom = norm_b if norm_b else 1.0
+
+        def resid(xv):
+            return float(np.linalg.norm(b - self.a @ xv) / denom)
+
+        info.residuals.append(resid(x))
+        for _ in range(refine_steps):
+            r = b - self.a @ x
+            x = x + self._solve_once(r, device)
+            info.residuals.append(resid(x))
+        return x, info

@@ -1,0 +1,5 @@
+"""Symbolic analysis of the multifrontal factorization."""
+
+from .analysis import FrontInfo, SymbolicFactorization, symbolic_analysis
+
+__all__ = ["FrontInfo", "SymbolicFactorization", "symbolic_analysis"]

@@ -1,0 +1,13 @@
+"""Workload generators for microbenchmarks and the application study."""
+
+from .fronts import MaxwellWorkload, build_maxwell_workload, \
+    level_front_dims, synthetic_front_batch
+from .random_batch import large_square_batch, panel_batch, \
+    random_square_batch, triangular_batch, uniform_random_sizes
+
+__all__ = [
+    "uniform_random_sizes", "random_square_batch", "large_square_batch",
+    "triangular_batch", "panel_batch",
+    "MaxwellWorkload", "build_maxwell_workload", "level_front_dims",
+    "synthetic_front_batch",
+]

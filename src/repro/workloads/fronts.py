@@ -1,0 +1,80 @@
+"""Application workloads: the Maxwell system and its front batches.
+
+Builds the §V-B problem (indefinite Maxwell on a hex mesh) and extracts
+the per-level front-size batches its assembly tree produces — the
+workload that drives Figs 13/14 and Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..fem.maxwell import MaxwellProblem
+from ..fem.mesh import HexMesh, torus_map
+from ..sparse.ordering.nested_dissection import nested_dissection
+from ..sparse.symbolic.analysis import SymbolicFactorization, \
+    symbolic_analysis
+
+__all__ = ["MaxwellWorkload", "build_maxwell_workload", "level_front_dims",
+           "synthetic_front_batch"]
+
+
+@dataclass
+class MaxwellWorkload:
+    """The assembled, analyzed Maxwell system ready for factorization."""
+
+    problem: MaxwellProblem
+    matrix: sp.csr_matrix          # reduced (interior) system
+    rhs: np.ndarray
+    perm: np.ndarray
+    a_perm: sp.csr_matrix
+    symb: SymbolicFactorization
+
+
+def build_maxwell_workload(n: int = 10, *, omega: float = 16.0,
+                           torus: bool = False,
+                           leaf_size: int = 32) -> MaxwellWorkload:
+    """Assemble + analyze the paper's Maxwell problem at mesh size ``n``.
+
+    ``torus=True`` uses the paper's toroidal geometry (periodic hex
+    mesh); the default box keeps the same operator on a simpler domain.
+    """
+    if torus:
+        mesh = HexMesh(2 * n, n, n, periodic_x=True, mapping=torus_map())
+    else:
+        mesh = HexMesh(n, n, n)
+    prob = MaxwellProblem.build(mesh, omega=omega)
+    a, b = prob.reduced_system()
+    nd = nested_dissection(a, leaf_size=leaf_size)
+    a_perm = a[nd.perm][:, nd.perm].tocsr()
+    symb = symbolic_analysis(a_perm, nd)
+    return MaxwellWorkload(problem=prob, matrix=a, rhs=b, perm=nd.perm,
+                           a_perm=a_perm, symb=symb)
+
+
+def level_front_dims(symb: SymbolicFactorization
+                     ) -> list[list[tuple[int, int]]]:
+    """Per level (deepest first), the (sep, upd) dims of every front."""
+    return [[(symb.fronts[f].sep_size, symb.fronts[f].upd_size)
+             for f in fids]
+            for fids in symb.levels()]
+
+
+def synthetic_front_batch(dims: list[tuple[int, int]], *, seed: int = 0
+                          ) -> list[np.ndarray]:
+    """Random dense fronts with the given (sep, upd) dimensions.
+
+    Diagonally shifted so the pivot blocks are well conditioned — the
+    microbenchmark isolates kernel performance, not pivot growth.
+    """
+    rng = np.random.default_rng(seed)
+    out = []
+    for s, u in dims:
+        nf = s + u
+        f = rng.standard_normal((nf, nf))
+        f[:s, :s] += 2.0 * max(s, 1) * np.eye(s)
+        out.append(f)
+    return out

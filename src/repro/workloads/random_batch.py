@@ -1,0 +1,73 @@
+"""Workload generators for the batched-kernel experiments (§V-A).
+
+The paper's microbenchmark workloads: "Each testing point represents one
+thousand square matrices, whose sizes are randomly sampled between 1 and
+the value shown on the x-axis" (Fig 10), a small number of large matrices
+(Fig 11), small triangular systems with varying right-hand-side counts
+(Fig 6), and fixed-width panels of varying heights (Fig 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_random_sizes", "random_square_batch",
+           "large_square_batch", "triangular_batch", "panel_batch"]
+
+
+def uniform_random_sizes(batch_size: int, max_size: int, *,
+                         min_size: int = 1,
+                         seed: int = 0) -> np.ndarray:
+    """Sizes ~ U[min_size, max_size], the Fig 10 distribution."""
+    if max_size < min_size:
+        raise ValueError("max_size must be >= min_size")
+    rng = np.random.default_rng(seed)
+    return rng.integers(min_size, max_size + 1, size=batch_size)
+
+
+def random_square_batch(batch_size: int, max_size: int, *,
+                        seed: int = 0) -> list[np.ndarray]:
+    """Fig 10 workload: square matrices with sizes ~ U[1, max_size]."""
+    rng = np.random.default_rng(seed)
+    sizes = uniform_random_sizes(batch_size, max_size, seed=seed + 1)
+    return [rng.standard_normal((int(n), int(n))) for n in sizes]
+
+
+def large_square_batch(count: int, size: int, *,
+                       seed: int = 0) -> list[np.ndarray]:
+    """Fig 11 workload: a few equal, relatively large matrices."""
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((size, size)) for _ in range(count)]
+
+
+def triangular_batch(batch_size: int, max_order: int, nrhs: int, *,
+                     seed: int = 0
+                     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Fig 6 workload: well-scaled lower triangles + right-hand sides."""
+    rng = np.random.default_rng(seed)
+    orders = uniform_random_sizes(batch_size, max_order, seed=seed + 1)
+    ts, bs = [], []
+    for n in orders:
+        n = int(n)
+        t = np.tril(rng.standard_normal((n, n))) / max(np.sqrt(n), 1.0)
+        signs = np.where(np.diag(t) < 0, -1.0, 1.0)
+        np.fill_diagonal(t, signs * (0.5 + np.abs(np.diag(t))))
+        ts.append(t)
+        bs.append(rng.standard_normal((n, nrhs)))
+    return ts, bs
+
+
+def panel_batch(batch_size: int, height: int, width: int, *,
+                vary: bool = True, seed: int = 0) -> list[np.ndarray]:
+    """Fig 7 workload: tall panels of fixed width.
+
+    With ``vary=True``, heights are sampled U[width, height] (irregular);
+    otherwise all panels share the nominal height.
+    """
+    rng = np.random.default_rng(seed)
+    if vary:
+        hs = uniform_random_sizes(batch_size, height, min_size=width,
+                                  seed=seed + 1)
+    else:
+        hs = np.full(batch_size, height)
+    return [rng.standard_normal((int(h), width)) for h in hs]

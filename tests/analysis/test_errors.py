@@ -1,0 +1,73 @@
+"""Tests for the error metrics."""
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.analysis import lu_backward_error, max_trsm_backward_error, \
+    relative_residual, trsm_backward_error
+
+
+class TestTrsmBackwardError:
+    def test_exact_solution_zero_error(self, rng):
+        t = np.tril(rng.standard_normal((6, 6))) + 6 * np.eye(6)
+        x = rng.standard_normal((6, 2))
+        b = np.tril(t) @ x
+        assert trsm_backward_error(t, x, b) < 1e-14
+
+    def test_detects_wrong_solution(self, rng):
+        t = np.tril(rng.standard_normal((6, 6))) + 6 * np.eye(6)
+        x = rng.standard_normal((6, 2))
+        b = np.tril(t) @ x
+        assert trsm_backward_error(t, x + 1.0, b) > 1e-2
+
+    def test_unit_diagonal_option(self, rng):
+        t = np.tril(rng.standard_normal((5, 5)), -1) + 7 * np.eye(5)
+        x = rng.standard_normal((5, 1))
+        b = (np.tril(t, -1) + np.eye(5)) @ x
+        assert trsm_backward_error(t, x, b, unit_diagonal=True) < 1e-14
+
+    def test_upper_and_trans(self, rng):
+        t = np.triu(rng.standard_normal((5, 5))) + 5 * np.eye(5)
+        x = rng.standard_normal((5, 3))
+        b = np.triu(t).T @ x
+        assert trsm_backward_error(t, x, b, uplo="U", trans="T") < 1e-14
+
+    def test_zero_rhs(self):
+        t = np.eye(3)
+        assert trsm_backward_error(t, np.zeros((3, 1)),
+                                   np.zeros((3, 1))) == 0.0
+
+    def test_batch_max(self, rng):
+        t = np.tril(rng.standard_normal((4, 4))) + 4 * np.eye(4)
+        x = rng.standard_normal((4, 1))
+        b = np.tril(t) @ x
+        errs = max_trsm_backward_error([t, t], [x, x + 1], [b, b])
+        assert errs > 1e-2
+
+
+class TestLuBackwardError:
+    def test_scipy_factors_small_error(self, rng):
+        a = rng.standard_normal((20, 20))
+        lu, piv = sla.lu_factor(a)
+        assert lu_backward_error(a, lu, piv) < 1e-14
+
+    def test_wrong_factors_large_error(self, rng):
+        a = rng.standard_normal((10, 10))
+        lu, piv = sla.lu_factor(a)
+        assert lu_backward_error(a, lu + 0.1, piv) > 1e-3
+
+
+class TestRelativeResidual:
+    def test_dense(self, rng):
+        a = rng.standard_normal((8, 8)) + 8 * np.eye(8)
+        x = rng.standard_normal(8)
+        assert relative_residual(a, x, a @ x) < 1e-14
+
+    def test_callable_operator(self, rng):
+        a = rng.standard_normal((8, 8))
+        x = rng.standard_normal(8)
+        assert relative_residual(lambda v: a @ v, x, a @ x) < 1e-14
+
+    def test_zero_rhs(self):
+        a = np.eye(3)
+        assert relative_residual(a, np.zeros(3), np.zeros(3)) == 0.0

@@ -1,0 +1,55 @@
+"""Tests for the flop-count formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import batch_getrf_flops, batch_trsm_flops, gemm_flops, \
+    getrf_flops, getrf_flops_paper_square, trsm_flops
+
+
+def brute_force_getrf_flops(m, n):
+    total = 0
+    for c in range(min(m, n)):
+        if c + 1 <= m - 1:
+            total += m - c - 1                      # column scaling
+            total += 2 * (m - c - 1) * (n - c - 1)  # rank-1 update
+    return total
+
+
+class TestGetrfFlops:
+    @pytest.mark.parametrize("m,n", [(1, 1), (2, 2), (5, 5), (10, 3),
+                                     (3, 10), (64, 64), (7, 1), (1, 7)])
+    def test_matches_brute_force(self, m, n):
+        assert getrf_flops(m, n) == pytest.approx(
+            brute_force_getrf_flops(m, n))
+
+    def test_zero_sizes(self):
+        assert getrf_flops(0, 5) == 0
+        assert getrf_flops(5, 0) == 0
+
+    def test_square_close_to_paper_formula(self):
+        # Same leading term; the paper's printed low-order terms differ by
+        # O(n²) (the §III-B vs §V-A discrepancy documented in flops.py).
+        n = 1000
+        assert getrf_flops(n, n) == pytest.approx(
+            getrf_flops_paper_square(n), rel=1e-2)
+
+    @given(st.integers(1, 80), st.integers(1, 80))
+    def test_property_matches_brute_force(self, m, n):
+        assert getrf_flops(m, n) == pytest.approx(
+            brute_force_getrf_flops(m, n))
+
+
+class TestOtherCounts:
+    def test_trsm(self):
+        assert trsm_flops(10, 4) == 4 * 100
+
+    def test_gemm(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_batch_aggregates(self):
+        assert batch_getrf_flops([2, 3], [2, 3]) == \
+            getrf_flops(2, 2) + getrf_flops(3, 3)
+        assert batch_trsm_flops([2, 3], [1, 2]) == \
+            trsm_flops(2, 1) + trsm_flops(3, 2)

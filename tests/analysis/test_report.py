@@ -1,0 +1,43 @@
+"""Tests for report formatting."""
+
+from repro.analysis import fmt_rate, fmt_time, format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]])
+        assert "a" in out and "bb" in out
+        assert "2.5" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.startswith("Table I")
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["verylongvalue"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len("verylongvalue")
+
+    def test_scientific_for_extreme_floats(self):
+        out = format_table(["x"], [[1.23e-9]])
+        assert "e-09" in out
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        out = format_series("Fig 10", "size", [32, 64],
+                            {"irrLU": [1.0, 2.0], "CPU": [0.5, 0.8]})
+        assert "irrLU" in out and "CPU" in out
+        assert "size" in out
+        assert "Fig 10" in out
+
+
+class TestFormatters:
+    def test_fmt_time_ranges(self):
+        assert fmt_time(2.0).endswith(" s")
+        assert fmt_time(2e-3).endswith(" ms")
+        assert fmt_time(2e-6).endswith(" us")
+
+    def test_fmt_rate(self):
+        assert fmt_rate(2e9, 2.0) == 1.0
+        assert fmt_rate(1.0, 0.0) == 0.0

@@ -1,0 +1,65 @@
+"""Tests for the MKL-like CPU batch baseline."""
+
+import numpy as np
+import pytest
+
+from repro.batched import cpu_getrf_batch, lu_reconstruct
+from repro.device import XEON_6140_2S
+
+
+class TestCpuGetrfBatch:
+    def test_factors_correct(self, rng):
+        mats = [rng.standard_normal((int(n), int(n)))
+                for n in rng.integers(1, 60, 20)]
+        res = cpu_getrf_batch(mats, XEON_6140_2S())
+        for orig, f, p in zip(mats, res.factors, res.pivots):
+            rec = lu_reconstruct(f, p)
+            np.testing.assert_allclose(rec, orig, rtol=1e-10, atol=1e-10)
+
+    def test_rectangular_matrices(self, rng):
+        mats = [rng.standard_normal((12, 5)), rng.standard_normal((5, 12))]
+        res = cpu_getrf_batch(mats, XEON_6140_2S())
+        for orig, f, p in zip(mats, res.factors, res.pivots):
+            rec = lu_reconstruct(f, p)
+            np.testing.assert_allclose(rec, orig, rtol=1e-10, atol=1e-10)
+
+    def test_empty_matrix_passthrough(self):
+        res = cpu_getrf_batch([np.zeros((0, 3))], XEON_6140_2S())
+        assert res.factors[0].shape == (0, 3)
+        assert res.seconds == 0.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            cpu_getrf_batch([np.zeros(4)], XEON_6140_2S())
+
+    def test_time_increases_with_work(self, rng):
+        small = [rng.standard_normal((16, 16)) for _ in range(10)]
+        big = [rng.standard_normal((128, 128)) for _ in range(10)]
+        t_small = cpu_getrf_batch(small, XEON_6140_2S()).seconds
+        t_big = cpu_getrf_batch(big, XEON_6140_2S()).seconds
+        assert t_big > 10 * t_small
+
+    def test_cores_give_parallel_speedup(self, rng):
+        from dataclasses import replace
+        mats = [rng.standard_normal((64, 64)) for _ in range(72)]
+        spec36 = XEON_6140_2S()
+        spec1 = replace(spec36, n_cores=1)
+        t36 = cpu_getrf_batch(mats, spec36).seconds
+        t1 = cpu_getrf_batch(mats, spec1).seconds
+        assert t1 > 30 * t36  # near-linear scaling for an even batch
+
+    def test_lpt_bound(self, rng):
+        # Batch time is at least the largest single matrix's time and at
+        # most the serial time.
+        from repro.analysis import getrf_flops
+        spec = XEON_6140_2S()
+        mats = [rng.standard_normal((int(n), int(n)))
+                for n in rng.integers(8, 200, 50)]
+        t = cpu_getrf_batch(mats, spec).seconds
+        core_rate = spec.freq_hz * spec.flops_per_cycle_per_core
+        singles = [spec.per_call_overhead +
+                   getrf_flops(*m.shape) / (core_rate *
+                                            spec.getrf_efficiency(m.shape[0]))
+                   for m in mats]
+        assert t >= max(singles) - 1e-12
+        assert t <= sum(singles) + 1e-12

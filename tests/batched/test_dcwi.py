@@ -1,0 +1,161 @@
+"""Tests for the Dynamic Compute-Workload Inference layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.batched.dcwi import Workload, infer_extent, infer_gemm, \
+    infer_matrix, infer_trsm, op_shape
+
+
+class TestInferExtent:
+    def test_full(self):
+        assert infer_extent(10, 50, 0) == 10
+
+    def test_partial(self):
+        assert infer_extent(10, 7, 0) == 7
+
+    def test_offset_consumes_local(self):
+        assert infer_extent(10, 20, 15) == 5
+
+    def test_exhausted_clamps_to_zero(self):
+        assert infer_extent(10, 20, 25) == 0
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 200))
+    def test_bounds_property(self, required, local, offset):
+        e = infer_extent(required, local, offset)
+        assert 0 <= e <= required
+        assert e <= max(0, local - offset)
+
+
+class TestInferMatrix:
+    def test_full_workload(self):
+        assert infer_matrix(5, 5, 20, 20, 0, 0) == (5, 5, Workload.FULL)
+
+    def test_partial_workload(self):
+        mi, ni, cls = infer_matrix(5, 5, 8, 8, 5, 5)
+        assert (mi, ni) == (3, 3)
+        assert cls is Workload.PARTIAL
+
+    def test_none_workload(self):
+        # The Fig 4 situation: a matrix already fully decomposed.
+        _, _, cls = infer_matrix(5, 5, 8, 8, 10, 10)
+        assert cls is Workload.NONE
+
+    def test_one_exhausted_dim_is_none(self):
+        _, _, cls = infer_matrix(5, 5, 8, 8, 2, 9)
+        assert cls is Workload.NONE
+
+
+class TestOpShape:
+    def test_notrans(self):
+        assert op_shape("N", 10, 6, 2, 1) == (8, 5)
+
+    def test_trans_swaps_roles(self):
+        # §IV-B: for op = T the offsets compare against swapped dims.
+        assert op_shape("T", 10, 6, 2, 1) == (5, 8)
+
+    def test_conjugate_treated_as_trans(self):
+        assert op_shape("C", 10, 6, 0, 0) == (6, 10)
+
+    def test_invalid_trans(self):
+        with pytest.raises(ValueError):
+            op_shape("X", 5, 5, 0, 0)
+
+    def test_negative_clamps(self):
+        assert op_shape("N", 3, 3, 5, 0) == (0, 3)
+
+
+class TestInferGemm:
+    def dims(self, m=4, n=4, k=4):
+        return dict(m=m, n=n, k=k)
+
+    def test_full(self):
+        work, cls = infer_gemm("N", "N", 4, 4, 4,
+                               (10, 10), (0, 0), (10, 10), (0, 0),
+                               (10, 10), (0, 0))
+        assert (work.m, work.n, work.k) == (4, 4, 4)
+        assert cls is Workload.FULL
+
+    def test_partial_k_from_a_columns(self):
+        work, cls = infer_gemm("N", "N", 4, 4, 8,
+                               (10, 6), (0, 0), (10, 10), (0, 0),
+                               (10, 10), (0, 0))
+        assert work.k == 6
+        assert cls is Workload.PARTIAL
+
+    def test_transposed_a_changes_inference(self):
+        # Same matrix, same offsets; only the op flips — DCWI must compare
+        # against (k, m) instead of (m, k).
+        w_n, _ = infer_gemm("N", "N", 4, 4, 8,
+                            (10, 6), (0, 0), (10, 10), (0, 0),
+                            (10, 10), (0, 0))
+        w_t, _ = infer_gemm("T", "N", 4, 4, 8,
+                            (10, 6), (0, 0), (10, 10), (0, 0),
+                            (10, 10), (0, 0))
+        assert w_n.k == 6    # limited by A's 6 columns
+        assert w_t.k == 8    # op(A) has 10 rows of k available
+        assert w_t.m == 4
+
+    def test_none_when_c_exhausted(self):
+        _, cls = infer_gemm("N", "N", 4, 4, 4,
+                            (10, 10), (0, 0), (10, 10), (0, 0),
+                            (3, 3), (3, 3))
+        assert cls is Workload.NONE
+
+    def test_k_zero_is_partial_beta_scaling(self):
+        work, cls = infer_gemm("N", "N", 4, 4, 4,
+                               (10, 2), (0, 2), (10, 10), (0, 0),
+                               (10, 10), (0, 0))
+        assert work.k == 0
+        assert cls is Workload.PARTIAL
+
+    def test_flops(self):
+        work, _ = infer_gemm("N", "N", 3, 4, 5,
+                             (10, 10), (0, 0), (10, 10), (0, 0),
+                             (10, 10), (0, 0))
+        assert work.flops == 2 * 3 * 4 * 5
+
+    @given(m=st.integers(0, 12), n=st.integers(0, 12), k=st.integers(0, 12),
+           am=st.integers(0, 16), an=st.integers(0, 16),
+           ai=st.integers(0, 20), aj=st.integers(0, 20))
+    def test_inferred_dims_within_bounds(self, m, n, k, am, an, ai, aj):
+        work, cls = infer_gemm("N", "N", m, n, k,
+                               (am, an), (ai, aj), (16, 16), (0, 0),
+                               (16, 16), (0, 0))
+        assert 0 <= work.m <= m
+        assert 0 <= work.n <= n
+        assert 0 <= work.k <= min(k, max(0, an - aj))
+        assert work.m <= max(0, am - ai)
+
+
+class TestInferTrsm:
+    def test_left_full(self):
+        mi, ni, cls = infer_trsm("L", 4, 6, (10, 10), (0, 0),
+                                 (10, 10), (0, 0))
+        assert (mi, ni) == (4, 6)
+        assert cls is Workload.FULL
+
+    def test_left_order_limited_by_triangle(self):
+        mi, ni, cls = infer_trsm("L", 8, 6, (10, 5), (0, 0),
+                                 (10, 10), (0, 0))
+        assert mi == 5  # triangle must fit in the stored submatrix
+        assert cls is Workload.PARTIAL
+
+    def test_right_order_limited_by_triangle(self):
+        mi, ni, cls = infer_trsm("R", 6, 8, (5, 10), (0, 0),
+                                 (10, 10), (0, 0))
+        assert ni == 5
+        assert cls is Workload.PARTIAL
+
+    def test_none_when_b_exhausted(self):
+        _, _, cls = infer_trsm("L", 4, 6, (10, 10), (0, 0),
+                               (10, 10), (10, 0))
+        assert cls is Workload.NONE
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            infer_trsm("X", 4, 4, (8, 8), (0, 0), (8, 8), (0, 0))
+
+    def test_offsets_shrink_order(self):
+        mi, _, _ = infer_trsm("L", 8, 4, (10, 10), (7, 7), (10, 10), (7, 0))
+        assert mi == 3

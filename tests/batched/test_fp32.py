@@ -1,0 +1,107 @@
+"""FP32 support across the batched stack (the interface's generic "type T")."""
+
+import numpy as np
+import pytest
+
+from repro.batched import IrrBatch, irr_gemm, irr_getrf, irr_trsm, \
+    lu_reconstruct
+from repro.device import A100, Device
+
+
+class TestDtypeHandling:
+    def test_float32_preserved(self, a100, rng):
+        b = IrrBatch.from_host(
+            a100, [rng.standard_normal((4, 4)).astype(np.float32)])
+        assert b.dtype == np.float32
+        assert b.itemsize == 4
+        assert b.peak_scale == 2.0
+
+    def test_float64_default(self, a100, rng):
+        b = IrrBatch.from_host(a100, [rng.standard_normal((4, 4))])
+        assert b.dtype == np.float64
+        assert b.peak_scale == 1.0
+
+    def test_explicit_dtype_cast(self, a100, rng):
+        b = IrrBatch.from_host(a100, [rng.standard_normal((4, 4))],
+                               dtype=np.float32)
+        assert b.dtype == np.float32
+
+    def test_mixed_dtypes_rejected(self, a100, rng):
+        a32 = a100.from_host(rng.standard_normal((2, 2)).astype(np.float32))
+        a64 = a100.from_host(rng.standard_normal((2, 2)))
+        with pytest.raises(ValueError, match="mixed data types"):
+            IrrBatch(a100, [a32, a64], np.array([2, 2]), np.array([2, 2]))
+
+    def test_integer_dtype_rejected(self, a100):
+        arr = a100.from_host(np.ones((2, 2), dtype=np.int32))
+        with pytest.raises(ValueError, match="unsupported data type"):
+            IrrBatch(a100, [arr], np.array([2]), np.array([2]))
+
+
+class TestFp32Numerics:
+    def test_getrf_fp32(self, a100, rng):
+        mats = [rng.standard_normal((int(n), int(n))).astype(np.float32)
+                for n in rng.integers(1, 70, 10)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = irr_getrf(a100, b)
+        for i, orig in enumerate(mats):
+            rec = lu_reconstruct(b.matrix(i).astype(np.float64), piv[i])
+            err = np.abs(rec - orig).max() / max(1.0, np.abs(orig).max())
+            assert err < 1e-4   # single precision
+
+    def test_factors_stay_fp32(self, a100, rng):
+        b = IrrBatch.from_host(
+            a100, [rng.standard_normal((40, 40)).astype(np.float32)])
+        irr_getrf(a100, b)
+        assert b.matrix(0).dtype == np.float32
+
+    def test_gemm_fp32(self, a100, rng):
+        mats = [rng.standard_normal((8, 8)).astype(np.float32)
+                for _ in range(6)]
+        A = IrrBatch.from_host(a100, mats[:2])
+        B = IrrBatch.from_host(a100, mats[2:4])
+        C = IrrBatch.from_host(a100, mats[4:])
+        refs = [a @ b for a, b in zip(A.to_host(), B.to_host())]
+        irr_gemm(a100, "N", "N", 8, 8, 8, 1.0, A, (0, 0), B, (0, 0),
+                 0.0, C, (0, 0))
+        for got, want in zip(C.to_host(), refs):
+            np.testing.assert_allclose(got, want, rtol=1e-5)
+
+    def test_trsm_fp32(self, a100, rng):
+        t = (np.tril(rng.standard_normal((48, 48)).astype(np.float32))
+             + 48 * np.eye(48, dtype=np.float32))
+        bmat = rng.standard_normal((48, 4)).astype(np.float32)
+        T = IrrBatch.from_host(a100, [t])
+        B = IrrBatch.from_host(a100, [bmat.copy()])
+        irr_trsm(a100, "L", "L", "N", "N", 48, 4, 1.0, T, (0, 0), B, (0, 0))
+        res = np.abs(np.tril(t) @ B.to_host()[0] - bmat).max()
+        assert res < 1e-4
+
+
+class TestFp32Performance:
+    def test_fp32_faster_than_fp64_in_model(self, rng):
+        """FP32 doubles the arithmetic peak and halves the traffic, so the
+        modeled time must drop for a compute-heavy batch."""
+        mats64 = [rng.standard_normal((256, 256)) for _ in range(16)]
+        times = {}
+        for dtype in (np.float64, np.float32):
+            dev = Device(A100())
+            b = IrrBatch.from_host(dev, [m.astype(dtype) for m in mats64])
+            with dev.timed_region() as t:
+                irr_getrf(dev, b)
+            times[dtype] = t["elapsed"]
+        assert times[np.float32] < 0.8 * times[np.float64]
+
+    def test_fp32_panel_fits_taller(self):
+        """Half the bytes per element: the fused panel reaches 2x the
+        height before falling back (shared-memory capacity, §IV-E)."""
+        from repro.batched import panel_shared_bytes
+        spec = A100()
+        h64 = h32 = 0
+        while panel_shared_bytes(h64 + 1, 0, 32, 8) <= \
+                spec.max_shared_per_block:
+            h64 += 1
+        while panel_shared_bytes(h32 + 1, 0, 32, 4) <= \
+                spec.max_shared_per_block:
+            h32 += 1
+        assert h32 == 2 * h64

@@ -1,0 +1,178 @@
+"""Tests for irrGEMM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batched import IrrBatch, irr_gemm
+from repro.device import A100, Device
+
+
+def make_batch(dev, rng, shapes):
+    return IrrBatch.from_host(dev, [rng.standard_normal(s) for s in shapes])
+
+
+class TestBasicCorrectness:
+    def test_uniform_square(self, a100, rng):
+        shapes = [(8, 8)] * 4
+        A = make_batch(a100, rng, shapes)
+        B = make_batch(a100, rng, shapes)
+        C = make_batch(a100, rng, shapes)
+        refs = [a @ b + 0.5 * c
+                for a, b, c in zip(A.to_host(), B.to_host(), C.to_host())]
+        irr_gemm(a100, "N", "N", 8, 8, 8, 1.0, A, (0, 0), B, (0, 0),
+                 0.5, C, (0, 0))
+        for got, want in zip(C.to_host(), refs):
+            np.testing.assert_allclose(got, want, rtol=1e-13)
+
+    def test_irregular_sizes(self, a100, rng):
+        # C_i (m_i x n_i) = A_i (m_i x k_i) B_i (k_i x n_i), all different.
+        dims = [(3, 4, 5), (7, 2, 1), (1, 1, 1), (12, 9, 6)]
+        A = make_batch(a100, rng, [(m, k) for m, n, k in dims])
+        B = make_batch(a100, rng, [(k, n) for m, n, k in dims])
+        C = IrrBatch.zeros(a100, [m for m, n, k in dims],
+                           [n for m, n, k in dims])
+        refs = [a @ b for a, b in zip(A.to_host(), B.to_host())]
+        irr_gemm(a100, "N", "N", 12, 9, 6, 1.0, A, (0, 0), B, (0, 0),
+                 0.0, C, (0, 0))
+        for got, want in zip(C.to_host(), refs):
+            np.testing.assert_allclose(got, want, rtol=1e-13, atol=1e-13)
+
+    @pytest.mark.parametrize("transa,transb", [("N", "N"), ("T", "N"),
+                                               ("N", "T"), ("T", "T")])
+    def test_transposes(self, a100, rng, transa, transb):
+        m, n, k = 5, 6, 7
+        a_shape = (m, k) if transa == "N" else (k, m)
+        b_shape = (k, n) if transb == "N" else (n, k)
+        A = make_batch(a100, rng, [a_shape] * 3)
+        B = make_batch(a100, rng, [b_shape] * 3)
+        C = IrrBatch.zeros(a100, [m] * 3, [n] * 3)
+        refs = []
+        for a, b in zip(A.to_host(), B.to_host()):
+            opa = a if transa == "N" else a.T
+            opb = b if transb == "N" else b.T
+            refs.append(opa @ opb)
+        irr_gemm(a100, transa, transb, m, n, k, 1.0, A, (0, 0), B, (0, 0),
+                 0.0, C, (0, 0))
+        for got, want in zip(C.to_host(), refs):
+            np.testing.assert_allclose(got, want, rtol=1e-13)
+
+    def test_offsets_select_submatrices(self, a100, rng):
+        # C[1:3, 1:4] += A[0:2, 2:5] @ B[2:5, 0:3] on a single 6x6 matrix.
+        A = make_batch(a100, rng, [(6, 6)])
+        B = make_batch(a100, rng, [(6, 6)])
+        C = make_batch(a100, rng, [(6, 6)])
+        a, b, c = A.to_host()[0], B.to_host()[0], C.to_host()[0]
+        want = c.copy()
+        want[1:3, 1:4] = a[0:2, 2:5] @ b[2:5, 0:3] + want[1:3, 1:4]
+        irr_gemm(a100, "N", "N", 2, 3, 3, 1.0, A, (0, 2), B, (2, 0),
+                 1.0, C, (1, 1))
+        np.testing.assert_allclose(C.to_host()[0], want, rtol=1e-13)
+
+
+class TestDcwiBehaviour:
+    def test_exhausted_matrices_untouched(self, a100, rng):
+        # Second matrix has offset beyond its extent: must not change.
+        A = make_batch(a100, rng, [(8, 8), (2, 2)])
+        B = make_batch(a100, rng, [(8, 8), (2, 2)])
+        C = make_batch(a100, rng, [(8, 8), (2, 2)])
+        before = C.to_host()[1]
+        irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (4, 4), B, (4, 4),
+                 1.0, C, (4, 4))
+        np.testing.assert_array_equal(C.to_host()[1], before)
+
+    def test_partial_matrix_clipped(self, a100, rng):
+        # 6x6 matrix in a required 4x4x4 product at offset (3,3): only a
+        # 3x3 block with k=3 participates.
+        A = make_batch(a100, rng, [(6, 6)])
+        B = make_batch(a100, rng, [(6, 6)])
+        C = make_batch(a100, rng, [(6, 6)])
+        a, b, c = A.to_host()[0], B.to_host()[0], C.to_host()[0]
+        want = c.copy()
+        want[3:, 3:] += a[3:, 3:] @ b[3:, 3:]
+        irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (3, 3), B, (3, 3),
+                 1.0, C, (3, 3))
+        np.testing.assert_allclose(C.to_host()[0], want, rtol=1e-13)
+
+    def test_k_exhausted_still_scales_beta(self, a100, rng):
+        # A has no columns left at the offset: C *= beta must still apply.
+        A = make_batch(a100, rng, [(4, 2)])
+        B = make_batch(a100, rng, [(4, 4)])
+        C = make_batch(a100, rng, [(4, 4)])
+        before = C.to_host()[0]
+        irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (0, 2), B, (0, 0),
+                 0.5, C, (0, 0))
+        np.testing.assert_allclose(C.to_host()[0], 0.5 * before, rtol=1e-13)
+
+    def test_zero_required_dims_noop(self, a100, rng):
+        C = make_batch(a100, rng, [(4, 4)])
+        before = C.to_host()[0]
+        irr_gemm(a100, "N", "N", 0, 0, 0, 1.0, C, (0, 0), C, (0, 0),
+                 1.0, C, (0, 0))
+        np.testing.assert_array_equal(C.to_host()[0], before)
+
+
+class TestValidation:
+    def test_batch_size_mismatch(self, a100, rng):
+        A = make_batch(a100, rng, [(4, 4)])
+        B = make_batch(a100, rng, [(4, 4), (4, 4)])
+        with pytest.raises(ValueError, match="equal batch size"):
+            irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (0, 0), B, (0, 0),
+                     0.0, A, (0, 0))
+
+    def test_invalid_trans(self, a100, rng):
+        A = make_batch(a100, rng, [(4, 4)])
+        with pytest.raises(ValueError, match="trans"):
+            irr_gemm(a100, "Q", "N", 4, 4, 4, 1.0, A, (0, 0), A, (0, 0),
+                     0.0, A, (0, 0))
+
+    def test_negative_required_dims(self, a100, rng):
+        A = make_batch(a100, rng, [(4, 4)])
+        with pytest.raises(ValueError, match="nonnegative"):
+            irr_gemm(a100, "N", "N", -1, 4, 4, 1.0, A, (0, 0), A, (0, 0),
+                     0.0, A, (0, 0))
+
+
+class TestCostAccounting:
+    def test_single_launch_for_whole_batch(self, a100, rng):
+        A = make_batch(a100, rng, [(8, 8)] * 50)
+        n0 = a100.profiler.launch_count
+        irr_gemm(a100, "N", "N", 8, 8, 8, 1.0, A, (0, 0), A, (0, 0),
+                 0.0, A, (0, 0))
+        assert a100.profiler.launch_count == n0 + 1
+
+    def test_flops_accounted(self, a100, rng):
+        A = make_batch(a100, rng, [(8, 8)] * 3)
+        cost = irr_gemm(a100, "N", "N", 8, 8, 8, 1.0, A, (0, 0), A, (0, 0),
+                        0.0, A, (0, 0))
+        assert cost.flops == pytest.approx(3 * 2 * 8 ** 3)
+
+    def test_none_workloads_cost_nothing(self, a100, rng):
+        A = make_batch(a100, rng, [(2, 2)] * 3)
+        cost = irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (2, 2), A, (2, 2),
+                        1.0, A, (2, 2))
+        assert cost.flops == 0
+        assert cost.bytes_total == 0
+
+
+class TestGemmProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 10), st.integers(1, 10),
+                              st.integers(1, 10)), min_size=1, max_size=6),
+           st.integers(0, 2 ** 32 - 1))
+    def test_matches_numpy_for_random_irregular_batches(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        dev = Device(A100())
+        A = IrrBatch.from_host(dev, [rng.standard_normal((m, k))
+                                     for m, n, k in dims])
+        B = IrrBatch.from_host(dev, [rng.standard_normal((k, n))
+                                     for m, n, k in dims])
+        C = IrrBatch.zeros(dev, [m for m, n, k in dims],
+                           [n for m, n, k in dims])
+        m_req = max(m for m, n, k in dims)
+        n_req = max(n for m, n, k in dims)
+        k_req = max(k for m, n, k in dims)
+        irr_gemm(dev, "N", "N", m_req, n_req, k_req, 1.0, A, (0, 0),
+                 B, (0, 0), 0.0, C, (0, 0))
+        for a, b, got in zip(A.to_host(), B.to_host(), C.to_host()):
+            np.testing.assert_allclose(got, a @ b, rtol=1e-12, atol=1e-12)

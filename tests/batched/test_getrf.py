@@ -1,0 +1,213 @@
+"""Tests for the irrLU-GPU driver."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import lu_backward_error
+from repro.batched import IrrBatch, irr_getrf, lu_reconstruct, \
+    lu_solve_factored
+from repro.device import A100, MI100, Device
+
+
+def reconstruct_all(batch, pivots):
+    return [lu_reconstruct(batch.arrays[i].data[:batch.m_vec[i],
+                                                :batch.n_vec[i]],
+                           pivots.ipiv[i])
+            for i in range(len(batch))]
+
+
+class TestCorrectness:
+    def test_uniform_square_batch(self, a100, rng):
+        mats = [rng.standard_normal((48, 48)) for _ in range(6)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = irr_getrf(a100, b)
+        for rec, orig in zip(reconstruct_all(b, piv), mats):
+            np.testing.assert_allclose(rec, orig, rtol=1e-11, atol=1e-11)
+
+    def test_wildly_irregular_batch(self, a100, rng):
+        shapes = [(1, 1), (2, 2), (3, 17), (17, 3), (64, 64), (100, 41),
+                  (41, 100), (129, 129), (5, 5), (257, 31)]
+        mats = [rng.standard_normal(s) for s in shapes]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = irr_getrf(a100, b)
+        for rec, orig in zip(reconstruct_all(b, piv), mats):
+            assert np.abs(rec - orig).max() < 1e-11 * max(
+                1, np.abs(orig).max())
+
+    def test_matches_scipy_factors(self, a100, rng):
+        a = rng.standard_normal((40, 40))
+        b = IrrBatch.from_host(a100, [a.copy()])
+        piv = irr_getrf(a100, b, nb=8)
+        lu_ref, piv_ref = sla.lu_factor(a)
+        np.testing.assert_allclose(b.arrays[0].data, lu_ref, rtol=1e-10,
+                                   atol=1e-12)
+        np.testing.assert_array_equal(piv.ipiv[0], piv_ref)
+
+    def test_solve_from_factors(self, a100, rng):
+        a = rng.standard_normal((30, 30)) + 30 * np.eye(30)
+        x_true = rng.standard_normal(30)
+        rhs = a @ x_true
+        b = IrrBatch.from_host(a100, [a.copy()])
+        piv = irr_getrf(a100, b)
+        x = lu_solve_factored(b.arrays[0].data, piv.ipiv[0], rhs)
+        np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+    @pytest.mark.parametrize("nb", [1, 4, 32, 100])
+    def test_panel_width_invariance(self, a100, rng, nb):
+        mats = [rng.standard_normal((37, 37)), rng.standard_normal((9, 50))]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = irr_getrf(a100, b, nb=nb)
+        for rec, orig in zip(reconstruct_all(b, piv), mats):
+            np.testing.assert_allclose(rec, orig, rtol=1e-11, atol=1e-11)
+
+    @pytest.mark.parametrize("laswp", ["rehearsed", "looped"])
+    @pytest.mark.parametrize("panel", ["auto", "columnwise"])
+    def test_all_path_combinations(self, a100, rng, panel, laswp):
+        mats = [rng.standard_normal((m, m)) for m in (7, 33, 70)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = irr_getrf(a100, b, panel=panel, laswp_variant=laswp)
+        for rec, orig in zip(reconstruct_all(b, piv), mats):
+            np.testing.assert_allclose(rec, orig, rtol=1e-11, atol=1e-11)
+
+
+class TestEdgeCases:
+    def test_empty_batch(self, a100):
+        b = IrrBatch(a100, [], np.array([], dtype=np.int64),
+                     np.array([], dtype=np.int64))
+        piv = irr_getrf(a100, b)
+        assert len(piv) == 0
+
+    def test_batch_of_1x1(self, a100):
+        b = IrrBatch.from_host(a100, [np.array([[3.0]]),
+                                      np.array([[-2.0]])])
+        piv = irr_getrf(a100, b)
+        assert b.arrays[0].data[0, 0] == 3.0
+        assert piv.ipiv[0].tolist() == [0]
+
+    def test_zero_sized_matrices(self, a100):
+        b = IrrBatch.zeros(a100, [0, 4], [3, 0])
+        piv = irr_getrf(a100, b)
+        assert piv.ipiv[0].size == 0
+        assert piv.ipiv[1].size == 0
+
+    def test_singular_matrix_reports_info(self, a100):
+        a = np.ones((4, 4))  # rank 1
+        b = IrrBatch.from_host(a100, [a])
+        piv = irr_getrf(a100, b, nb=2)
+        assert piv.info[0] > 0
+
+    def test_singular_does_not_poison_others(self, a100, rng):
+        good = rng.standard_normal((20, 20))
+        b = IrrBatch.from_host(a100, [np.zeros((8, 8)), good.copy()])
+        piv = irr_getrf(a100, b)
+        assert piv.info[0] > 0
+        assert piv.info[1] == 0
+        rec = lu_reconstruct(b.arrays[1].data, piv.ipiv[1])
+        np.testing.assert_allclose(rec, good, rtol=1e-11, atol=1e-11)
+
+    def test_invalid_panel_mode(self, a100, rng):
+        b = IrrBatch.from_host(a100, [rng.standard_normal((4, 4))])
+        with pytest.raises(ValueError, match="panel mode"):
+            irr_getrf(a100, b, panel="magic")
+
+    def test_invalid_panel_width(self, a100, rng):
+        b = IrrBatch.from_host(a100, [rng.standard_normal((4, 4))])
+        with pytest.raises(ValueError, match="panel width"):
+            irr_getrf(a100, b, nb=0)
+
+
+class TestDeviceBehaviour:
+    def test_mi100_splits_panels_deeper_than_a100(self, rng):
+        """§IV-E/§V-A: the smaller LDS forces the fused-panel kernel onto
+        narrower sub-panels (deeper recursion) on the MI100, so it issues
+        more panel launches for the same matrix."""
+        mats = [rng.standard_normal((900, 900))]
+        counts = {}
+        for make in (A100, MI100):
+            dev = Device(make())
+            b = IrrBatch.from_host(dev, [mats[0].copy()])
+            irr_getrf(dev, b, nb=32)
+            dev.synchronize()
+            agg = dev.profiler.by_kernel()
+            counts[make().name] = sum(
+                s.count for name, s in agg.items()
+                if name.startswith(("irrgetf2", "irrpanel")))
+        assert counts["MI100"] > counts["A100-SXM4"]
+
+    def test_same_factors_on_both_devices(self, rng):
+        a = rng.standard_normal((150, 150))
+        outs = []
+        for make in (A100, MI100):
+            dev = Device(make())
+            b = IrrBatch.from_host(dev, [a.copy()])
+            piv = irr_getrf(dev, b)
+            outs.append((b.arrays[0].data.copy(), piv.ipiv[0].copy()))
+        np.testing.assert_array_equal(outs[0][0], outs[1][0])
+        np.testing.assert_array_equal(outs[0][1], outs[1][1])
+
+    def test_launch_count_independent_of_batch_size(self, rng):
+        """The whole point of batching: 10x the matrices, same launches."""
+        counts = []
+        for bs in (5, 50):
+            dev = Device(A100())
+            rng2 = np.random.default_rng(3)
+            mats = [rng2.standard_normal((64, 64)) for _ in range(bs)]
+            b = IrrBatch.from_host(dev, mats)
+            irr_getrf(dev, b)
+            counts.append(dev.profiler.launch_count)
+        assert counts[0] == counts[1]
+
+
+class TestBackwardError:
+    def test_backward_error_near_machine_precision(self, a100, rng):
+        mats = [rng.standard_normal((m, m)) for m in (10, 100, 300)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = irr_getrf(a100, b)
+        for i, orig in enumerate(mats):
+            err = lu_backward_error(orig, b.arrays[i].data, piv.ipiv[i])
+            assert err < 1e-13
+
+    def test_pivot_growth_bounded(self, a100, rng):
+        # With partial pivoting, |L| entries are <= 1.
+        mats = [rng.standard_normal((m, m)) for m in (17, 90)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        irr_getrf(a100, b)
+        for arr in b.arrays:
+            lower = np.tril(arr.data, -1)
+            assert np.abs(lower).max() <= 1.0 + 1e-12
+
+
+class TestGetrfProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 40), st.integers(1, 40)),
+                    min_size=1, max_size=8),
+           st.integers(0, 2 ** 32 - 1),
+           st.integers(1, 17))
+    def test_plu_reconstruction(self, shapes, seed, nb):
+        rng = np.random.default_rng(seed)
+        dev = Device(A100())
+        mats = [rng.standard_normal(s) for s in shapes]
+        b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+        piv = irr_getrf(dev, b, nb=nb)
+        for i, orig in enumerate(mats):
+            rec = lu_reconstruct(
+                b.arrays[i].data[:shapes[i][0], :shapes[i][1]], piv.ipiv[i])
+            assert np.abs(rec - orig).max() < 1e-10 * max(
+                1.0, np.abs(orig).max())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_pivot_vectors_are_valid_permutation_data(self, seed):
+        rng = np.random.default_rng(seed)
+        dev = Device(A100())
+        mats = [rng.standard_normal((int(m), int(m)))
+                for m in rng.integers(1, 60, 5)]
+        b = IrrBatch.from_host(dev, mats)
+        piv = irr_getrf(dev, b)
+        for i, ip in enumerate(piv.ipiv):
+            m = mats[i].shape[0]
+            # ipiv[r] >= r and < m: a legal LAPACK-style swap sequence.
+            assert np.all(ip >= np.arange(len(ip)))
+            assert np.all(ip < m)

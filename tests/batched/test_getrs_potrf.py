@@ -1,0 +1,138 @@
+"""Tests for irrGETRS (batched solve) and irrPOTRF (batched Cholesky)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batched import IrrBatch, NotPositiveDefiniteError, irr_getrf, \
+    irr_getrs, irr_potrf, potrf_flops
+from repro.device import A100, Device
+
+
+def spd(rng, n):
+    g = rng.standard_normal((n, n))
+    return g @ g.T + n * np.eye(n)
+
+
+class TestGetrs:
+    def test_solves_irregular_batch(self, a100, rng):
+        mats = [rng.standard_normal((n, n)) + n * np.eye(n)
+                for n in (1, 8, 30, 64)]
+        rhss = [rng.standard_normal((m.shape[0], k))
+                for m, k in zip(mats, (2, 1, 5, 3))]
+        fb = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        rb = IrrBatch.from_host(a100, [r.copy() for r in rhss])
+        piv = irr_getrf(a100, fb)
+        irr_getrs(a100, fb, piv, rb)
+        for a, x, r in zip(mats, rb.to_host(), rhss):
+            assert np.abs(a @ x - r).max() < 1e-10 * max(1, np.abs(r).max())
+
+    def test_matches_lu_solve_factored(self, a100, rng):
+        from repro.batched import lu_solve_factored
+        a = rng.standard_normal((40, 40))
+        r = rng.standard_normal((40, 2))
+        fb = IrrBatch.from_host(a100, [a.copy()])
+        rb = IrrBatch.from_host(a100, [r.copy()])
+        piv = irr_getrf(a100, fb)
+        irr_getrs(a100, fb, piv, rb)
+        ref = lu_solve_factored(fb.matrix(0), piv[0], r)
+        np.testing.assert_allclose(rb.to_host()[0], ref, rtol=1e-11)
+
+    def test_three_launch_phases_plus_trsm(self, a100, rng):
+        mats = [rng.standard_normal((32, 32)) for _ in range(10)]
+        fb = IrrBatch.from_host(a100, mats)
+        rb = IrrBatch.from_host(a100,
+                                [rng.standard_normal((32, 1))] * 10)
+        piv = irr_getrf(a100, fb)
+        n0 = a100.profiler.launch_count
+        irr_getrs(a100, fb, piv, rb)
+        # pivots + 1 lower-trsm base + 1 upper-trsm base
+        assert a100.profiler.launch_count - n0 == 3
+
+    def test_validation(self, a100, rng):
+        fb = IrrBatch.from_host(a100, [rng.standard_normal((4, 5))])
+        rb = IrrBatch.from_host(a100, [rng.standard_normal((4, 1))])
+        piv = None
+        with pytest.raises(ValueError, match="not square"):
+            from repro.batched import PanelPivots
+            irr_getrs(a100, fb, PanelPivots(fb), rb)
+
+    def test_rhs_row_mismatch(self, a100, rng):
+        from repro.batched import PanelPivots
+        fb = IrrBatch.from_host(a100, [rng.standard_normal((4, 4))])
+        rb = IrrBatch.from_host(a100, [rng.standard_normal((5, 1))])
+        with pytest.raises(ValueError, match="rows"):
+            irr_getrs(a100, fb, PanelPivots(fb), rb)
+
+    def test_trans_unsupported(self, a100, rng):
+        from repro.batched import PanelPivots
+        fb = IrrBatch.from_host(a100, [rng.standard_normal((4, 4))])
+        rb = IrrBatch.from_host(a100, [rng.standard_normal((4, 1))])
+        with pytest.raises(NotImplementedError):
+            irr_getrs(a100, fb, PanelPivots(fb), rb, trans="T")
+
+
+class TestPotrf:
+    def test_factors_irregular_batch(self, a100, rng):
+        mats = [spd(rng, n) for n in (1, 7, 33, 64, 129)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        irr_potrf(a100, b)
+        for i, a in enumerate(mats):
+            L = np.tril(b.matrix(i))
+            assert np.abs(L @ L.T - a).max() < 1e-11 * np.abs(a).max()
+
+    def test_matches_numpy_cholesky(self, a100, rng):
+        a = spd(rng, 50)
+        b = IrrBatch.from_host(a100, [a.copy()])
+        irr_potrf(a100, b, nb=8)
+        np.testing.assert_allclose(np.tril(b.matrix(0)),
+                                   np.linalg.cholesky(a), rtol=1e-10)
+
+    def test_upper_triangle_untouched(self, a100, rng):
+        a = spd(rng, 20)
+        b = IrrBatch.from_host(a100, [a.copy()])
+        irr_potrf(a100, b, nb=32)  # single panel: no trailing update
+        np.testing.assert_array_equal(np.triu(b.matrix(0), 1),
+                                      np.triu(a, 1))
+
+    def test_not_spd_raises(self, a100, rng):
+        a = -np.eye(4)
+        b = IrrBatch.from_host(a100, [a])
+        with pytest.raises(NotPositiveDefiniteError, match="minor 1"):
+            irr_potrf(a100, b)
+
+    def test_rectangular_rejected(self, a100, rng):
+        b = IrrBatch.from_host(a100, [rng.standard_normal((3, 5))])
+        with pytest.raises(ValueError, match="not square"):
+            irr_potrf(a100, b)
+
+    def test_invalid_panel(self, a100, rng):
+        b = IrrBatch.from_host(a100, [spd(rng, 4)])
+        with pytest.raises(ValueError, match="panel width"):
+            irr_potrf(a100, b, nb=0)
+
+    def test_flop_formula(self):
+        assert potrf_flops(1) == pytest.approx(1.0)
+        n = 300.0
+        assert potrf_flops(n) == pytest.approx(n ** 3 / 3, rel=1e-2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=5),
+           st.integers(0, 2 ** 31 - 1), st.integers(1, 24))
+    def test_property_cholesky(self, sizes, seed, nb):
+        rng = np.random.default_rng(seed)
+        dev = Device(A100())
+        mats = [spd(rng, n) for n in sizes]
+        b = IrrBatch.from_host(dev, [m.copy() for m in mats])
+        irr_potrf(dev, b, nb=nb)
+        for i, a in enumerate(mats):
+            L = np.tril(b.matrix(i))
+            assert np.abs(L @ L.T - a).max() < 1e-10 * np.abs(a).max()
+
+
+class TestComplexGuards:
+    def test_potrf_rejects_complex(self, a100, rng):
+        a = np.eye(4, dtype=np.complex128)
+        b = IrrBatch.from_host(a100, [a])
+        with pytest.raises(NotImplementedError, match="Hermitian"):
+            irr_potrf(a100, b)

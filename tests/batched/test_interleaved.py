@@ -1,0 +1,94 @@
+"""Tests for the interleaved-layout uniform small-batch kernels (§II)."""
+
+import numpy as np
+import pytest
+
+from repro.batched import INTERLEAVED_MAX_N, IrrBatch, deinterleave, \
+    interleave, interleaved_getrf, irr_getrf, lu_reconstruct
+from repro.device import A100, Device
+
+
+class TestLayout:
+    def test_roundtrip(self, rng):
+        mats = [rng.standard_normal((5, 7)) for _ in range(9)]
+        out = deinterleave(interleave(mats))
+        for a, b in zip(mats, out):
+            np.testing.assert_array_equal(a, b)
+
+    def test_batch_axis_contiguous(self, rng):
+        packed = interleave([rng.standard_normal((4, 4))] * 3)
+        assert packed.strides[-1] == packed.itemsize
+
+    def test_unequal_shapes_rejected(self, rng):
+        with pytest.raises(ValueError, match="equal shapes"):
+            interleave([rng.standard_normal((3, 3)),
+                        rng.standard_normal((4, 4))])
+
+    def test_empty(self):
+        assert interleave([]).size == 0
+
+
+class TestInterleavedGetrf:
+    def test_matches_reference(self, a100, rng):
+        mats = [rng.standard_normal((12, 12)) for _ in range(40)]
+        d = a100.from_host(interleave([m.copy() for m in mats]))
+        ipiv = interleaved_getrf(a100, d)
+        out = deinterleave(d.data)
+        for b, a in enumerate(mats):
+            rec = lu_reconstruct(out[b], ipiv[:, b])
+            assert np.abs(rec - a).max() < 1e-12 * max(1, np.abs(a).max())
+
+    def test_matches_irr_factors_exactly(self, rng):
+        # same pivoting rule => bitwise-identical factors
+        mats = [np.random.default_rng(b).standard_normal((8, 8))
+                for b in range(10)]
+        dev1, dev2 = Device(A100()), Device(A100())
+        d = dev1.from_host(interleave([m.copy() for m in mats]))
+        ipiv = interleaved_getrf(dev1, d)
+        b2 = IrrBatch.from_host(dev2, [m.copy() for m in mats])
+        piv2 = irr_getrf(dev2, b2)
+        for b in range(10):
+            np.testing.assert_array_equal(deinterleave(d.data)[b],
+                                          b2.matrix(b))
+            np.testing.assert_array_equal(ipiv[:, b], piv2[b])
+
+    def test_rectangular(self, a100, rng):
+        mats = [rng.standard_normal((10, 6)) for _ in range(7)]
+        d = a100.from_host(interleave([m.copy() for m in mats]))
+        ipiv = interleaved_getrf(a100, d)
+        for b, a in enumerate(mats):
+            rec = lu_reconstruct(deinterleave(d.data)[b], ipiv[:, b])
+            assert np.abs(rec - a).max() < 1e-12
+
+    def test_single_launch(self, a100, rng):
+        d = a100.from_host(interleave(
+            [rng.standard_normal((8, 8)) for _ in range(100)]))
+        n0 = a100.profiler.launch_count
+        interleaved_getrf(a100, d)
+        assert a100.profiler.launch_count == n0 + 1
+
+    def test_size_limit_enforced(self, a100, rng):
+        d = a100.from_host(interleave(
+            [rng.standard_normal((INTERLEAVED_MAX_N + 1,
+                                  INTERLEAVED_MAX_N + 1))]))
+        with pytest.raises(ValueError, match="use irr_getrf"):
+            interleaved_getrf(a100, d)
+
+    def test_wrong_rank_rejected(self, a100, rng):
+        d = a100.from_host(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError, match="interleaved"):
+            interleaved_getrf(a100, d)
+
+    def test_zero_pivot_skipped(self, a100):
+        # a singular matrix in the batch must not break the others
+        good = np.random.default_rng(0).standard_normal((4, 4))
+        bad = np.zeros((4, 4))
+        d = a100.from_host(interleave([bad, good.copy()]))
+        ipiv = interleaved_getrf(a100, d)
+        rec = lu_reconstruct(deinterleave(d.data)[1], ipiv[:, 1])
+        assert np.abs(rec - good).max() < 1e-13
+
+    def test_empty_batch(self, a100):
+        d = a100.from_host(np.empty((4, 4, 0)))
+        ipiv = interleaved_getrf(a100, d)
+        assert ipiv.shape == (4, 0)

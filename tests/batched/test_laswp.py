@@ -1,0 +1,143 @@
+"""Tests for irrLASWP: looped vs rehearsed row interchanges."""
+
+import numpy as np
+import pytest
+
+from repro.batched import IrrBatch, PanelPivots, fused_getf2, irr_laswp, \
+    looped_laswp, rehearsed_laswp
+from repro.device import A100, Device
+
+
+def apply_reference_swaps(a, ipiv, j, ib, cols):
+    out = a.copy()
+    k = len(ipiv)
+    for r in range(j, min(j + ib, k)):
+        p = int(ipiv[r])
+        if p != r:
+            out[[r, p], cols] = out[[p, r], cols]
+    return out
+
+
+def make_pivoted_batch(dev, rng, shapes, j, ib):
+    """A batch with a factored panel at (j, j) so pivots are realistic."""
+    mats = [rng.standard_normal(s) for s in shapes]
+    b = IrrBatch.from_host(dev, mats)
+    piv = PanelPivots(b)
+    fused_getf2(dev, b, piv, j, ib)
+    return b, piv
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("part", ["left", "right"])
+    def test_looped_equals_rehearsed(self, rng, part):
+        shapes = [(20, 20), (9, 9), (33, 40), (40, 12)]
+        j, ib = 4, 4
+        dev_a, dev_b = Device(A100()), Device(A100())
+        rng2 = np.random.default_rng(7)
+        ba, piv_a = make_pivoted_batch(dev_a, rng2, shapes, j, ib)
+        rng2 = np.random.default_rng(7)
+        bb, piv_b = make_pivoted_batch(dev_b, rng2, shapes, j, ib)
+        looped_laswp(dev_a, ba, piv_a, j, ib, part)
+        rehearsed_laswp(dev_b, bb, piv_b, j, ib, part)
+        for i in range(len(shapes)):
+            np.testing.assert_array_equal(ba.arrays[i].data,
+                                          bb.arrays[i].data)
+
+    @pytest.mark.parametrize("variant", ["looped", "rehearsed"])
+    def test_matches_reference_swaps(self, a100, rng, variant):
+        shapes = [(24, 24), (10, 30)]
+        j, ib = 8, 8
+        b, piv = make_pivoted_batch(a100, rng, shapes, j, ib)
+        snapshots = [a.data.copy() for a in b.arrays]
+        irr_laswp(a100, b, piv, j, ib, "right", variant=variant)
+        for i, (snap, arr) in enumerate(zip(snapshots, b.arrays)):
+            n = b.n_vec[i]
+            cols = slice(min(j + ib, n), n)
+            want = apply_reference_swaps(snap, piv.ipiv[i], j, ib, cols)
+            np.testing.assert_array_equal(arr.data, want)
+
+    def test_left_part_only_touches_left_columns(self, a100, rng):
+        b, piv = make_pivoted_batch(a100, rng, [(16, 16)], 4, 4)
+        snap = b.arrays[0].data.copy()
+        irr_laswp(a100, b, piv, 4, 4, "left", variant="rehearsed")
+        # columns >= j untouched by the left swap
+        np.testing.assert_array_equal(b.arrays[0].data[:, 4:], snap[:, 4:])
+
+
+class TestDcwiWidths:
+    def test_narrow_matrix_right_part_empty(self, a100, rng):
+        # A matrix whose columns end inside the panel has w_r = 0.
+        shapes = [(30, 30), (30, 8)]
+        j, ib = 4, 8
+        b, piv = make_pivoted_batch(a100, rng, shapes, j, ib)
+        before = b.arrays[1].data.copy()
+        irr_laswp(a100, b, piv, j, ib, "right", variant="rehearsed")
+        np.testing.assert_array_equal(b.arrays[1].data, before)
+
+    def test_finished_matrix_skipped(self, a100, rng):
+        shapes = [(30, 30), (3, 3)]
+        j, ib = 8, 8
+        b, piv = make_pivoted_batch(a100, rng, shapes, j, ib)
+        before = b.arrays[1].data.copy()
+        for part in ("left", "right"):
+            irr_laswp(a100, b, piv, j, ib, part, variant="looped")
+            irr_laswp(a100, b, piv, j, ib, part, variant="rehearsed")
+        np.testing.assert_array_equal(b.arrays[1].data, before)
+
+    def test_invalid_variant(self, a100, rng):
+        b, piv = make_pivoted_batch(a100, rng, [(8, 8)], 0, 4)
+        with pytest.raises(ValueError, match="variant"):
+            irr_laswp(a100, b, piv, 0, 4, "right", variant="bogus")
+
+    def test_invalid_part(self, a100, rng):
+        b, piv = make_pivoted_batch(a100, rng, [(8, 8)], 0, 4)
+        with pytest.raises(ValueError, match="part"):
+            looped_laswp(a100, b, piv, 0, 4, "middle")
+
+
+class TestCostModel:
+    def test_looped_launches_per_pivot_row(self, a100, rng):
+        b, piv = make_pivoted_batch(a100, rng, [(64, 64)], 0, 16)
+        n0 = a100.profiler.launch_count
+        looped_laswp(a100, b, piv, 0, 16, "right")
+        assert a100.profiler.launch_count - n0 == 16
+
+    def test_rehearsed_always_three_launches(self, a100, rng):
+        b, piv = make_pivoted_batch(a100, rng, [(64, 64)], 0, 16)
+        n0 = a100.profiler.launch_count
+        rehearsed_laswp(a100, b, piv, 0, 16, "right")
+        assert a100.profiler.launch_count - n0 == 3
+
+    def test_looped_free_when_pivots_on_diagonal(self, rng):
+        # The §IV-F corner case: diagonally dominant matrices pivot on the
+        # diagonal, so the looped variant moves zero bytes...
+        dev = Device(A100())
+        a = rng.standard_normal((32, 32)) + 1e3 * np.eye(32)
+        b = IrrBatch.from_host(dev, [a])
+        piv = PanelPivots(b)
+        fused_getf2(dev, b, piv, 0, 8)
+        assert np.all(piv.ipiv[0][:8] == np.arange(8))
+        dev.synchronize()  # flush earlier records
+        n0 = len(dev.profiler.records)
+        looped_laswp(dev, b, piv, 0, 8, "right")
+        dev.synchronize()
+        cost_loop = sum(r.cost.bytes_total
+                        for r in dev.profiler.records[n0:])
+        assert cost_loop == 0.0
+
+    def test_rehearsed_cost_pattern_independent(self, rng):
+        # ... while the rehearsed variant pays the same traffic whether or
+        # not any row actually moved.
+        dev = Device(A100())
+        a = rng.standard_normal((32, 32)) + 1e3 * np.eye(32)
+        b = IrrBatch.from_host(dev, [a])
+        piv = PanelPivots(b)
+        fused_getf2(dev, b, piv, 0, 8)
+        dev.synchronize()
+        n0 = len(dev.profiler.records)
+        rehearsed_laswp(dev, b, piv, 0, 8, "right")
+        dev.synchronize()
+        gather_bytes = sum(r.cost.bytes_total
+                           for r in dev.profiler.records[n0:]
+                           if r.name.endswith("gather"))
+        assert gather_bytes > 0

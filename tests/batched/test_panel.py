@@ -1,0 +1,151 @@
+"""Tests for the panel factorization paths (irrGETF2 vs column-wise)."""
+
+import numpy as np
+import pytest
+
+from repro.batched import IrrBatch, PanelPivots, columnwise_getf2, \
+    fused_getf2, panel_shared_bytes
+from repro.batched.getrf import lu_reconstruct
+from repro.device import A100, MI100, Device
+
+
+def factor_fully(dev, batch, pivots, path, nb=8):
+    """Run only the panel kernels over the whole width (no trsm/gemm) —
+    valid when every matrix has at most nb columns."""
+    kmax = batch.max_min_mn
+    for j in range(0, kmax, nb):
+        ib = min(nb, kmax - j)
+        path(dev, batch, pivots, j, ib)
+
+
+class TestFusedPanel:
+    def test_single_panel_factors_narrow_matrices(self, a100, rng):
+        mats = [rng.standard_normal((m, 6)) for m in (6, 10, 32)]
+        b = IrrBatch.from_host(a100, mats)
+        piv = PanelPivots(b)
+        fused_getf2(a100, b, piv, 0, 8)
+        for orig, arr, ip in zip(mats, b.arrays, piv.ipiv):
+            rec = lu_reconstruct(arr.data[:orig.shape[0], :6], ip)
+            np.testing.assert_allclose(rec, orig, rtol=1e-12, atol=1e-12)
+
+    def test_partial_pivoting_selects_max_magnitude(self, a100):
+        a = np.array([[1.0, 2.0], [4.0, 3.0]])
+        b = IrrBatch.from_host(a100, [a])
+        piv = PanelPivots(b)
+        fused_getf2(a100, b, piv, 0, 2)
+        assert piv.ipiv[0][0] == 1  # row 1 had the larger leading entry
+
+    def test_wide_matrix_updates_extra_u_columns(self, a100, rng):
+        # m < n and the last pivot column inside this panel: the panel
+        # must also produce the U columns past min(m, n).
+        a = rng.standard_normal((4, 10))
+        b = IrrBatch.from_host(a100, [a])
+        piv = PanelPivots(b)
+        fused_getf2(a100, b, piv, 0, 16)
+        rec = lu_reconstruct(b.arrays[0].data, piv.ipiv[0])
+        np.testing.assert_allclose(rec, a, rtol=1e-12, atol=1e-12)
+
+    def test_zero_pivot_sets_info(self, a100):
+        a = np.zeros((3, 3))
+        a[0, 0] = 1.0  # column 1 (0-based) is exactly zero below and on diag
+        b = IrrBatch.from_host(a100, [a])
+        piv = PanelPivots(b)
+        fused_getf2(a100, b, piv, 0, 3)
+        assert piv.info[0] == 2  # first zero pivot at column 2 (1-based)
+
+    def test_exhausted_matrices_skipped(self, a100, rng):
+        mats = [rng.standard_normal((8, 8)), rng.standard_normal((2, 2))]
+        b = IrrBatch.from_host(a100, mats)
+        piv = PanelPivots(b)
+        before = b.to_host()[1]
+        fused_getf2(a100, b, piv, 4, 4)  # j=4 past the 2x2 matrix
+        np.testing.assert_array_equal(b.to_host()[1], before)
+
+    def test_refuses_oversized_panel(self, mi100, rng):
+        # MI100's 64 KB LDS: a 16-wide panel of height 1024 is 128 KB.
+        mats = [rng.standard_normal((1024, 16))]
+        b = IrrBatch.from_host(mi100, mats)
+        piv = PanelPivots(b)
+        with pytest.raises(ValueError, match="shared memory"):
+            fused_getf2(mi100, b, piv, 0, 16)
+
+    def test_same_panel_fits_on_a100(self, a100, rng):
+        mats = [rng.standard_normal((1024, 16))]
+        b = IrrBatch.from_host(a100, mats)
+        piv = PanelPivots(b)
+        fused_getf2(a100, b, piv, 0, 16)  # 128 KB < 163 KB limit
+        rec = lu_reconstruct(b.arrays[0].data, piv.ipiv[0])
+        np.testing.assert_allclose(rec, mats[0], rtol=1e-11, atol=1e-11)
+
+
+class TestColumnwisePanel:
+    def test_matches_fused_numerics(self, rng):
+        mats = [rng.standard_normal((m, 8)) for m in (8, 20, 5)]
+        dev_a, dev_b = Device(A100()), Device(A100())
+        ba = IrrBatch.from_host(dev_a, [m.copy() for m in mats])
+        bb = IrrBatch.from_host(dev_b, [m.copy() for m in mats])
+        pa, pb = PanelPivots(ba), PanelPivots(bb)
+        factor_fully(dev_a, ba, pa, fused_getf2)
+        factor_fully(dev_b, bb, pb, columnwise_getf2)
+        for i in range(len(mats)):
+            np.testing.assert_array_equal(ba.arrays[i].data,
+                                          bb.arrays[i].data)
+            np.testing.assert_array_equal(pa.ipiv[i], pb.ipiv[i])
+
+    def test_zero_pivot_info_matches_fused(self, rng):
+        a = np.zeros((4, 4))
+        a[0, 0] = 2.0
+        for path in (fused_getf2, columnwise_getf2):
+            dev = Device(A100())
+            b = IrrBatch.from_host(dev, [a])
+            piv = PanelPivots(b)
+            path(dev, b, piv, 0, 4)
+            assert piv.info[0] == 2
+
+    def test_launch_count_is_four_per_column(self, a100, rng):
+        b = IrrBatch.from_host(a100, [rng.standard_normal((16, 8))])
+        piv = PanelPivots(b)
+        n0 = a100.profiler.launch_count
+        columnwise_getf2(a100, b, piv, 0, 8)
+        assert a100.profiler.launch_count - n0 == 4 * 8
+
+    def test_no_shared_memory_requirement(self, mi100, rng):
+        # The fallback path must run where the fused kernel cannot.
+        mats = [rng.standard_normal((1024, 16))]
+        b = IrrBatch.from_host(mi100, mats)
+        piv = PanelPivots(b)
+        columnwise_getf2(mi100, b, piv, 0, 16)
+        rec = lu_reconstruct(b.arrays[0].data, piv.ipiv[0])
+        np.testing.assert_allclose(rec, mats[0], rtol=1e-11, atol=1e-11)
+
+
+class TestSharedBytesEstimate:
+    def test_paper_formula(self):
+        # ib x (M_max - j) doubles.
+        assert panel_shared_bytes(100, 20, 16) == 80 * 16 * 8
+
+    def test_never_negative(self):
+        assert panel_shared_bytes(10, 50, 16) == 0
+
+    def test_switch_point_differs_by_device(self):
+        # The §IV-E observation: the MI100 must switch to the column-wise
+        # path at a much smaller panel height than the A100.
+        a100, mi100 = A100(), MI100()
+        ib = 32
+
+        def max_height(spec):
+            h = 0
+            while panel_shared_bytes(h + 1, 0, ib) <= spec.max_shared_per_block:
+                h += 1
+            return h
+
+        assert max_height(a100) > 2 * max_height(mi100)
+
+
+class TestPanelPivots:
+    def test_initialized_to_identity(self, a100):
+        b = IrrBatch.zeros(a100, [4, 2], [3, 5])
+        piv = PanelPivots(b)
+        assert piv.ipiv[0].tolist() == [0, 1, 2]
+        assert piv.ipiv[1].tolist() == [0, 1]
+        assert piv.info.tolist() == [0, 0]

@@ -1,0 +1,67 @@
+"""Tests for the cuSOLVER-in-streams baseline."""
+
+import numpy as np
+import pytest
+
+from repro.batched import IrrBatch, irr_getrf, lu_reconstruct, streamed_getrf
+from repro.device import A100, Device
+
+
+class TestStreamedGetrf:
+    def test_factors_correct(self, a100, rng):
+        mats = [rng.standard_normal((int(n), int(n)))
+                for n in rng.integers(1, 80, 12)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = streamed_getrf(a100, b, n_streams=4)
+        for i, orig in enumerate(mats):
+            rec = lu_reconstruct(b.matrix(i), piv[i])
+            np.testing.assert_allclose(rec, orig, rtol=1e-10, atol=1e-10)
+
+    def test_zero_sized_matrix_skipped(self, a100):
+        b = IrrBatch.zeros(a100, [0, 4], [4, 4])
+        piv = streamed_getrf(a100, b)
+        assert piv[0].size == 0
+        assert piv[1].size == 4
+
+    def test_needs_at_least_one_stream(self, a100, rng):
+        b = IrrBatch.from_host(a100, [rng.standard_normal((4, 4))])
+        with pytest.raises(ValueError, match="at least one stream"):
+            streamed_getrf(a100, b, n_streams=0)
+
+    def test_round_robin_uses_n_streams(self, a100, rng):
+        mats = [rng.standard_normal((16, 16)) for _ in range(8)]
+        b = IrrBatch.from_host(a100, mats)
+        streamed_getrf(a100, b, n_streams=4)
+        a100.synchronize()
+        used = {r.stream for r in a100.profiler.records}
+        assert used == {1, 2, 3, 4}
+
+    def test_launch_count_scales_with_batch(self, rng):
+        counts = []
+        for bs in (4, 16):
+            dev = Device(A100())
+            mats = [np.eye(32) for _ in range(bs)]
+            b = IrrBatch.from_host(dev, mats)
+            streamed_getrf(dev, b)
+            counts.append(dev.profiler.launch_count)
+        assert counts[1] == 4 * counts[0]
+
+
+class TestPaperEffect:
+    def test_streamed_much_slower_than_irrlu_for_small_sizes(self, rng):
+        """The Fig 10 effect: for many small irregular matrices, the
+        streamed per-matrix solver loses big to the batched one."""
+        sizes = rng.integers(1, 65, 200)
+        mats = [rng.standard_normal((int(n), int(n))) for n in sizes]
+
+        dev_irr = Device(A100())
+        b = IrrBatch.from_host(dev_irr, [m.copy() for m in mats])
+        with dev_irr.timed_region() as t_irr:
+            irr_getrf(dev_irr, b)
+
+        dev_str = Device(A100())
+        b2 = IrrBatch.from_host(dev_str, [m.copy() for m in mats])
+        with dev_str.timed_region() as t_str:
+            streamed_getrf(dev_str, b2, n_streams=16)
+
+        assert t_str["elapsed"] > 3 * t_irr["elapsed"]

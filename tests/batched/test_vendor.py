@@ -1,0 +1,96 @@
+"""Tests for the vendor-library execution models."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.batched import lu_reconstruct, vendor_gemm, vendor_getrf, \
+    vendor_trsm
+
+
+class TestVendorGemm:
+    def test_basic(self, a100, rng):
+        a = rng.standard_normal((5, 7))
+        b = rng.standard_normal((7, 4))
+        c = np.zeros((5, 4))
+        vendor_gemm(a100, "N", "N", 1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-13)
+
+    def test_trans_and_beta(self, a100, rng):
+        a = rng.standard_normal((7, 5))
+        b = rng.standard_normal((4, 7))
+        c = rng.standard_normal((5, 4))
+        want = 2.0 * a.T @ b.T + 0.5 * c
+        vendor_gemm(a100, "T", "T", 2.0, a, b, 0.5, c)
+        np.testing.assert_allclose(c, want, rtol=1e-13)
+
+    def test_shape_mismatch(self, a100, rng):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            vendor_gemm(a100, "N", "N", 1.0, np.zeros((2, 3)),
+                        np.zeros((4, 5)), 0.0, np.zeros((2, 5)))
+
+    def test_vendor_class_and_single_launch(self, a100, rng):
+        a = rng.standard_normal((64, 64))
+        c = np.zeros((64, 64))
+        n0 = a100.profiler.launch_count
+        cost = vendor_gemm(a100, "N", "N", 1.0, a, a, 0.0, c)
+        assert a100.profiler.launch_count == n0 + 1
+        assert cost.kernel_class == "gemm_vendor"
+        assert cost.flops == pytest.approx(2 * 64 ** 3)
+
+
+class TestVendorTrsm:
+    def test_left_lower(self, a100, rng):
+        t = np.tril(rng.standard_normal((8, 8))) + 8 * np.eye(8)
+        b = rng.standard_normal((8, 3))
+        x = b.copy()
+        vendor_trsm(a100, "L", "L", "N", "N", 1.0, t, x)
+        np.testing.assert_allclose(np.tril(t) @ x, b, rtol=1e-12)
+
+    def test_right_upper(self, a100, rng):
+        t = np.triu(rng.standard_normal((5, 5))) + 5 * np.eye(5)
+        b = rng.standard_normal((3, 5))
+        x = b.copy()
+        vendor_trsm(a100, "R", "U", "N", "N", 1.0, t, x)
+        np.testing.assert_allclose(x @ np.triu(t), b, rtol=1e-12)
+
+    def test_unit_diag(self, a100, rng):
+        t = np.tril(rng.standard_normal((6, 6)), -1) + np.eye(6)
+        b = rng.standard_normal((6, 2))
+        x = b.copy()
+        vendor_trsm(a100, "L", "L", "N", "U", 1.0, t + 99 * np.eye(6), x)
+        # the stored diagonal must be ignored
+        np.testing.assert_allclose(t @ x, b, rtol=1e-12)
+
+
+class TestVendorGetrf:
+    def test_matches_scipy(self, a100, rng):
+        a = rng.standard_normal((90, 90))
+        work = a.copy()
+        ipiv = vendor_getrf(a100, work)
+        lu_ref, piv_ref = sla.lu_factor(a)
+        np.testing.assert_allclose(work, lu_ref, rtol=1e-10, atol=1e-12)
+        np.testing.assert_array_equal(ipiv, piv_ref)
+
+    def test_rectangular(self, a100, rng):
+        for shape in [(90, 30), (30, 90)]:
+            a = rng.standard_normal(shape)
+            work = a.copy()
+            ipiv = vendor_getrf(a100, work)
+            rec = lu_reconstruct(work, ipiv)
+            np.testing.assert_allclose(rec, a, rtol=1e-11, atol=1e-11)
+
+    def test_launch_sequence_per_panel(self, a100, rng):
+        a = rng.standard_normal((256, 256))
+        n0 = a100.profiler.launch_count
+        vendor_getrf(a100, a)
+        launches = a100.profiler.launch_count - n0
+        # 4 panels of 64: 4 panel + 4 swap + 3 trsm + 3 gemm (nothing to
+        # the right of or below the last panel).
+        assert launches == 14
+
+    def test_small_matrix_few_launches(self, a100, rng):
+        a = rng.standard_normal((10, 10))
+        n0 = a100.profiler.launch_count
+        vendor_getrf(a100, a)
+        assert a100.profiler.launch_count - n0 == 2  # panel + swap only

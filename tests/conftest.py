@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.device import A100, MI100, Device
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def a100():
+    return Device(A100())
+
+
+@pytest.fixture
+def mi100():
+    return Device(MI100())

@@ -1,0 +1,104 @@
+"""Tests for kernel cost descriptors and the roofline timing model."""
+
+import pytest
+
+from repro.device import A100, MI100, KernelCost, gemm_compute_ramp, \
+    intrinsic_duration, sm_demand
+
+
+class TestSmDemand:
+    def test_single_block_uses_one_sm(self):
+        assert sm_demand(KernelCost(blocks=1), A100()) == 1
+
+    def test_many_blocks_capped_at_device(self):
+        spec = A100()
+        cost = KernelCost(blocks=100000)
+        assert sm_demand(cost, spec) == spec.n_sm
+
+    def test_shared_memory_reduces_occupancy_raises_demand(self):
+        spec = A100()
+        light = KernelCost(blocks=64, shared_mem_per_block=0)
+        heavy = KernelCost(blocks=64,
+                           shared_mem_per_block=spec.shared_mem_per_sm // 2)
+        assert sm_demand(heavy, spec) > sm_demand(light, spec)
+
+    def test_demand_at_least_one(self):
+        assert sm_demand(KernelCost(blocks=0), A100()) == 1
+
+
+class TestIntrinsicDuration:
+    def test_includes_device_launch_overhead(self):
+        spec = A100()
+        t = intrinsic_duration(KernelCost(), spec)
+        assert t >= spec.launch_overhead_device
+
+    def test_compute_bound_scaling(self):
+        spec = A100()
+        t1 = intrinsic_duration(
+            KernelCost(flops=1e9, blocks=10000, kernel_class="gemm_irr"), spec)
+        t2 = intrinsic_duration(
+            KernelCost(flops=2e9, blocks=10000, kernel_class="gemm_irr"), spec)
+        overhead = spec.launch_overhead_device
+        assert (t2 - overhead) == pytest.approx(2 * (t1 - overhead), rel=1e-9)
+
+    def test_memory_bound_kernel_uses_bandwidth(self):
+        spec = A100()
+        nbytes = 1e9
+        t = intrinsic_duration(
+            KernelCost(bytes_read=nbytes, blocks=10000, kernel_class="swap"),
+            spec)
+        floor = nbytes / spec.mem_bandwidth
+        assert t > floor  # efficiency < 1 means slower than raw peak
+
+    def test_single_block_kernel_much_slower_than_wide_kernel(self):
+        # The streamed-cuSOLVER effect: a one-matrix kernel occupies one
+        # SM and runs at ~1/108th of device throughput.
+        spec = A100()
+        flops = 1e8
+        narrow = intrinsic_duration(KernelCost(flops=flops, blocks=1), spec)
+        wide = intrinsic_duration(KernelCost(flops=flops, blocks=1000), spec)
+        assert narrow > 20 * wide
+
+    def test_lower_efficiency_class_is_slower(self):
+        spec = A100()
+        base = dict(flops=1e9, blocks=1000)
+        fast = intrinsic_duration(
+            KernelCost(kernel_class="gemm_vendor", **base), spec)
+        slow = intrinsic_duration(
+            KernelCost(kernel_class="gemm_irr", **base), spec)
+        assert slow > fast
+
+    def test_compute_ramp_slows_small_kernels(self):
+        spec = MI100()
+        base = dict(flops=1e9, blocks=1000, kernel_class="gemm_irr")
+        full = intrinsic_duration(KernelCost(compute_ramp=1.0, **base), spec)
+        small = intrinsic_duration(KernelCost(compute_ramp=0.2, **base), spec)
+        assert small > full
+
+
+class TestGemmComputeRamp:
+    def test_ramp_monotone(self):
+        vals = [gemm_compute_ramp(s, s, s) for s in (1, 8, 64, 512)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_ramp_bounded(self):
+        assert 0 < gemm_compute_ramp(1, 1, 1) < 1
+        assert gemm_compute_ramp(1e9, 1e9, 1e9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_ramp_uses_smallest_dimension(self):
+        assert gemm_compute_ramp(1000, 1000, 4) == gemm_compute_ramp(4, 4, 4)
+
+
+class TestKernelCostMerge:
+    def test_merged_adds_work(self):
+        a = KernelCost(flops=10, bytes_read=5, blocks=3)
+        b = KernelCost(flops=20, bytes_written=7, blocks=9)
+        m = a.merged(b)
+        assert m.flops == 30
+        assert m.bytes_total == 12
+        assert m.blocks == 9
+
+    def test_merged_keeps_worst_ramp(self):
+        a = KernelCost(compute_ramp=0.9)
+        b = KernelCost(compute_ramp=0.3)
+        assert a.merged(b).compute_ramp == 0.3

@@ -1,0 +1,101 @@
+"""Additional coverage: device memory semantics and profiler accounting."""
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device, DeviceOutOfMemory, KernelCost
+from repro.device.memory import total_nbytes
+
+from .test_simulator import tiny_spec
+
+
+class TestDeviceArraySemantics:
+    def test_view_of_view_shares_base(self, a100):
+        a = a100.zeros((16, 16))
+        v1 = a[2:10, 2:10]
+        v2 = v1[1:3, 1:3]
+        v2.data[...] = 7.0
+        assert np.all(a.data[3:5, 3:5] == 7.0)
+        assert v2.base is a
+
+    def test_free_is_idempotent(self, a100):
+        a = a100.zeros((8, 8))
+        a.free()
+        a.free()  # second free must not double-release
+        assert a100.allocated_bytes >= 0
+
+    def test_dtype_allocations(self, a100):
+        for dtype, itemsize in [(np.float32, 4), (np.float64, 8),
+                                (np.complex128, 16)]:
+            before = a100.allocated_bytes
+            arr = a100.zeros((10, 10), dtype=dtype)
+            assert a100.allocated_bytes - before == 100 * itemsize
+            arr.free()
+
+    def test_transfer_time_scales_with_bytes(self):
+        dev1, dev2 = Device(A100()), Device(A100())
+        dev1.from_host(np.zeros(10))
+        dev2.from_host(np.zeros(10_000_000))
+        assert dev2.profiler.transfer_time > dev1.profiler.transfer_time
+
+    def test_total_nbytes_helper(self):
+        assert total_nbytes([(2, 3), (4,)], np.float64) == 6 * 8 + 4 * 8
+
+    def test_oom_message_mentions_device(self):
+        dev = Device(tiny_spec(memory_capacity=100))
+        with pytest.raises(DeviceOutOfMemory, match="tiny"):
+            dev.zeros(1000)
+
+
+class TestProfilerAccounting:
+    def test_snapshot_diff_isolates_region(self, a100):
+        a100.launch("x", None, KernelCost(flops=1e6, blocks=4))
+        a100.synchronize()
+        snap = a100.profiler.snapshot()
+        a100.launch("y", None, KernelCost(flops=1e6, blocks=4))
+        a100.synchronize()
+        after = a100.profiler.snapshot()
+        assert after["launch_count"] - snap["launch_count"] == 1
+
+    def test_clear_resets_everything(self, a100):
+        a100.launch("x", None, KernelCost(flops=1e6, blocks=4))
+        a100.synchronize()
+        a100.profiler.clear()
+        assert a100.profiler.launch_count == 0
+        assert a100.profiler.total_kernel_time() == 0.0
+        assert not a100.profiler.by_kernel()
+
+    def test_mean_time(self, a100):
+        for _ in range(4):
+            a100.launch("k", None, KernelCost(flops=1e6, blocks=4))
+        a100.synchronize()
+        s = a100.profiler.by_kernel()["k"]
+        assert s.mean_time == pytest.approx(s.total_time / 4)
+
+    def test_kernel_record_durations_positive(self, a100):
+        a100.launch("k", None, KernelCost(flops=1e6, blocks=4))
+        a100.synchronize()
+        assert all(r.duration > 0 for r in a100.profiler.records)
+
+
+class TestPeakScaleRoofline:
+    def test_fp32_kernel_faster(self):
+        from repro.device import intrinsic_duration
+        spec = A100()
+        base = dict(flops=1e10, blocks=10000, kernel_class="gemm_irr")
+        t64 = intrinsic_duration(KernelCost(peak_scale=1.0, **base), spec)
+        t32 = intrinsic_duration(KernelCost(peak_scale=2.0, **base), spec)
+        assert t32 < t64
+
+    def test_complex_kernel_slower(self):
+        from repro.device import intrinsic_duration
+        spec = A100()
+        base = dict(flops=1e10, blocks=10000, kernel_class="gemm_irr")
+        t64 = intrinsic_duration(KernelCost(peak_scale=1.0, **base), spec)
+        tc = intrinsic_duration(KernelCost(peak_scale=0.25, **base), spec)
+        assert tc > 3 * t64
+
+    def test_merged_takes_slower_dtype(self):
+        a = KernelCost(peak_scale=2.0)
+        b = KernelCost(peak_scale=0.25)
+        assert a.merged(b).peak_scale == 0.25

@@ -1,0 +1,253 @@
+"""Tests for the discrete-event device simulator."""
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device, DeviceOutOfMemory, KernelCost
+from repro.device.spec import DeviceSpec
+
+
+def tiny_spec(**over) -> DeviceSpec:
+    """A small spec with round numbers so schedules are easy to verify."""
+    params = dict(
+        name="tiny",
+        n_sm=4,
+        shared_mem_per_sm=64 * 1024,
+        max_shared_per_block=48 * 1024,
+        peak_flops_fp64=4e9,       # 1 Gflop/s per SM
+        mem_bandwidth=1e12,
+        memory_capacity=1 << 30,
+        launch_overhead_host=1e-3,
+        launch_overhead_device=0.0,
+        sync_overhead_host=0.0,
+        sm_bw_saturation_frac=0.25,
+        kernel_efficiency={"default": 1.0, "memory": 1.0},
+    )
+    params.update(over)
+    return DeviceSpec(**params)
+
+
+class TestMemory:
+    def test_alloc_and_free_accounting(self):
+        dev = Device(tiny_spec())
+        a = dev.zeros((128, 128))
+        assert dev.allocated_bytes == 128 * 128 * 8
+        a.free()
+        assert dev.allocated_bytes == 0
+
+    def test_out_of_memory_raises(self):
+        dev = Device(tiny_spec(memory_capacity=1024))
+        with pytest.raises(DeviceOutOfMemory):
+            dev.zeros((64, 64))
+
+    def test_views_not_charged_twice(self):
+        dev = Device(tiny_spec())
+        a = dev.zeros((32, 32))
+        before = dev.allocated_bytes
+        v = a[4:10, 2:8]
+        assert dev.allocated_bytes == before
+        v.free()  # freeing a view is a no-op
+        assert dev.allocated_bytes == before
+
+    def test_host_roundtrip(self):
+        dev = Device(tiny_spec())
+        host = np.arange(12.0).reshape(3, 4)
+        d = dev.from_host(host)
+        d.data[0, 0] = 99.0
+        out = d.to_host()
+        assert out[0, 0] == 99.0
+        assert host[0, 0] == 0.0  # device copy is independent
+
+    def test_copy_from_host_shape_mismatch(self):
+        dev = Device(tiny_spec())
+        d = dev.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            d.copy_from_host(np.zeros((3, 3)))
+
+    def test_peak_allocation_tracked(self):
+        dev = Device(tiny_spec())
+        a = dev.zeros(1000)
+        a.free()
+        dev.zeros(10)
+        assert dev.peak_allocated_bytes == 8000
+
+
+class TestLaunchSemantics:
+    def test_numerics_run_eagerly(self):
+        dev = Device(tiny_spec())
+        a = dev.zeros(4)
+
+        def kern():
+            a.data += 1.0
+            return KernelCost(flops=4)
+
+        dev.launch("inc", kern)
+        assert a.to_host().tolist() == [1.0] * 4  # before synchronize
+
+    def test_launch_requires_cost(self):
+        dev = Device(tiny_spec())
+        with pytest.raises(ValueError, match="no KernelCost"):
+            dev.launch("bad", lambda: None)
+
+    def test_oversized_shared_memory_rejected(self):
+        dev = Device(tiny_spec())
+        cost = KernelCost(shared_mem_per_block=49 * 1024)
+        with pytest.raises(ValueError, match="shared memory"):
+            dev.launch("big-smem", None, cost)
+
+    def test_host_clock_advances_per_launch(self):
+        spec = tiny_spec()
+        dev = Device(spec)
+        for _ in range(10):
+            dev.launch("k", None, KernelCost(flops=1))
+        assert dev.host_time == pytest.approx(10 * spec.launch_overhead_host)
+        assert dev.profiler.launch_count == 10
+
+
+class TestScheduling:
+    def test_same_stream_serializes(self):
+        spec = tiny_spec()
+        dev = Device(spec)
+        # Each kernel: 4e9 flops over >=4 SMs -> 1 s at full device rate.
+        cost = KernelCost(flops=4e9, blocks=400)
+        dev.launch("a", None, cost, stream=0)
+        dev.launch("b", None, cost, stream=0)
+        dev.synchronize()
+        recs = {r.name: r for r in dev.profiler.records}
+        assert recs["b"].start == pytest.approx(recs["a"].end)
+        # a starts at its issue time (1 launch overhead), b chains after.
+        assert dev.device_time == pytest.approx(
+            2.0 + spec.launch_overhead_host, rel=1e-6)
+
+    def test_different_streams_overlap(self):
+        dev = Device(tiny_spec())
+        # Two kernels each demanding 2 of 4 SMs -> fully concurrent.
+        cost = KernelCost(flops=2e9, blocks=64)  # 2 SMs, 1 s at 2 SM rate
+        dev.launch("a", None, cost, stream=1)
+        dev.launch("b", None, cost, stream=2)
+        dev.synchronize()
+        recs = {r.name: r for r in dev.profiler.records}
+        assert recs["a"].end == pytest.approx(recs["b"].end, abs=1e-2)
+        assert dev.device_time < 1.2  # far less than the serial 2 s
+
+    def test_oversubscription_shares_rate(self):
+        dev = Device(tiny_spec())
+        # Four kernels each demanding all 4 SMs: rate share = 1/4 each.
+        cost = KernelCost(flops=4e9, blocks=400)  # 1 s standalone
+        for s in range(4):
+            dev.launch(f"k{s}", None, cost, stream=s)
+        dev.synchronize()
+        assert dev.device_time == pytest.approx(4.0, rel=0.05)
+
+    def test_single_block_kernels_fill_device(self):
+        dev = Device(tiny_spec())
+        # Four 1-block kernels run concurrently, each on its own SM at
+        # 1 Gflop/s -> 1e9 flops each takes ~1 s total, not 4 s.
+        cost = KernelCost(flops=1e9, blocks=1)
+        for s in range(4):
+            dev.launch(f"k{s}", None, cost, stream=s)
+        dev.synchronize()
+        assert dev.device_time == pytest.approx(1.0, rel=0.05)
+
+    def test_kernel_waits_for_host_issue(self):
+        spec = tiny_spec(launch_overhead_host=0.5)
+        dev = Device(spec)
+        cost = KernelCost(flops=4e6, blocks=400)  # 1 ms standalone
+        dev.launch("a", None, cost, stream=0)
+        dev.launch("b", None, cost, stream=1)
+        dev.synchronize()
+        recs = {r.name: r for r in dev.profiler.records}
+        # b cannot start before its launch was issued at t=1.0.
+        assert recs["b"].start >= 1.0
+
+    def test_streams_fifo_across_synchronize(self):
+        dev = Device(tiny_spec())
+        cost = KernelCost(flops=4e9, blocks=400)
+        dev.launch("a", None, cost, stream=0)
+        dev.synchronize()
+        t_a = dev.device_time
+        dev.launch("b", None, cost, stream=0)
+        dev.synchronize()
+        recs = {r.name: r for r in dev.profiler.records}
+        assert recs["b"].start >= t_a
+
+    def test_synchronize_idempotent(self):
+        dev = Device(tiny_spec())
+        dev.launch("a", None, KernelCost(flops=1e6, blocks=4))
+        t1 = dev.synchronize()
+        t2 = dev.synchronize()
+        assert t2 >= t1
+        assert len(dev.profiler.records) == 1
+
+    def test_sync_wait_recorded(self):
+        dev = Device(tiny_spec())
+        dev.launch("slow", None, KernelCost(flops=4e9, blocks=400))
+        dev.synchronize()
+        assert dev.profiler.sync_wait_time > 0.9
+
+
+class TestTimedRegion:
+    def test_timed_region_measures_elapsed_and_counters(self):
+        dev = Device(tiny_spec())
+        with dev.timed_region() as region:
+            dev.launch("x", None, KernelCost(flops=4e9, blocks=400))
+        assert region["elapsed"] == pytest.approx(
+            1.0 + dev.spec.launch_overhead_host, rel=0.05)
+        assert region["launch_count"] == 1
+
+    def test_timed_region_excludes_prior_work(self):
+        dev = Device(tiny_spec())
+        dev.launch("before", None, KernelCost(flops=4e9, blocks=400))
+        with dev.timed_region() as region:
+            dev.launch("inside", None, KernelCost(flops=4e6, blocks=400))
+        assert region["elapsed"] < 0.1
+
+    def test_reset_clears_clocks_and_profiler(self):
+        dev = Device(tiny_spec())
+        dev.launch("x", None, KernelCost(flops=1e6, blocks=4))
+        dev.synchronize()
+        dev.reset()
+        assert dev.host_time == 0.0
+        assert dev.device_time == 0.0
+        assert not dev.profiler.records
+
+
+class TestProfilerReporting:
+    def test_by_kernel_aggregates(self):
+        dev = Device(tiny_spec())
+        for _ in range(3):
+            dev.launch("gemm:nn", None, KernelCost(flops=4e6, blocks=4))
+        dev.launch("trsm:left", None, KernelCost(flops=4e6, blocks=4))
+        dev.synchronize()
+        agg = dev.profiler.by_kernel()
+        assert agg["gemm:nn"].count == 3
+        assert agg["trsm:left"].count == 1
+        assert agg["gemm:nn"].mean_time > 0
+
+    def test_by_prefix_groups_operations(self):
+        dev = Device(tiny_spec())
+        dev.launch("gemm:a", None, KernelCost(flops=4e6, blocks=4))
+        dev.launch("gemm:b", None, KernelCost(flops=4e6, blocks=4))
+        dev.launch("trsm:x", None, KernelCost(flops=4e6, blocks=4))
+        dev.synchronize()
+        groups = dev.profiler.by_prefix()
+        assert set(groups) == {"gemm", "trsm"}
+        assert groups["gemm"] > groups["trsm"]
+
+
+class TestRealSpecSanity:
+    def test_a100_device_constructs(self):
+        dev = Device(A100())
+        a = dev.from_host(np.ones((8, 8)))
+        assert a.shape == (8, 8)
+        assert dev.profiler.transfer_count == 1
+
+    def test_thousand_small_launches_dominated_by_overhead(self):
+        # 1000 tiny kernels: elapsed ~ 1000 * host launch overhead.
+        spec = A100()
+        dev = Device(spec)
+        with dev.timed_region() as region:
+            for i in range(1000):
+                dev.launch("tiny", None,
+                           KernelCost(flops=100, blocks=1), stream=i % 16)
+        assert region["elapsed"] >= 1000 * spec.launch_overhead_host

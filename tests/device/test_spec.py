@@ -1,0 +1,76 @@
+"""Tests for device/CPU specifications and occupancy rules."""
+
+import pytest
+
+from repro.device import A100, MI100, XEON_6140_2S
+
+
+class TestDeviceSpecs:
+    def test_a100_parameters_match_paper(self):
+        spec = A100()
+        assert spec.n_sm == 108
+        assert spec.shared_mem_per_sm == 192 * 1024
+        assert spec.peak_flops_fp64 == pytest.approx(9.7e12)
+
+    def test_mi100_parameters_match_paper(self):
+        spec = MI100()
+        assert spec.shared_mem_per_sm == 64 * 1024
+        assert spec.peak_flops_fp64 == pytest.approx(11.5e12)
+
+    def test_mi100_has_less_shared_memory_than_a100(self):
+        # The architectural contrast §V-A attributes the fused-panel
+        # fallback behaviour to.
+        assert MI100().shared_mem_per_sm < A100().shared_mem_per_sm
+
+    def test_mi100_has_higher_launch_overhead(self):
+        assert MI100().launch_overhead_host > A100().launch_overhead_host
+
+    def test_efficiency_lookup_with_default(self):
+        spec = A100()
+        assert 0 < spec.efficiency("gemm_irr") <= 1
+        assert spec.efficiency("no-such-class", default=0.4) == 0.4
+
+    def test_vendor_gemm_beats_irr_gemm_asymptote(self):
+        # Required for the Fig 14 hybrid switch to exist.
+        for spec in (A100(), MI100()):
+            assert spec.efficiency("gemm_vendor") > spec.efficiency("gemm_irr")
+
+
+class TestOccupancy:
+    def test_zero_shared_memory_gives_max_blocks(self):
+        spec = A100()
+        assert spec.resident_blocks_per_sm(0) == spec.max_blocks_per_sm
+
+    def test_shared_memory_limits_occupancy(self):
+        spec = A100()
+        per_block = spec.shared_mem_per_sm // 4
+        assert spec.resident_blocks_per_sm(per_block) == 4
+
+    def test_infeasible_block_returns_zero(self):
+        spec = MI100()
+        assert spec.resident_blocks_per_sm(spec.max_shared_per_block + 1) == 0
+
+    def test_same_panel_fits_on_a100_but_not_mi100(self):
+        # A 100 KB panel buffer: fine on A100 (163 KB/block limit), not on
+        # MI100 (64 KB LDS) — this is what moves the irrGETF2 switch point.
+        nbytes = 100 * 1024
+        assert A100().resident_blocks_per_sm(nbytes) >= 1
+        assert MI100().resident_blocks_per_sm(nbytes) == 0
+
+
+class TestCpuSpec:
+    def test_peak_flops(self):
+        cpu = XEON_6140_2S()
+        assert cpu.peak_flops == pytest.approx(36 * 2.3e9 * 32.0)
+
+    def test_getrf_efficiency_monotone_in_size(self):
+        cpu = XEON_6140_2S()
+        effs = [cpu.getrf_efficiency(n) for n in (1, 8, 64, 512, 4096)]
+        assert all(b >= a for a, b in zip(effs, effs[1:]))
+        assert effs[0] >= cpu.eff_floor
+        assert effs[-1] <= cpu.eff_ceiling
+
+    def test_getrf_efficiency_nonpositive_size(self):
+        cpu = XEON_6140_2S()
+        assert cpu.getrf_efficiency(0) == cpu.eff_floor
+        assert cpu.getrf_efficiency(-5) == cpu.eff_floor

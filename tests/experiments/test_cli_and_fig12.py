@@ -1,0 +1,47 @@
+"""Tests for the Fig 12 experiment and the experiments CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import fig12_problem
+from repro.experiments.__main__ import main as cli_main
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig12_problem.run(fast=True, n_rhs=2)
+
+    def test_machine_precision_every_solve(self, results):
+        assert all(r < 1e-13 for r in results["residuals"])
+
+    def test_fill_exceeds_input(self, results):
+        assert results["factor_nnz"] > results["nnz"]
+
+    def test_torus_geometry(self, results):
+        assert "periodic_x=True" in results["mesh"]
+
+    def test_paper_parameters(self, results):
+        assert results["omega"] == 16.0
+        assert results["kappa"] == pytest.approx(16.0 / 1.05)
+
+    def test_report_renders(self, results):
+        out = fig12_problem.report(results)
+        assert "Fig 12" in out
+        assert "amortiz" in out.lower() or "amortization" in out
+
+
+class TestCli:
+    def test_unknown_experiment_rejected(self, capsys):
+        rc = cli_main(["figNaN"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_runs_named_experiment(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        rc = cli_main(["fig13"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig 13" in out
+        assert (tmp_path / "results" / "fig13.txt").exists()

@@ -1,0 +1,119 @@
+"""Tests for the hexahedral mesh substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fem import HexMesh, torus_map
+
+
+class TestCounts:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 3, 4), (5, 5, 5)])
+    def test_entity_counts_box(self, dims):
+        nx, ny, nz = dims
+        m = HexMesh(nx, ny, nz)
+        assert m.n_cells == nx * ny * nz
+        assert m.n_vertices == (nx + 1) * (ny + 1) * (nz + 1)
+        want_edges = (nx * (ny + 1) * (nz + 1) +
+                      (nx + 1) * ny * (nz + 1) +
+                      (nx + 1) * (ny + 1) * nz)
+        assert m.n_edges == want_edges
+
+    def test_entity_counts_periodic(self):
+        nx, ny, nz = 6, 3, 4
+        m = HexMesh(nx, ny, nz, periodic_x=True, mapping=torus_map())
+        assert m.n_vertices == nx * (ny + 1) * (nz + 1)
+        want_edges = (nx * (ny + 1) * (nz + 1) +
+                      nx * ny * (nz + 1) +
+                      nx * (ny + 1) * nz)
+        assert m.n_edges == want_edges
+
+    def test_needs_positive_cells(self):
+        with pytest.raises(ValueError):
+            HexMesh(0, 1, 1)
+
+    def test_periodic_needs_three_cells(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            HexMesh(2, 2, 2, periodic_x=True)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+    def test_euler_edge_count_property(self, nx, ny, nz):
+        m = HexMesh(nx, ny, nz)
+        # every cell references 12 distinct edges
+        for c in range(m.n_cells):
+            assert len(set(m.cell_edges[c])) == 12
+
+
+class TestTopology:
+    def test_every_edge_referenced(self):
+        m = HexMesh(3, 3, 3)
+        assert set(m.cell_edges.ravel()) == set(range(m.n_edges))
+
+    def test_interior_edge_shared_by_four_cells(self):
+        m = HexMesh(3, 3, 3)
+        counts = np.zeros(m.n_edges, dtype=int)
+        for c in range(m.n_cells):
+            counts[m.cell_edges[c]] += 1
+        assert counts.max() == 4
+        # boundary mask == edges with fewer than 4 incident cells
+        np.testing.assert_array_equal(m.boundary_edges, counts < 4)
+
+    def test_single_cell_all_edges_boundary(self):
+        m = HexMesh(1, 1, 1)
+        assert m.boundary_edges.all()
+
+    def test_interior_exists_for_3cubed(self):
+        m = HexMesh(3, 3, 3)
+        assert (~m.boundary_edges).sum() > 0
+
+    def test_edges_point_positive(self):
+        m = HexMesh(2, 2, 2)
+        v = m.ref_vertices
+        d = v[m.edges[:, 1]] - v[m.edges[:, 0]]
+        # each edge differs in exactly one coordinate, positively
+        nonzero = np.abs(d) > 1e-12
+        assert np.all(nonzero.sum(axis=1) == 1)
+        assert np.all(d[nonzero] > 0)
+
+    def test_periodic_wrap_edges_exist(self):
+        m = HexMesh(4, 2, 2, periodic_x=True, mapping=torus_map())
+        v = m.ref_vertices
+        d = v[m.edges[:, 1], 0] - v[m.edges[:, 0], 0]
+        assert np.any(d < 0)  # the wrap edge jumps back to x=0
+
+
+class TestGeometry:
+    def test_box_vertices_in_unit_cube(self):
+        m = HexMesh(3, 4, 5)
+        assert m.vertices.min() >= 0.0
+        assert m.vertices.max() <= 1.0
+
+    def test_torus_radius(self):
+        m = HexMesh(8, 2, 2, periodic_x=True,
+                    mapping=torus_map(major_radius=3.0, width=0.5))
+        r = np.hypot(m.vertices[:, 0], m.vertices[:, 1])
+        assert r.min() >= 3.0 - 0.26
+        assert r.max() <= 3.0 + 0.26
+
+    def test_cell_coords_positive_jacobian_torus(self):
+        from repro.fem.nedelec import geometry_jacobians
+        from repro.fem.quadrature import cube_rule
+        m = HexMesh(6, 3, 3, periodic_x=True, mapping=torus_map())
+        pts, _ = cube_rule(2)
+        J = geometry_jacobians(m.cell_vertex_coords(), pts)
+        assert np.linalg.det(J).min() > 0
+
+    def test_edge_midpoints_on_edges_box(self):
+        m = HexMesh(2, 2, 2)
+        mids = m.edge_midpoints()
+        want = 0.5 * (m.vertices[m.edges[:, 0]] + m.vertices[m.edges[:, 1]])
+        np.testing.assert_allclose(mids, want, atol=1e-12)
+
+    def test_wrap_cell_corners_continuous(self):
+        # the wrap cell's mapped corners must be near each other, not
+        # jumping across the torus
+        m = HexMesh(8, 2, 2, periodic_x=True, mapping=torus_map())
+        cc = m.cell_vertex_coords()
+        spans = np.linalg.norm(cc.max(axis=1) - cc.min(axis=1), axis=1)
+        assert spans.max() < 2.5  # no cell spans the torus diameter (~6)

@@ -1,0 +1,111 @@
+"""Complex-valued systems through the full solver stack (A in C^{NxN},
+the setting of §III-A)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.batched import IrrBatch, irr_getrf, irr_trsm, lu_reconstruct
+from repro.device import A100, Device
+from repro.sparse import SparseLU
+
+from .util import grid2d
+
+
+def complex_system(n_grid, seed=0):
+    rng = np.random.default_rng(seed)
+    K = grid2d(n_grid, n_grid, seed=seed)
+    n = K.shape[0]
+    M = sp.diags(1.0 + rng.random(n)).tocsr()
+    A = (K - (3.0 + 0.7j) * M).tocsr()
+    b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    return A, b
+
+
+class TestComplexBatched:
+    def test_complex_lu_reconstruction(self, a100, rng):
+        mats = [(rng.standard_normal((n, n)) +
+                 1j * rng.standard_normal((n, n)))
+                for n in (1, 9, 40, 77)]
+        b = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        assert b.dtype == np.complex128
+        assert b.peak_scale == 0.25
+        piv = irr_getrf(a100, b)
+        for i, a in enumerate(mats):
+            rec = lu_reconstruct(b.matrix(i), piv[i])
+            assert np.abs(rec - a).max() < 1e-12 * max(1, np.abs(a).max())
+
+    def test_complex_pivoting_by_magnitude(self, a100):
+        a = np.array([[1.0 + 0j, 2.0], [0.0 + 5.0j, 3.0]])
+        b = IrrBatch.from_host(a100, [a])
+        piv = irr_getrf(a100, b)
+        assert piv[0][0] == 1  # |5i| > |1|
+
+    def test_complex_trsm(self, a100, rng):
+        n = 48
+        t = np.tril(rng.standard_normal((n, n)) +
+                    1j * rng.standard_normal((n, n)))
+        t += n * np.eye(n)
+        bmat = rng.standard_normal((n, 3)) + 1j * rng.standard_normal((n, 3))
+        T = IrrBatch.from_host(a100, [t])
+        B = IrrBatch.from_host(a100, [bmat.copy()])
+        irr_trsm(a100, "L", "L", "N", "N", n, 3, 1.0, T, (0, 0), B, (0, 0))
+        res = np.abs(np.tril(t) @ B.to_host()[0] - bmat).max()
+        assert res < 1e-12
+
+    def test_complex64_supported(self, a100, rng):
+        a = (rng.standard_normal((8, 8)) +
+             1j * rng.standard_normal((8, 8))).astype(np.complex64)
+        b = IrrBatch.from_host(a100, [a])
+        assert b.dtype == np.complex64
+        assert b.peak_scale == 0.5
+
+
+class TestComplexSparse:
+    @pytest.mark.parametrize("backend", ["cpu", "batched"])
+    def test_solve_matches_scipy(self, rng, backend):
+        A, b = complex_system(9)
+        dev = None if backend == "cpu" else Device(A100())
+        s = SparseLU(A).analyze().factor(backend=backend, device=dev)
+        x, info = s.solve(b)
+        assert info.final_residual < 1e-13
+        ref = spla.spsolve(A.tocsc(), b)
+        np.testing.assert_allclose(x, ref, rtol=1e-8)
+
+    def test_complex_with_mc64(self, rng):
+        A, b = complex_system(8, seed=3)
+        s = SparseLU(A, use_mc64=True).analyze().factor()
+        x, info = s.solve(b)
+        assert info.final_residual < 1e-13
+
+    def test_refinement_on_complex(self, rng):
+        A, b = complex_system(10)
+        s = SparseLU(A).factor()
+        x, info = s.solve(b, refine_steps=1)
+        assert info.residuals[-1] < 5e-15
+
+
+class TestLossyMaxwell:
+    def test_operator_complex_symmetric(self):
+        from repro.fem import HexMesh, MaxwellProblem
+        prob = MaxwellProblem.build(HexMesh(4, 4, 4), omega=8.0, sigma=0.1)
+        A = prob.operator
+        assert np.iscomplexobj(A.data)
+        assert abs(A - A.T).max() < 1e-12       # complex symmetric
+        assert abs(A - A.conj().T).max() > 0.0  # but not Hermitian
+
+    def test_lossy_system_solves(self, rng):
+        from repro.device import A100, Device
+        from repro.fem import HexMesh, MaxwellProblem
+        prob = MaxwellProblem.build(HexMesh(5, 5, 5), omega=8.0, sigma=0.2)
+        A, b = prob.reduced_system()
+        s = SparseLU(A).analyze()
+        s.factor(backend="batched", device=Device(A100()))
+        x, info = s.solve(b, refine_steps=1)
+        assert info.residuals[-1] < 1e-13
+
+    def test_sigma_zero_stays_real(self):
+        from repro.fem import HexMesh, MaxwellProblem
+        prob = MaxwellProblem.build(HexMesh(3, 3, 3), omega=4.0, sigma=0.0)
+        assert not np.iscomplexobj(prob.operator.data)

@@ -1,0 +1,135 @@
+"""Tests for the simulated distributed-memory factorization (§III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device
+from repro.sparse import multifrontal_factor_distributed, \
+    multifrontal_factor_gpu, multifrontal_solve, nested_dissection, \
+    partition_tree, symbolic_analysis
+
+from .util import grid2d, grid3d
+
+
+def prepare(a, leaf_size=16):
+    nd = nested_dissection(a, leaf_size=leaf_size)
+    ap = a[nd.perm][:, nd.perm].tocsr()
+    return nd, ap, symbolic_analysis(ap, nd)
+
+
+class TestPartition:
+    def test_single_rank_owns_everything(self, rng):
+        _, _, symb = prepare(grid2d(10, 10))
+        assign = partition_tree(symb, 1)
+        assert assign.top_fronts == []
+        assert assign.rank_fronts[0] == list(range(len(symb.fronts)))
+
+    def test_partition_is_exact(self, rng):
+        _, _, symb = prepare(grid3d(6))
+        assign = partition_tree(symb, 4)
+        owned = sorted(f for rf in assign.rank_fronts for f in rf)
+        owned += assign.top_fronts
+        assert sorted(owned) == list(range(len(symb.fronts)))
+
+    def test_top_is_top_levels(self, rng):
+        _, _, symb = prepare(grid3d(6))
+        assign = partition_tree(symb, 4)   # ceil(log2 4) = 2 levels
+        for f in assign.top_fronts:
+            assert symb.fronts[f].level < 2
+        for rf in assign.rank_fronts:
+            for f in rf:
+                assert symb.fronts[f].level >= 2
+
+    def test_subtrees_stay_whole(self, rng):
+        # a front and its children live on the same rank (unless top)
+        _, _, symb = prepare(grid3d(6))
+        assign = partition_tree(symb, 4)
+        for fid, f in enumerate(symb.fronts):
+            r = assign.rank_of_front[fid]
+            if r < 0:
+                continue
+            for c in f.children:
+                assert assign.rank_of_front[c] == r
+
+    def test_balance_reasonable(self, rng):
+        _, _, symb = prepare(grid3d(7))
+        assign = partition_tree(symb, 4)
+        assert assign.imbalance < 2.0
+
+    def test_invalid_rank_count(self, rng):
+        _, _, symb = prepare(grid2d(6, 6))
+        with pytest.raises(ValueError, match="at least one rank"):
+            partition_tree(symb, 0)
+
+
+class TestDistributedFactorization:
+    def test_identical_to_single_device(self, rng):
+        a = grid3d(6)
+        _, ap, symb = prepare(a)
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb)
+        res = multifrontal_factor_distributed(A100(), ap, symb, 4)
+        for f1, f2 in zip(ref.factors.fronts, res.factors.fronts):
+            np.testing.assert_array_equal(f1.f11, f2.f11)
+            np.testing.assert_array_equal(f1.f12, f2.f12)
+            np.testing.assert_array_equal(f1.f21, f2.f21)
+            np.testing.assert_array_equal(f1.ipiv, f2.ipiv)
+
+    def test_solve_correct(self, rng):
+        a = grid3d(6)
+        nd, ap, symb = prepare(a)
+        res = multifrontal_factor_distributed(A100(), ap, symb, 3)
+        b = rng.standard_normal(a.shape[0])
+        xp = multifrontal_solve(res.factors, b[nd.perm])
+        x = np.empty_like(xp)
+        x[nd.perm] = xp
+        assert np.abs(a @ x - b).max() < 1e-10
+
+    def test_local_makespan_shrinks_with_ranks(self, rng):
+        a = grid3d(7)
+        _, ap, symb = prepare(a)
+        locals_ = []
+        for p in (1, 4):
+            res = multifrontal_factor_distributed(A100(), ap, symb, p)
+            locals_.append(max(res.per_rank_seconds))
+        assert locals_[1] < 0.7 * locals_[0]
+
+    def test_communication_accounted(self, rng):
+        a = grid3d(6)
+        _, ap, symb = prepare(a)
+        res = multifrontal_factor_distributed(A100(), ap, symb, 4)
+        assert res.comm_bytes > 0
+        assert res.gather_seconds > 0
+        # every boundary Schur crosses the network exactly once
+        expected = sum(
+            8 * symb.fronts[f].upd_size ** 2
+            for f in range(len(symb.fronts))
+            if res.assignment.rank_of_front[f] >= 0
+            and symb.fronts[f].parent >= 0
+            and res.assignment.rank_of_front[symb.fronts[f].parent] == -1)
+        assert res.comm_bytes == expected
+
+    def test_scalapack_top_mode(self, rng):
+        a = grid3d(6)
+        nd, ap, symb = prepare(a)
+        res = multifrontal_factor_distributed(A100(), ap, symb, 4,
+                                              top_mode="scalapack")
+        assert res.top_seconds > 0
+        b = rng.standard_normal(a.shape[0])
+        xp = multifrontal_solve(res.factors, b[nd.perm])
+        x = np.empty_like(xp)
+        x[nd.perm] = xp
+        assert np.abs(a @ x - b).max() < 1e-10
+
+    def test_invalid_top_mode(self, rng):
+        _, ap, symb = prepare(grid2d(6, 6))
+        with pytest.raises(ValueError, match="top_mode"):
+            multifrontal_factor_distributed(A100(), ap, symb, 2,
+                                            top_mode="mpi")
+
+    def test_single_rank_equals_plain_gpu_elapsed_shape(self, rng):
+        a = grid2d(12, 12)
+        _, ap, symb = prepare(a, leaf_size=8)
+        res = multifrontal_factor_distributed(A100(), ap, symb, 1)
+        assert res.comm_bytes == 0
+        assert res.top_seconds == 0.0
+        assert res.elapsed == pytest.approx(res.per_rank_seconds[0])

@@ -1,0 +1,96 @@
+"""Tests for the adjacency-graph utilities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.graph import bfs_levels, connected_components, \
+    pseudo_peripheral_vertex, subgraph, symmetrize_pattern
+
+from .util import grid2d
+
+
+def path_graph(n):
+    rows = list(range(n - 1)) + list(range(1, n))
+    cols = list(range(1, n)) + list(range(n - 1))
+    return sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+
+
+class TestSymmetrizePattern:
+    def test_symmetric_no_diagonal(self):
+        a = sp.csr_matrix(np.array([[1.0, 2.0, 0.0],
+                                    [0.0, 3.0, 0.0],
+                                    [4.0, 0.0, 5.0]]))
+        g = symmetrize_pattern(a)
+        d = g.toarray()
+        assert np.all(d == d.T)
+        assert np.all(np.diag(d) == 0)
+        assert d[0, 1] and d[1, 0]          # from a[0,1]
+        assert d[0, 2] and d[2, 0]          # from a[2,0]
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            symmetrize_pattern(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestBfs:
+    def test_path_levels(self):
+        g = path_graph(5)
+        level = bfs_levels(g, 0)
+        assert level.tolist() == [0, 1, 2, 3, 4]
+
+    def test_mask_restricts(self):
+        g = path_graph(5)
+        mask = np.array([True, True, False, True, True])
+        level = bfs_levels(g, 0, mask)
+        assert level[1] == 1
+        assert level[3] == -1  # cut off by the mask
+
+    def test_masked_start_rejected(self):
+        g = path_graph(3)
+        mask = np.array([False, True, True])
+        with pytest.raises(ValueError):
+            bfs_levels(g, 0, mask)
+
+
+class TestPseudoPeripheral:
+    def test_path_graph_finds_endpoint(self):
+        g = path_graph(30)
+        v = pseudo_peripheral_vertex(g, np.arange(30))
+        assert v in (0, 29)
+
+    def test_empty_set_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            pseudo_peripheral_vertex(g, np.array([], dtype=np.int64))
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = symmetrize_pattern(grid2d(4, 4))
+        comps = connected_components(g, np.arange(16))
+        assert len(comps) == 1
+        assert len(comps[0]) == 16
+
+    def test_two_components(self):
+        g = path_graph(4).tolil()
+        g[1, 2] = 0
+        g[2, 1] = 0
+        g = symmetrize_pattern(g.tocsr())
+        comps = connected_components(g, np.arange(4))
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+    def test_restricted_vertex_set(self):
+        g = path_graph(6)
+        comps = connected_components(g, np.array([0, 1, 4, 5]))
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+
+class TestSubgraph:
+    def test_induced(self):
+        g = symmetrize_pattern(grid2d(3, 3))
+        sub, back = subgraph(g, np.array([0, 1, 3, 4]))
+        assert sub.shape == (4, 4)
+        assert back.tolist() == [0, 1, 3, 4]
+        # vertices 0-1 adjacent in the grid
+        assert sub[0, 1] != 0

@@ -1,0 +1,196 @@
+"""Tests for the numeric factorization phases (CPU and GPU backends)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings, strategies as st
+
+from repro.device import A100, MI100, Device
+from repro.sparse import multifrontal_factor_cpu, multifrontal_factor_gpu, \
+    multifrontal_solve, nested_dissection, symbolic_analysis
+from repro.sparse.numeric.cpu_factor import factor_front_blocks
+
+from .util import grid2d, grid3d, random_sparse
+
+
+def prepare(a, leaf_size=8):
+    nd = nested_dissection(a, leaf_size=leaf_size)
+    ap = a[nd.perm][:, nd.perm].tocsr()
+    symb = symbolic_analysis(ap, nd)
+    return nd, ap, symb
+
+
+def solve_via(factors, nd, a, b):
+    xp = multifrontal_solve(factors, b[nd.perm])
+    x = np.empty_like(xp)
+    x[nd.perm] = xp
+    return x
+
+
+class TestFactorFrontBlocks:
+    def test_full_factorization_when_no_update(self, rng):
+        F = rng.standard_normal((8, 8))
+        orig = F.copy()
+        fac, schur = factor_front_blocks(F.copy(), 8)
+        assert schur.shape == (0, 0)
+        from repro.batched import lu_reconstruct
+        np.testing.assert_allclose(lu_reconstruct(fac.f11, fac.ipiv), orig,
+                                   rtol=1e-11, atol=1e-12)
+
+    def test_schur_complement_value(self, rng):
+        F = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        orig = F.copy()
+        fac, schur = factor_front_blocks(F.copy(), 6)
+        want = orig[6:, 6:] - orig[6:, :6] @ np.linalg.inv(orig[:6, :6]) \
+            @ orig[:6, 6:]
+        np.testing.assert_allclose(schur, want, rtol=1e-10, atol=1e-10)
+
+    def test_zero_pivot_block_raises(self):
+        F = np.zeros((4, 4))
+        F[2:, 2:] = np.eye(2)
+        with pytest.raises(np.linalg.LinAlgError, match="zero pivot"):
+            factor_front_blocks(F, 2)
+
+
+class TestCpuFactor:
+    def test_solve_matches_scipy(self, rng):
+        a = grid2d(13, 17)
+        nd, ap, symb = prepare(a)
+        fac = multifrontal_factor_cpu(ap, symb)
+        b = rng.standard_normal(a.shape[0])
+        x = solve_via(fac, nd, a, b)
+        ref = spla.spsolve(a.tocsc(), b)
+        np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-11)
+
+    def test_multiple_rhs(self, rng):
+        a = grid2d(9, 9)
+        nd, ap, symb = prepare(a)
+        fac = multifrontal_factor_cpu(ap, symb)
+        B = rng.standard_normal((81, 3))
+        X = solve_via(fac, nd, a, B)
+        np.testing.assert_allclose(a @ X, B, rtol=1e-9, atol=1e-10)
+
+    def test_3d_problem(self, rng):
+        a = grid3d(5)
+        nd, ap, symb = prepare(a, leaf_size=16)
+        fac = multifrontal_factor_cpu(ap, symb)
+        b = rng.standard_normal(125)
+        x = solve_via(fac, nd, a, b)
+        assert np.abs(a @ x - b).max() < 1e-10
+
+    def test_unsymmetric_values(self, rng):
+        a = random_sparse(80, seed=9)
+        nd, ap, symb = prepare(a)
+        fac = multifrontal_factor_cpu(ap, symb)
+        b = rng.standard_normal(80)
+        x = solve_via(fac, nd, a, b)
+        assert np.abs(a @ x - b).max() / np.abs(b).max() < 1e-10
+
+    def test_rhs_size_mismatch(self, rng):
+        a = grid2d(5, 5)
+        nd, ap, symb = prepare(a)
+        fac = multifrontal_factor_cpu(ap, symb)
+        with pytest.raises(ValueError, match="expected"):
+            multifrontal_solve(fac, np.zeros(7))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 10), st.integers(3, 10),
+           st.integers(0, 2 ** 31 - 1), st.integers(2, 16))
+    def test_property_solve(self, nx, ny, seed, leaf):
+        a = grid2d(nx, ny, seed=seed)
+        nd, ap, symb = prepare(a, leaf_size=leaf)
+        fac = multifrontal_factor_cpu(ap, symb)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(nx * ny)
+        x = solve_via(fac, nd, a, b)
+        assert np.abs(a @ x - b).max() / max(np.abs(b).max(), 1) < 1e-9
+
+
+class TestGpuFactorStrategies:
+    @pytest.mark.parametrize("strategy", ["batched", "looped", "strumpack"])
+    def test_matches_cpu_factors(self, rng, strategy):
+        a = grid2d(11, 11)
+        nd, ap, symb = prepare(a)
+        ref = multifrontal_factor_cpu(ap, symb)
+        dev = Device(A100())
+        res = multifrontal_factor_gpu(dev, ap, symb, strategy=strategy)
+        for f_gpu, f_cpu in zip(res.factors.fronts, ref.fronts):
+            np.testing.assert_allclose(f_gpu.f11, f_cpu.f11, rtol=1e-10,
+                                       atol=1e-12)
+            np.testing.assert_array_equal(f_gpu.ipiv, f_cpu.ipiv)
+            np.testing.assert_allclose(f_gpu.f12, f_cpu.f12, rtol=1e-10,
+                                       atol=1e-12)
+            np.testing.assert_allclose(f_gpu.f21, f_cpu.f21, rtol=1e-10,
+                                       atol=1e-12)
+
+    @pytest.mark.parametrize("gemm_mode", ["irr", "vendor", "hybrid"])
+    def test_gemm_modes_agree(self, rng, gemm_mode):
+        a = grid2d(12, 12)
+        nd, ap, symb = prepare(a)
+        dev = Device(A100())
+        res = multifrontal_factor_gpu(dev, ap, symb, strategy="batched",
+                                      gemm_mode=gemm_mode,
+                                      hybrid_cutoff=16)
+        b = np.random.default_rng(0).standard_normal(144)
+        x = solve_via(res.factors, nd, a, b)
+        assert np.abs(a @ x - b).max() < 1e-9
+
+    def test_invalid_strategy(self, rng):
+        a = grid2d(5, 5)
+        nd, ap, symb = prepare(a)
+        dev = Device(A100())
+        with pytest.raises(ValueError, match="strategy"):
+            multifrontal_factor_gpu(dev, ap, symb, strategy="warp")
+
+    def test_invalid_gemm_mode(self, rng):
+        a = grid2d(5, 5)
+        nd, ap, symb = prepare(a)
+        dev = Device(A100())
+        with pytest.raises(ValueError, match="gemm_mode"):
+            multifrontal_factor_gpu(dev, ap, symb, gemm_mode="tensor")
+
+    def test_device_memory_returns_to_baseline(self, rng):
+        a = grid2d(8, 8)
+        nd, ap, symb = prepare(a)
+        dev = Device(A100())
+        before = dev.allocated_bytes
+        multifrontal_factor_gpu(dev, ap, symb)
+        assert dev.allocated_bytes == before
+
+    def test_mi100_also_correct(self, rng):
+        a = grid2d(10, 10)
+        nd, ap, symb = prepare(a)
+        dev = Device(MI100())
+        res = multifrontal_factor_gpu(dev, ap, symb)
+        b = rng.standard_normal(100)
+        x = solve_via(res.factors, nd, a, b)
+        assert np.abs(a @ x - b).max() < 1e-9
+
+
+class TestTableIOrderings:
+    def test_batched_fastest(self, rng):
+        """Table I shape: the irr-batched backend beats the naive loop and
+        the STRUMPACK model on a front-rich problem."""
+        a = grid3d(6)
+        nd, ap, symb = prepare(a, leaf_size=16)
+        times = {}
+        for strategy in ("batched", "looped", "strumpack"):
+            dev = Device(A100())
+            res = multifrontal_factor_gpu(dev, ap, symb, strategy=strategy)
+            times[strategy] = res.elapsed
+        assert times["batched"] < times["looped"]
+        assert times["batched"] < times["strumpack"]
+
+    def test_batched_reduces_launch_and_sync_counters(self, rng):
+        """The Nsight observation: launch and synchronize totals shrink by
+        an order of magnitude vs the STRUMPACK model."""
+        a = grid3d(6)
+        nd, ap, symb = prepare(a, leaf_size=16)
+        dev_b, dev_s = Device(A100()), Device(A100())
+        res_b = multifrontal_factor_gpu(dev_b, ap, symb, strategy="batched")
+        res_s = multifrontal_factor_gpu(dev_s, ap, symb,
+                                        strategy="strumpack")
+        assert res_s.counters["launch_count"] > \
+            5 * res_b.counters["launch_count"]
+        assert res_s.counters["sync_count"] > res_b.counters["sync_count"]

@@ -1,0 +1,199 @@
+"""Tests for bisection, minimum degree, nested dissection and MC64."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.graph import symmetrize_pattern
+from repro.sparse.ordering import StructurallySingularError, bisect, mc64, \
+    minimum_degree_order, nested_dissection
+
+from .util import grid2d, grid3d, random_sparse
+
+
+class TestBisect:
+    def test_separator_separates(self):
+        g = symmetrize_pattern(grid2d(12, 12))
+        cut = bisect(g, np.arange(144))
+        amask = np.zeros(144, dtype=bool)
+        amask[cut.part_a] = True
+        bmask = np.zeros(144, dtype=bool)
+        bmask[cut.part_b] = True
+        # no direct edge between A and B
+        coo = g.tocoo()
+        for r, c in zip(coo.row, coo.col):
+            assert not (amask[r] and bmask[c])
+
+    def test_partition_is_exact(self):
+        g = symmetrize_pattern(grid2d(9, 7))
+        verts = np.arange(63)
+        cut = bisect(g, verts)
+        combined = np.sort(np.concatenate(
+            [cut.part_a, cut.part_b, cut.separator]))
+        np.testing.assert_array_equal(combined, verts)
+
+    def test_balanced_parts(self):
+        g = symmetrize_pattern(grid2d(16, 16))
+        cut = bisect(g, np.arange(256))
+        ratio = len(cut.part_a) / max(len(cut.part_b), 1)
+        assert 0.3 < ratio < 3.0
+
+    def test_grid_separator_size_scales_like_sqrt(self):
+        g = symmetrize_pattern(grid2d(20, 20))
+        cut = bisect(g, np.arange(400))
+        assert len(cut.separator) <= 3 * 20  # geometric separator
+
+    def test_tiny_sets(self):
+        g = symmetrize_pattern(grid2d(2, 2))
+        cut = bisect(g, np.array([0]))
+        assert cut.part_a.tolist() == [0]
+        assert len(cut.separator) == 0
+
+
+class TestMinimumDegree:
+    def test_is_permutation(self):
+        g = symmetrize_pattern(grid2d(5, 5))
+        order = minimum_degree_order(g, np.arange(25))
+        assert sorted(order.tolist()) == list(range(25))
+
+    def test_subset_ordering(self):
+        g = symmetrize_pattern(grid2d(5, 5))
+        verts = np.array([3, 7, 11, 19])
+        order = minimum_degree_order(g, verts)
+        assert sorted(order.tolist()) == sorted(verts.tolist())
+
+    def test_star_graph_center_last(self):
+        # center vertex 0 has degree n-1, leaves degree 1: all leaves first.
+        n = 8
+        rows = [0] * (n - 1) + list(range(1, n))
+        cols = list(range(1, n)) + [0] * (n - 1)
+        g = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+        order = minimum_degree_order(g, np.arange(n))
+        # the center survives until only degree-ties remain
+        assert order.tolist().index(0) >= n - 2
+
+
+class TestNestedDissection:
+    def test_perm_is_permutation(self):
+        nd = nested_dissection(grid2d(13, 11))
+        assert sorted(nd.perm.tolist()) == list(range(143))
+        np.testing.assert_array_equal(nd.perm[nd.iperm], np.arange(143))
+
+    def test_tree_ranges_partition(self):
+        nd = nested_dissection(grid2d(10, 10), leaf_size=8)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.sep_size == node.hi - node.lo
+                return
+            assert len(node.children) == 2
+            c0, c1 = node.children
+            assert c0.lo == node.lo
+            assert c1.lo == c0.hi
+            assert c1.hi == node.sep_begin
+            for c in node.children:
+                check(c)
+
+        check(nd.tree)
+
+    def test_separator_indices_highest_in_subtree(self):
+        nd = nested_dissection(grid2d(12, 12), leaf_size=8)
+        root = nd.tree
+        assert root.hi == 144
+        assert root.sep_size > 0
+
+    def test_reduces_fill_vs_natural_order(self):
+        a = grid2d(24, 24, diag=8.0)
+        nd = nested_dissection(a)
+        ap = a[nd.perm][:, nd.perm].tocsc()
+        lu_nd = spla.splu(ap, permc_spec="NATURAL",
+                          options=dict(SymmetricMode=True))
+        lu_nat = spla.splu(a.tocsc(), permc_spec="NATURAL",
+                           options=dict(SymmetricMode=True))
+        assert lu_nd.nnz < 0.7 * lu_nat.nnz
+
+    def test_leaf_size_respected(self):
+        nd = nested_dissection(grid2d(16, 16), leaf_size=10)
+        for node in nd.tree.postorder():
+            if node.is_leaf:
+                assert node.hi - node.lo <= 10 or node.sep_size == \
+                    node.hi - node.lo
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            nested_dissection(grid2d(3, 3), leaf_size=0)
+
+    def test_empty_matrix(self):
+        nd = nested_dissection(sp.csr_matrix((0, 0)))
+        assert nd.n == 0
+
+    def test_disconnected_graph(self):
+        a = sp.block_diag([grid2d(5, 5, seed=1), grid2d(6, 6, seed=2)],
+                          format="csr")
+        nd = nested_dissection(a)
+        assert sorted(nd.perm.tolist()) == list(range(61))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 12), st.integers(2, 12), st.integers(1, 20))
+    def test_property_permutation_valid(self, nx, ny, leaf):
+        nd = nested_dissection(grid2d(nx, ny), leaf_size=leaf)
+        assert sorted(nd.perm.tolist()) == list(range(nx * ny))
+
+
+class TestMc64:
+    def test_unit_diagonal_and_bounded_offdiag(self):
+        a = random_sparse(60, seed=3)
+        res = mc64(a)
+        s = np.abs(res.apply(a).toarray())
+        np.testing.assert_allclose(np.diag(s), 1.0, rtol=1e-12)
+        assert s.max() <= 1.0 + 1e-12
+
+    def test_matching_is_permutation(self):
+        a = random_sparse(40, seed=4)
+        res = mc64(a)
+        assert sorted(res.row_of_col.tolist()) == list(range(40))
+
+    def test_maximizes_product_on_small_case(self):
+        # 2x2 where the off-diagonal product beats the diagonal one.
+        a = sp.csr_matrix(np.array([[1.0, 10.0], [10.0, 1.0]]))
+        res = mc64(a)
+        assert res.row_of_col.tolist() in ([1, 0],)
+
+    def test_already_dominant_diagonal_identity(self):
+        a = sp.csr_matrix(np.diag([5.0, 3.0, 7.0]) +
+                          0.1 * np.ones((3, 3)))
+        res = mc64(a)
+        assert res.row_of_col.tolist() == [0, 1, 2]
+
+    def test_structurally_singular_raises(self):
+        a = sp.csr_matrix(np.array([[1.0, 1.0], [0.0, 0.0]]).T)
+        with pytest.raises(StructurallySingularError):
+            mc64(a)
+
+    def test_empty_column_raises(self):
+        a = sp.csc_matrix((3, 3))
+        a[0, 0] = a[1, 1] = 1.0
+        with pytest.raises(StructurallySingularError):
+            mc64(a.tocsc())
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            mc64(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_grid_matrix(self):
+        a = grid2d(8, 8, diag=0.2)  # weak diagonal: matching must work
+        res = mc64(a)
+        s = np.abs(res.apply(a).toarray())
+        np.testing.assert_allclose(np.diag(s), 1.0, rtol=1e-12)
+        assert s.max() <= 1.0 + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 25), st.integers(0, 2 ** 31 - 1))
+    def test_property_contract(self, n, seed):
+        a = random_sparse(n, density=0.2, seed=seed)
+        res = mc64(a)
+        s = np.abs(res.apply(a).toarray())
+        assert np.allclose(np.diag(s), 1.0, rtol=1e-10)
+        assert s.max() <= 1.0 + 1e-10

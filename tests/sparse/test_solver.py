@@ -1,0 +1,128 @@
+"""Tests for the SparseLU front-end and the baseline backends."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.device import A100, Device
+from repro.sparse import SparseLU
+
+from .util import grid2d, grid3d, random_sparse
+
+
+class TestPipeline:
+    def test_cpu_backend_solves(self, rng):
+        a = grid2d(12, 12)
+        b = rng.standard_normal(144)
+        s = SparseLU(a).analyze().factor()
+        x, info = s.solve(b)
+        assert info.final_residual < 1e-13
+        np.testing.assert_allclose(x, spla.spsolve(a.tocsc(), b), rtol=1e-8)
+
+    @pytest.mark.parametrize("backend", ["batched", "looped", "strumpack",
+                                         "superlu"])
+    def test_gpu_backends_solve(self, rng, backend):
+        a = grid2d(10, 10)
+        b = rng.standard_normal(100)
+        s = SparseLU(a).analyze()
+        s.factor(backend=backend, device=Device(A100()))
+        x, info = s.solve(b)
+        assert info.final_residual < 1e-13
+        assert s.factor_result is not None
+        assert s.factor_result.elapsed > 0
+
+    def test_gpu_backend_requires_device(self, rng):
+        s = SparseLU(grid2d(5, 5)).analyze()
+        with pytest.raises(ValueError, match="needs a device"):
+            s.factor(backend="batched")
+
+    def test_unknown_backend(self):
+        s = SparseLU(grid2d(5, 5)).analyze()
+        with pytest.raises(ValueError, match="unknown backend"):
+            s.factor(backend="quantum")
+
+    def test_solve_before_factor_raises(self):
+        s = SparseLU(grid2d(5, 5))
+        with pytest.raises(RuntimeError, match="factor"):
+            s.solve(np.zeros(25))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            SparseLU(sp.csr_matrix(np.ones((3, 4))))
+
+    def test_factor_auto_analyzes(self, rng):
+        a = grid2d(6, 6)
+        s = SparseLU(a).factor()
+        x, info = s.solve(rng.standard_normal(36))
+        assert info.final_residual < 1e-13
+
+
+class TestMc64Integration:
+    def test_weak_diagonal_system(self, rng):
+        # Diagonal ~0.05: static pivoting by MC64 keeps the restricted-
+        # pivoting factorization stable.
+        a = grid2d(10, 10, diag=0.05)
+        b = rng.standard_normal(100)
+        s = SparseLU(a, use_mc64=True).analyze().factor()
+        x, info = s.solve(b)
+        assert info.final_residual < 1e-12
+
+    def test_mc64_on_hard_scaling_backward_stable(self, rng):
+        # wildly scaled rows: the normwise metric saturates at
+        # eps*||A||*||x||/||b||, so judge by the scaled backward error.
+        a = grid2d(8, 8)
+        scale = 10.0 ** rng.integers(-6, 6, size=64)
+        a = sp.csr_matrix(sp.diags(scale) @ a)
+        b = rng.standard_normal(64)
+        s = SparseLU(a, use_mc64=True).analyze().factor()
+        x, info = s.solve(b, refine_steps=2)
+        norm_a = abs(a).max()
+        norm_x = np.abs(x).max()
+        backward = np.abs(a @ x - b).max() / (norm_a * norm_x +
+                                              np.abs(b).max())
+        assert backward < 1e-13
+
+    def test_multiple_rhs(self, rng):
+        a = grid2d(7, 7)
+        B = rng.standard_normal((49, 4))
+        s = SparseLU(a, use_mc64=True).factor()
+        X, info = s.solve(B)
+        assert np.abs(a @ X - B).max() < 1e-11
+
+
+class TestIterativeRefinement:
+    def test_residual_decreases_to_machine_precision(self, rng):
+        """§V-B: the solution reaches ~machine precision after one step of
+        iterative refinement."""
+        a = grid3d(5)
+        b = rng.standard_normal(125)
+        s = SparseLU(a).factor()
+        x, info = s.solve(b, refine_steps=1)
+        assert len(info.residuals) == 2
+        assert info.residuals[1] <= info.residuals[0]
+        assert info.residuals[1] < 5e-15
+
+    def test_zero_refine_steps(self, rng):
+        a = grid2d(6, 6)
+        s = SparseLU(a).factor()
+        _, info = s.solve(rng.standard_normal(36), refine_steps=0)
+        assert len(info.residuals) == 1
+
+    def test_zero_rhs(self):
+        a = grid2d(6, 6)
+        s = SparseLU(a).factor()
+        x, info = s.solve(np.zeros(36))
+        assert np.allclose(x, 0.0)
+
+
+class TestReuseOfFactorization:
+    def test_factor_once_solve_many(self, rng):
+        # §I: "the factorization of the operator can be reused multiple
+        # times for the solution of different linear systems".
+        a = grid2d(9, 9)
+        s = SparseLU(a).factor()
+        for _ in range(3):
+            b = rng.standard_normal(81)
+            x, info = s.solve(b)
+            assert info.final_residual < 1e-13

@@ -1,0 +1,115 @@
+"""Tests for the symbolic factorization."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.ordering import nested_dissection
+from repro.sparse.symbolic import symbolic_analysis
+
+from .util import grid2d, grid3d
+
+
+def analyzed(a, leaf_size=8):
+    nd = nested_dissection(a, leaf_size=leaf_size)
+    ap = a[nd.perm][:, nd.perm].tocsr()
+    return nd, ap, symbolic_analysis(ap, nd)
+
+
+class TestFrontStructure:
+    def test_postorder_children_before_parents(self):
+        _, _, symb = analyzed(grid2d(10, 10))
+        for fid, f in enumerate(symb.fronts):
+            for c in f.children:
+                assert c < fid
+            if f.parent >= 0:
+                assert f.parent > fid
+
+    def test_root_has_no_update_set(self):
+        _, _, symb = analyzed(grid2d(10, 10))
+        root = symb.fronts[symb.root]
+        assert root.parent == -1
+        assert root.upd_size == 0
+
+    def test_update_indices_above_subtree(self):
+        _, _, symb = analyzed(grid2d(12, 12))
+        for f in symb.fronts:
+            assert np.all(f.upd >= f.node.hi)
+
+    def test_update_contains_direct_connections(self):
+        _, ap, symb = analyzed(grid2d(10, 10))
+        pat = ((ap != 0) + (ap != 0).T).tocsr()
+        for f in symb.fronts:
+            for r in range(f.sep_begin, f.sep_end):
+                for c in pat.indices[pat.indptr[r]:pat.indptr[r + 1]]:
+                    if c >= f.node.hi:
+                        assert c in set(f.upd.tolist())
+
+    def test_child_updates_covered_by_parent(self):
+        _, _, symb = analyzed(grid2d(12, 12))
+        for f in symb.fronts:
+            if f.parent < 0:
+                continue
+            p = symb.fronts[f.parent]
+            pidx = set(p.indices.tolist())
+            for g in f.upd:
+                assert int(g) in pidx
+
+    def test_front_order(self):
+        _, _, symb = analyzed(grid2d(8, 8))
+        for f in symb.fronts:
+            assert f.order == f.sep_size + f.upd_size
+            assert len(f.indices) == f.order
+
+    def test_size_mismatch_rejected(self):
+        a = grid2d(5, 5)
+        nd = nested_dissection(a)
+        with pytest.raises(ValueError, match="does not match"):
+            symbolic_analysis(grid2d(6, 6), nd)
+
+
+class TestLevels:
+    def test_levels_deepest_first(self):
+        _, _, symb = analyzed(grid2d(12, 12))
+        levels = symb.levels()
+        # last group is the root alone
+        assert levels[-1] == [symb.root]
+        # every front appears exactly once
+        all_fids = sorted(f for lev in levels for f in lev)
+        assert all_fids == list(range(len(symb.fronts)))
+
+    def test_level_members_independent(self):
+        # no front in a level is an ancestor of another in the same level
+        _, _, symb = analyzed(grid2d(12, 12))
+        for lev in symb.levels():
+            for f in lev:
+                anc = symb.fronts[f].parent
+                while anc >= 0:
+                    assert anc not in lev
+                    anc = symb.fronts[anc].parent
+
+    def test_fig13_shape(self):
+        """Fig 13: toward the root, mean front size grows and batch size
+        shrinks."""
+        _, _, symb = analyzed(grid3d(7), 16)
+        stats = symb.level_statistics()  # deepest level first
+        assert stats[0]["batch_size"] > stats[-1]["batch_size"]
+        assert stats[-1]["mean_size"] > stats[0]["mean_size"]
+        assert stats[-1]["batch_size"] == 1
+
+    def test_statistics_consistent(self):
+        _, _, symb = analyzed(grid2d(10, 10))
+        stats = symb.level_statistics()
+        assert sum(s["batch_size"] for s in stats) == len(symb.fronts)
+        for s in stats:
+            assert s["min_size"] <= s["mean_size"] <= s["max_size"]
+
+
+class TestCounts:
+    def test_factor_nonzeros_positive(self):
+        _, _, symb = analyzed(grid2d(10, 10))
+        assert symb.factor_nonzeros() >= (grid2d(10, 10) != 0).sum()
+
+    def test_factor_flops_positive_and_superlinear(self):
+        _, _, s1 = analyzed(grid2d(8, 8))
+        _, _, s2 = analyzed(grid2d(16, 16))
+        assert s2.factor_flops() > 4 * s1.factor_flops()

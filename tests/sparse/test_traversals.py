@@ -1,0 +1,140 @@
+"""Tests for the §III-A multi-traversal (memory-budgeted) factorization.
+
+"If the entire assembly tree does not fit in the device memory, then the
+factorization is split in multiple traversals of subtrees that do fit on
+the device."
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device, DeviceOutOfMemory
+from repro.sparse import multifrontal_factor_gpu, multifrontal_solve, \
+    nested_dissection, symbolic_analysis
+from repro.sparse.numeric.gpu_factor import plan_traversals
+
+from .util import grid2d, grid3d
+
+
+def prepare(a, leaf_size=16):
+    nd = nested_dissection(a, leaf_size=leaf_size)
+    ap = a[nd.perm][:, nd.perm].tocsr()
+    return nd, ap, symbolic_analysis(ap, nd)
+
+
+def total_front_bytes(symb):
+    return sum(8 * f.order ** 2 for f in symb.fronts)
+
+
+class TestPlanTraversals:
+    def test_no_budget_single_traversal(self, rng):
+        _, _, symb = prepare(grid2d(10, 10))
+        chunks = plan_traversals(symb, None)
+        assert len(chunks) == 1
+        assert chunks[0] == list(range(len(symb.fronts)))
+
+    def test_chunks_partition_postorder(self, rng):
+        _, _, symb = prepare(grid3d(5))
+        chunks = plan_traversals(symb, total_front_bytes(symb) // 4)
+        flat = [f for c in chunks for f in c]
+        assert flat == list(range(len(symb.fronts)))
+        assert len(chunks) > 1
+
+    def test_front_buffer_bytes_within_budget(self, rng):
+        _, _, symb = prepare(grid3d(5))
+        budget = total_front_bytes(symb) // 3
+        for chunk in plan_traversals(symb, budget):
+            assert sum(8 * symb.fronts[f].order ** 2
+                       for f in chunk) <= budget
+
+    def test_huge_budget_single_chunk(self, rng):
+        _, _, symb = prepare(grid2d(8, 8))
+        assert len(plan_traversals(symb, 10 ** 12)) == 1
+
+    def test_too_small_budget_raises(self, rng):
+        _, _, symb = prepare(grid2d(10, 10))
+        with pytest.raises(DeviceOutOfMemory, match="largest front"):
+            plan_traversals(symb, 64)
+
+
+class TestStreamingFactorization:
+    def test_factors_identical_to_resident_mode(self, rng):
+        a = grid3d(5)
+        nd, ap, symb = prepare(a)
+        dev1, dev2 = Device(A100()), Device(A100())
+        ref = multifrontal_factor_gpu(dev1, ap, symb)
+        budget = total_front_bytes(symb) // 4
+        res = multifrontal_factor_gpu(dev2, ap, symb,
+                                      memory_budget=budget)
+        assert res.counters["traversals"] > 1
+        for f_ref, f_str in zip(ref.factors.fronts, res.factors.fronts):
+            np.testing.assert_array_equal(f_ref.f11, f_str.f11)
+            np.testing.assert_array_equal(f_ref.f12, f_str.f12)
+            np.testing.assert_array_equal(f_ref.f21, f_str.f21)
+            np.testing.assert_array_equal(f_ref.ipiv, f_str.ipiv)
+
+    def test_streaming_solve_correct(self, rng):
+        a = grid2d(14, 14)
+        nd, ap, symb = prepare(a, leaf_size=8)
+        dev = Device(A100())
+        res = multifrontal_factor_gpu(
+            dev, ap, symb, memory_budget=total_front_bytes(symb) // 6)
+        b = rng.standard_normal(a.shape[0])
+        xp = multifrontal_solve(res.factors, b[nd.perm])
+        x = np.empty_like(xp)
+        x[nd.perm] = xp
+        assert np.abs(a @ x - b).max() < 1e-10
+
+    def test_streaming_pays_extra_transfers(self, rng):
+        a = grid3d(5)
+        nd, ap, symb = prepare(a)
+        dev1, dev2 = Device(A100()), Device(A100())
+        multifrontal_factor_gpu(dev1, ap, symb)
+        multifrontal_factor_gpu(dev2, ap, symb,
+                                memory_budget=total_front_bytes(symb) // 4)
+        assert dev2.profiler.transfer_count > dev1.profiler.transfer_count
+
+    def test_memory_stays_bounded(self, rng):
+        a = grid3d(5)
+        nd, ap, symb = prepare(a)
+        dev = Device(A100())
+        budget = total_front_bytes(symb) // 4
+        a_bytes = ap.data.nbytes + ap.indices.nbytes + ap.indptr.nbytes
+        multifrontal_factor_gpu(dev, ap, symb, memory_budget=budget)
+        # the budget governs the frontal working set; A stays resident
+        assert dev.peak_allocated_bytes <= budget + a_bytes
+
+    def test_no_leak_after_streaming(self, rng):
+        a = grid2d(10, 10)
+        nd, ap, symb = prepare(a)
+        dev = Device(A100())
+        before = dev.allocated_bytes
+        multifrontal_factor_gpu(dev, ap, symb,
+                                memory_budget=total_front_bytes(symb) // 3)
+        assert dev.allocated_bytes == before
+
+    @pytest.mark.parametrize("strategy", ["looped", "strumpack"])
+    def test_other_strategies_support_streaming(self, rng, strategy):
+        a = grid2d(10, 10)
+        nd, ap, symb = prepare(a, leaf_size=8)
+        dev = Device(A100())
+        res = multifrontal_factor_gpu(
+            dev, ap, symb, strategy=strategy,
+            memory_budget=total_front_bytes(symb) // 3)
+        assert res.counters["traversals"] > 1
+        b = rng.standard_normal(100)
+        xp = multifrontal_solve(res.factors, b[nd.perm])
+        x = np.empty_like(xp)
+        x[nd.perm] = xp
+        assert np.abs(a @ x - b).max() < 1e-10
+
+    def test_solver_passes_budget_through(self, rng):
+        from repro.sparse import SparseLU
+        a = grid2d(12, 12)
+        s = SparseLU(a, leaf_size=8).analyze()
+        budget = total_front_bytes(s.symb) // 3
+        s.factor(backend="batched", device=Device(A100()),
+                 memory_budget=budget)
+        assert s.factor_result.counters["traversals"] > 1
+        x, info = s.solve(rng.standard_normal(144))
+        assert info.final_residual < 1e-12

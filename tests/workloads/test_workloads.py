@@ -1,0 +1,76 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import build_maxwell_workload, large_square_batch, \
+    level_front_dims, panel_batch, random_square_batch, \
+    synthetic_front_batch, triangular_batch, uniform_random_sizes
+
+
+class TestRandomBatches:
+    def test_sizes_within_range(self):
+        sizes = uniform_random_sizes(500, 64, seed=1)
+        assert sizes.min() >= 1
+        assert sizes.max() <= 64
+        assert len(sizes) == 500
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            uniform_random_sizes(10, 2, min_size=5)
+
+    def test_deterministic_by_seed(self):
+        a = uniform_random_sizes(100, 32, seed=7)
+        b = uniform_random_sizes(100, 32, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_square_batch_shapes(self):
+        mats = random_square_batch(20, 50, seed=2)
+        for m in mats:
+            assert m.shape[0] == m.shape[1]
+            assert 1 <= m.shape[0] <= 50
+
+    def test_large_batch_uniform(self):
+        mats = large_square_batch(3, 128, seed=0)
+        assert all(m.shape == (128, 128) for m in mats)
+
+    def test_triangular_batch_well_scaled(self):
+        ts, bs = triangular_batch(30, 64, 4, seed=3)
+        for t, b in zip(ts, bs):
+            assert b.shape == (t.shape[0], 4)
+            assert np.abs(np.diag(t)).min() >= 0.5
+            assert np.allclose(t, np.tril(t))
+
+    def test_panel_batch(self):
+        mats = panel_batch(10, 100, 16, seed=4)
+        for m in mats:
+            assert m.shape[1] == 16
+            assert 16 <= m.shape[0] <= 100
+        fixed = panel_batch(10, 100, 16, vary=False)
+        assert all(m.shape == (100, 16) for m in fixed)
+
+
+class TestMaxwellWorkload:
+    def test_build_and_levels(self):
+        wl = build_maxwell_workload(5)
+        assert wl.matrix.shape[0] == wl.symb.n
+        dims = level_front_dims(wl.symb)
+        assert sum(len(d) for d in dims) == len(wl.symb.fronts)
+        # root level has one front
+        assert len(dims[-1]) == 1
+
+    def test_torus_variant(self):
+        wl = build_maxwell_workload(4, torus=True)
+        assert wl.problem.mesh.periodic_x
+        assert wl.matrix.shape[0] > 0
+
+    def test_synthetic_fronts_match_dims(self):
+        fronts = synthetic_front_batch([(3, 5), (0, 2), (4, 0)], seed=1)
+        assert fronts[0].shape == (8, 8)
+        assert fronts[1].shape == (2, 2)
+        assert fronts[2].shape == (4, 4)
+
+    def test_synthetic_pivot_blocks_nonsingular(self):
+        fronts = synthetic_front_batch([(16, 8)] * 5, seed=2)
+        for f in fronts:
+            assert np.abs(np.linalg.det(f[:16, :16])) > 0

@@ -1,0 +1,201 @@
+"""Host wall-clock benchmark: bucketed engine vs. naive per-matrix loops.
+
+The simulated-device numbers (Figs 6/7/10) are engine-invariant by
+construction — the bucketed engine replays the exact same ``KernelCost``
+sequence.  What the engine changes is *host* time: how long the launch
+bodies take to run on the machine driving the simulator.  This harness
+measures that, on the two workloads the engine was built for:
+
+* **Fig 10** — batches of 500 square matrices with sizes ~ U[1, max],
+  swept over ``max``; the paper's synthetic irregular-LU workload.
+* **Fig 13** — the per-level front batches of the Maxwell problem's
+  assembly tree; deep levels are huge batches of small, shape-clustered
+  fronts (the multifrontal case the bucketing exploits).
+
+Timing protocol: engines are timed *interleaved* (naive, bucketed,
+naive, bucketed, …) and the per-engine minimum over ``--reps`` rounds is
+reported, which suppresses the machine's clock-frequency drift.  Every
+round also verifies bitwise-identical factors/pivots/info and identical
+simulated launch records between the engines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke    # CI smoke
+
+Writes ``BENCH_wallclock.json`` (repo root) and
+``results/bench_wallclock.txt``.  Exits non-zero if the bucketed engine
+is slower than the naive loop on any Fig 10 round, or (full mode) if the
+headline 500-matrix mixed-size batch misses the 3x target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.batched import IrrBatch, irr_getrf  # noqa: E402
+from repro.device import A100, Device  # noqa: E402
+from repro.workloads.fronts import build_maxwell_workload, \
+    level_front_dims, synthetic_front_batch  # noqa: E402
+from repro.workloads.random_batch import random_square_batch  # noqa: E402
+
+HEADLINE = ("fig10", 500, 128)  # the acceptance workload
+
+
+def _records(dev: Device):
+    return [(r.name, r.cost.flops, r.cost.bytes_read, r.cost.bytes_written,
+             r.cost.blocks, r.cost.compute_ramp, r.cost.kernel_class)
+            for r in dev.profiler.records]
+
+
+def _run_once(mats: list[np.ndarray], engine: str):
+    work = [m.copy() for m in mats]
+    dev = Device(A100())
+    batch = IrrBatch.from_host(dev, work)
+    t0 = time.perf_counter()
+    piv = irr_getrf(dev, batch, engine=engine)
+    dev.synchronize()
+    dt = time.perf_counter() - t0
+    return dt, work, piv, _records(dev)
+
+
+def bench_case(mats: list[np.ndarray], reps: int) -> dict:
+    """Interleaved min-of-reps timing + full parity verification."""
+    t_naive, t_bucketed = [], []
+    bitwise = costs = True
+    ref = None
+    for _ in range(reps):
+        dn, fn, pn, rn = _run_once(mats, "naive")
+        db, fb, pb, rb = _run_once(mats, "bucketed")
+        t_naive.append(dn)
+        t_bucketed.append(db)
+        bitwise = bitwise and \
+            all(np.array_equal(a, b) for a, b in zip(fn, fb)) and \
+            all(np.array_equal(a, b) for a, b in zip(pn.ipiv, pb.ipiv)) and \
+            np.array_equal(pn.info, pb.info)
+        costs = costs and rn == rb
+        if ref is None:
+            ref = rn
+    tn, tb = min(t_naive), min(t_bucketed)
+    return {
+        "naive_s": round(tn, 4),
+        "bucketed_s": round(tb, 4),
+        "speedup": round(tn / tb, 2) if tb > 0 else float("inf"),
+        "bitwise_identical": bool(bitwise),
+        "costs_identical": bool(costs),
+        "launches": len(ref or ()),
+    }
+
+
+def run_fig10(batch_size: int, max_sizes: list[int], reps: int) -> list[dict]:
+    out = []
+    for mx in max_sizes:
+        mats = random_square_batch(batch_size, mx, seed=17)
+        row = bench_case(mats, reps)
+        row.update(workload="fig10", batch_size=batch_size, max_size=mx)
+        print(f"  fig10  batch={batch_size:4d} max={mx:4d}  "
+              f"naive {row['naive_s']:7.3f}s  bucketed {row['bucketed_s']:7.3f}s  "
+              f"{row['speedup']:5.2f}x  bitwise={row['bitwise_identical']} "
+              f"costs={row['costs_identical']}")
+        out.append(row)
+    return out
+
+
+def run_fig13(mesh_n: int, reps: int, min_batch: int = 8) -> list[dict]:
+    wl = build_maxwell_workload(mesh_n)
+    out = []
+    for lvl, dims in enumerate(level_front_dims(wl.symb)):
+        if len(dims) < min_batch:
+            continue  # shallow levels: a handful of large fronts
+        mats = synthetic_front_batch(dims, seed=23 + lvl)
+        row = bench_case(mats, reps)
+        sizes = [s + u for s, u in dims]
+        row.update(workload="fig13", level=lvl, batch_size=len(dims),
+                   mean_front=round(float(np.mean(sizes)), 1),
+                   max_front=int(max(sizes)))
+        print(f"  fig13  level={lvl} batch={len(dims):4d} "
+              f"mean_front={row['mean_front']:6.1f}  "
+              f"naive {row['naive_s']:7.3f}s  bucketed {row['bucketed_s']:7.3f}s  "
+              f"{row['speedup']:5.2f}x  bitwise={row['bitwise_identical']} "
+              f"costs={row['costs_identical']}")
+        out.append(row)
+    return out
+
+
+def report(rows: list[dict]) -> str:
+    lines = ["wall-clock: irr_getrf host time, naive loop vs bucketed engine",
+             "(min over interleaved reps; parity = bitwise factors/pivots/info"
+             " + identical simulated launch records)", ""]
+    for r in rows:
+        tag = (f"fig10 batch={r['batch_size']} max={r['max_size']}"
+               if r["workload"] == "fig10" else
+               f"fig13 level={r['level']} batch={r['batch_size']} "
+               f"mean_front={r['mean_front']}")
+        lines.append(f"{tag:44s} naive {r['naive_s']:8.3f}s  "
+                     f"bucketed {r['bucketed_s']:8.3f}s  "
+                     f"speedup {r['speedup']:5.2f}x  "
+                     f"parity={'ok' if r['bitwise_identical'] and r['costs_identical'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI workload: one Fig 10 case, one mesh level")
+    ap.add_argument("--reps", type=int, default=None,
+                    help="timing rounds per case (default 3; smoke 1)")
+    ap.add_argument("--out", default=str(ROOT / "BENCH_wallclock.json"))
+    args = ap.parse_args(argv)
+    if args.reps is not None and args.reps < 1:
+        ap.error("--reps must be >= 1")
+    reps = args.reps if args.reps is not None else (1 if args.smoke else 3)
+
+    rows: list[dict] = []
+    if args.smoke:
+        rows += run_fig10(batch_size=150, max_sizes=[48], reps=reps)
+        rows += run_fig13(mesh_n=6, reps=reps)
+    else:
+        rows += run_fig10(batch_size=500,
+                          max_sizes=[32, 64, 128, 256, 512], reps=reps)
+        rows += run_fig13(mesh_n=12, reps=reps)
+
+    ok = all(r["bitwise_identical"] and r["costs_identical"] for r in rows)
+    fig10 = [r for r in rows if r["workload"] == "fig10"]
+    regressed = [r for r in fig10 if r["speedup"] < 1.0]
+    headline = next((r for r in fig10
+                     if (r["workload"], r["batch_size"], r["max_size"])
+                     == HEADLINE), None)
+
+    payload = {"workloads": rows, "parity_ok": ok,
+               "headline": headline, "target_speedup": 3.0}
+    pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    text = report(rows)
+    print()
+    print(text)
+    (ROOT / "results").mkdir(exist_ok=True)
+    (ROOT / "results" / "bench_wallclock.txt").write_text(text + "\n")
+
+    if not ok:
+        print("FAIL: engines disagree (bitwise or cost records)")
+        return 1
+    if regressed:
+        print(f"FAIL: bucketed slower than naive on {len(regressed)} "
+              "fig10 case(s)")
+        return 1
+    if headline is not None and headline["speedup"] < 3.0:
+        print(f"FAIL: headline speedup {headline['speedup']}x < 3x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

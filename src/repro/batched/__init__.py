@@ -17,7 +17,9 @@ Public surface:
 
 from .cpu_batch import CpuBatchResult, cpu_getrf_batch
 from .dcwi import GemmWork, Workload, infer_extent, infer_gemm, \
-    infer_matrix, infer_trsm, op_shape
+    infer_gemm_batch, infer_matrix, infer_matrix_batch, infer_trsm, \
+    infer_trsm_batch, op_shape
+from .engine import BatchEngine, PlanCache, resolve_engine
 from .gemm import irr_gemm
 from .getrf import DEFAULT_PANEL_WIDTH, irr_getrf, lu_reconstruct, \
     lu_solve_factored
@@ -40,6 +42,8 @@ from .vendor import VENDOR_PANEL_NB, vendor_gemm, vendor_getrf, vendor_trsm
 __all__ = [
     "IrrBatch", "Offsets", "Workload", "GemmWork",
     "infer_extent", "infer_matrix", "infer_gemm", "infer_trsm", "op_shape",
+    "infer_matrix_batch", "infer_gemm_batch", "infer_trsm_batch",
+    "BatchEngine", "PlanCache", "resolve_engine",
     "irr_gemm", "irr_trsm", "magma_style_trsm", "TRSM_BASE_NB",
     "PanelPivots", "fused_getf2", "columnwise_getf2", "panel_shared_bytes",
     "factor_panel_block",

@@ -25,8 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 __all__ = ["Workload", "infer_extent", "infer_matrix", "infer_gemm",
-           "infer_trsm", "GemmWork", "op_shape"]
+           "infer_trsm", "GemmWork", "op_shape",
+           "WORKLOAD_NONE", "WORKLOAD_PARTIAL", "WORKLOAD_FULL",
+           "workload_code", "infer_matrix_batch", "infer_gemm_batch",
+           "infer_trsm_batch", "op_shape_batch"]
 
 
 class Workload(Enum):
@@ -78,17 +83,18 @@ def op_shape(trans: str, local_m: int, local_n: int,
 
 @dataclass(frozen=True)
 class GemmWork:
-    """Per-matrix inferred GEMM workload."""
+    """Per-matrix inferred GEMM workload.
+
+    ``cls`` is the classification against the *required* dimensions and
+    is assigned by :func:`infer_gemm`; it always agrees with the
+    classification that function returns (a ``GemmWork`` covering the
+    whole required operation is FULL, not PARTIAL).
+    """
 
     m: int
     n: int
     k: int
-
-    @property
-    def cls(self) -> Workload:
-        if self.m == 0 or self.n == 0:
-            return Workload.NONE
-        return Workload.PARTIAL  # refined by infer_gemm against required
+    cls: Workload
 
     @property
     def flops(self) -> float:
@@ -115,12 +121,13 @@ def infer_gemm(transa: str, transb: str, m: int, n: int, k: int,
     ni = max(0, min(n, c_cols, b_cols))
     ki = max(0, min(k, a_cols, b_rows))
 
-    work = GemmWork(mi, ni, ki)
     if mi == 0 or ni == 0:
-        return work, Workload.NONE
-    if (mi, ni, ki) == (m, n, k):
-        return work, Workload.FULL
-    return work, Workload.PARTIAL
+        cls = Workload.NONE
+    elif (mi, ni, ki) == (m, n, k):
+        cls = Workload.FULL
+    else:
+        cls = Workload.PARTIAL
+    return GemmWork(mi, ni, ki, cls), cls
 
 
 def infer_trsm(side: str, m: int, n: int,
@@ -152,4 +159,122 @@ def infer_trsm(side: str, m: int, n: int,
     if mi == 0 or ni == 0:
         return mi, ni, Workload.NONE
     cls = Workload.FULL if (mi, ni) == (m, n) else Workload.PARTIAL
+    return mi, ni, cls
+
+
+# ----------------------------------------------------------------------
+# vectorized (whole-batch) inference
+# ----------------------------------------------------------------------
+#
+# The scalar functions above are the reference semantics; the ``*_batch``
+# versions below compute the same inference for every matrix of a batch
+# with NumPy int64 arithmetic — no per-matrix Python calls.  They are the
+# substrate of the plan cache in :mod:`repro.batched.engine`: workload
+# inference is deterministic in (required dims, local dims, offsets,
+# flags), so a batch's inference is computed once per signature and
+# reused.  Classifications are returned as int8 codes so whole-batch
+# masks stay cheap.
+
+#: int8 classification codes (ordered so ``code > WORKLOAD_NONE`` means
+#: "has work").
+WORKLOAD_NONE = 0
+WORKLOAD_PARTIAL = 1
+WORKLOAD_FULL = 2
+
+_CODE_OF = {Workload.NONE: WORKLOAD_NONE,
+            Workload.PARTIAL: WORKLOAD_PARTIAL,
+            Workload.FULL: WORKLOAD_FULL}
+
+
+def workload_code(cls: Workload) -> int:
+    """The int8 code of a scalar :class:`Workload` classification."""
+    return _CODE_OF[cls]
+
+
+def _as_i64(v) -> np.ndarray:
+    return np.asarray(v, dtype=np.int64)
+
+
+def op_shape_batch(trans: str, m_vec, n_vec, oi: int, oj: int
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`op_shape`: available (rows, cols) of ``op(X)``
+    for every matrix of a batch with local dims ``(m_vec, n_vec)``."""
+    avail_rows = np.maximum(_as_i64(m_vec) - int(oi), 0)
+    avail_cols = np.maximum(_as_i64(n_vec) - int(oj), 0)
+    if trans == "N":
+        return avail_rows, avail_cols
+    if trans in ("T", "C"):
+        return avail_cols, avail_rows
+    raise ValueError(f"invalid trans {trans!r}")
+
+
+def infer_matrix_batch(m: int, n: int, m_vec, n_vec, ai: int, aj: int
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`infer_matrix` over a batch.
+
+    Returns ``(mi_vec, ni_vec, cls_vec)`` where ``cls_vec`` holds the
+    int8 ``WORKLOAD_*`` codes.
+    """
+    mi = np.clip(_as_i64(m_vec) - int(ai), 0, int(m))
+    ni = np.clip(_as_i64(n_vec) - int(aj), 0, int(n))
+    cls = np.where((mi == 0) | (ni == 0), WORKLOAD_NONE,
+                   np.where((mi == m) & (ni == n), WORKLOAD_FULL,
+                            WORKLOAD_PARTIAL)).astype(np.int8)
+    mi = np.where(cls == WORKLOAD_NONE, 0, mi)
+    ni = np.where(cls == WORKLOAD_NONE, 0, ni)
+    return mi, ni, cls
+
+
+def infer_gemm_batch(transa: str, transb: str, m: int, n: int, k: int,
+                     a_mvec, a_nvec, a_off: tuple[int, int],
+                     b_mvec, b_nvec, b_off: tuple[int, int],
+                     c_mvec, c_nvec, c_off: tuple[int, int],
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+    """Vectorized :func:`infer_gemm` over a batch.
+
+    Returns ``(mi_vec, ni_vec, ki_vec, cls_vec)``, matching the scalar
+    function element-for-element (``cls_vec`` as int8 codes).
+    """
+    a_rows, a_cols = op_shape_batch(transa, a_mvec, a_nvec, *a_off)
+    b_rows, b_cols = op_shape_batch(transb, b_mvec, b_nvec, *b_off)
+    c_rows = np.maximum(_as_i64(c_mvec) - int(c_off[0]), 0)
+    c_cols = np.maximum(_as_i64(c_nvec) - int(c_off[1]), 0)
+
+    mi = np.maximum(np.minimum(np.minimum(int(m), c_rows), a_rows), 0)
+    ni = np.maximum(np.minimum(np.minimum(int(n), c_cols), b_cols), 0)
+    ki = np.maximum(np.minimum(np.minimum(int(k), a_cols), b_rows), 0)
+
+    cls = np.where((mi == 0) | (ni == 0), WORKLOAD_NONE,
+                   np.where((mi == m) & (ni == n) & (ki == k),
+                            WORKLOAD_FULL, WORKLOAD_PARTIAL)).astype(np.int8)
+    return mi, ni, ki, cls
+
+
+def infer_trsm_batch(side: str, m: int, n: int,
+                     t_mvec, t_nvec, t_off: tuple[int, int],
+                     b_mvec, b_nvec, b_off: tuple[int, int],
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`infer_trsm` over a batch.
+
+    Returns ``(mi_vec, ni_vec, cls_vec)`` (``cls_vec`` as int8 codes).
+    """
+    t_rows = np.maximum(_as_i64(t_mvec) - int(t_off[0]), 0)
+    t_cols = np.maximum(_as_i64(t_nvec) - int(t_off[1]), 0)
+    t_order = np.minimum(t_rows, t_cols)
+    b_rows = np.maximum(_as_i64(b_mvec) - int(b_off[0]), 0)
+    b_cols = np.maximum(_as_i64(b_nvec) - int(b_off[1]), 0)
+
+    if side == "L":
+        mi = np.maximum(np.minimum(np.minimum(int(m), t_order), b_rows), 0)
+        ni = np.maximum(np.minimum(int(n), b_cols), 0)
+    elif side == "R":
+        mi = np.maximum(np.minimum(int(m), b_rows), 0)
+        ni = np.maximum(np.minimum(np.minimum(int(n), t_order), b_cols), 0)
+    else:
+        raise ValueError(f"invalid side {side!r}")
+
+    cls = np.where((mi == 0) | (ni == 0), WORKLOAD_NONE,
+                   np.where((mi == m) & (ni == n), WORKLOAD_FULL,
+                            WORKLOAD_PARTIAL)).astype(np.int8)
     return mi, ni, cls

@@ -15,11 +15,10 @@ import numpy as np
 from ..device.kernel import KernelCost, gemm_compute_ramp
 from ..device.simulator import Device
 from .dcwi import Workload, infer_gemm
+from .engine import GEMM_TILE as _GEMM_TILE, resolve_engine
 from .interface import IrrBatch, Offsets
 
 __all__ = ["irr_gemm"]
-
-_GEMM_TILE = 32  # logical tile edge used for block-count accounting
 
 
 def _apply_op(a: np.ndarray, trans: str) -> np.ndarray:
@@ -35,13 +34,19 @@ def irr_gemm(device: Device, transa: str, transb: str,
              beta: float,
              C: IrrBatch, c_off: Offsets, *,
              stream=None, kernel_class: str = "gemm_irr",
-             name: str = "irrgemm") -> KernelCost:
+             name: str = "irrgemm", engine=None) -> KernelCost:
     """Nonuniform batched GEMM with the expanded interface.
 
     Parameters mirror Fig 3 of the paper: ``m, n, k`` are the *required*
     dimensions (defined by the largest matrix); per-matrix local dims live
     in the batches; ``a_off``/``b_off``/``c_off`` are the scalar pointer
     offsets ``(Ai, Aj)`` etc.  Returns the accounted kernel cost.
+
+    ``engine`` selects the host execution path for the launch body:
+    ``None``/``"naive"`` runs the per-matrix reference loop,
+    ``"bucketed"`` (or a shared :class:`~repro.batched.engine.BatchEngine`)
+    executes shape buckets with stacked ``np.matmul`` calls — bitwise
+    identical results and identical :class:`KernelCost`.
     """
     if not (len(A) == len(B) == len(C)):
         raise ValueError("operand batches must have equal batch size")
@@ -51,8 +56,13 @@ def irr_gemm(device: Device, transa: str, transb: str,
         raise ValueError("required dimensions must be nonnegative")
 
     itemsize = C.itemsize
+    eng = resolve_engine(engine)
 
     def kernel() -> KernelCost:
+        if eng is not None:
+            return eng.exec_gemm(device, transa, transb, m, n, k, alpha,
+                                 A, a_off, B, b_off, beta, C, c_off,
+                                 kernel_class)
         flops = 0.0
         bytes_r = 0.0
         bytes_w = 0.0
@@ -88,9 +98,16 @@ def irr_gemm(device: Device, transa: str, transb: str,
                 bytes_w += mi * ni * itemsize
                 ramp_weighted += work.flops * gemm_compute_ramp(mi, ni, ki)
             else:
-                # k exhausted for this matrix: only the beta scaling remains.
-                if beta != 1.0:
+                # k exhausted for this matrix: only the beta scaling
+                # remains.  beta == 0 writes zeros without reading C
+                # (BLAS semantics); any other beta != 1 reads, scales
+                # (one flop per element) and writes.
+                if beta == 0.0:
+                    c_sub[...] = 0.0
+                    bytes_w += mi * ni * itemsize
+                elif beta != 1.0:
                     c_sub *= beta
+                    flops += mi * ni
                     bytes_r += mi * ni * itemsize
                     bytes_w += mi * ni * itemsize
             blocks += max(1, -(-mi // _GEMM_TILE)) * max(1, -(-ni // _GEMM_TILE))

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..device.simulator import Device
+from .engine import resolve_engine
 from .gemm import irr_gemm
 from .interface import IrrBatch
 from .laswp import irr_laswp
@@ -46,7 +47,7 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
               nb: int | str = "auto",
               panel: str = "auto", laswp_variant: str = "rehearsed",
               concurrent_swaps: bool = False,
-              stream=None) -> PanelPivots:
+              stream=None, engine="bucketed") -> PanelPivots:
     """Factor every matrix of an irregular batch as ``P·A = L·U``.
 
     Parameters
@@ -75,6 +76,14 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
         iteration.  Correct because nothing on the main stream reads
         columns left of the panel again; the side stream waits (via an
         event) for each iteration's panel, whose pivots it consumes.
+    engine:
+        Host execution path: ``"bucketed"`` (default — plan-cached,
+        shape-bucketed vectorized launch bodies), ``"naive"``/``None``
+        (the per-matrix reference loops), or a shared
+        :class:`~repro.batched.engine.BatchEngine`.  Both paths produce
+        bitwise-identical factors, pivots and simulated costs; only host
+        wall-clock differs.  One plan cache is created per call and
+        reused by every panel iteration.
 
     Returns
     -------
@@ -87,6 +96,7 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
         nb = DEFAULT_PANEL_WIDTH
     if not isinstance(nb, int) or nb < 1:
         raise ValueError("panel width must be a positive integer or 'auto'")
+    engine = resolve_engine(engine)
 
     pivots = PanelPivots(batch)
     kmax = batch.max_min_mn
@@ -102,7 +112,8 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
 
         # -- 1. panel --------------------------------------------------
         _factor_panel(device, batch, pivots, j, ib, panel=panel,
-                      laswp_variant=laswp_variant, stream=stream)
+                      laswp_variant=laswp_variant, stream=stream,
+                      engine=engine)
 
         # -- 2. row interchanges outside the panel ----------------------
         if j > 0:
@@ -111,23 +122,26 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
                     stream=stream if stream is not None else 0)
                 irr_laswp(device, batch, pivots, j, ib, "left",
                           variant=laswp_variant, stream=side,
-                          wait_events=[after_panel])
+                          wait_events=[after_panel], engine=engine)
             else:
                 irr_laswp(device, batch, pivots, j, ib, "left",
-                          variant=laswp_variant, stream=stream)
+                          variant=laswp_variant, stream=stream,
+                          engine=engine)
         if n_req > j + ib:
             irr_laswp(device, batch, pivots, j, ib, "right",
-                      variant=laswp_variant, stream=stream)
+                      variant=laswp_variant, stream=stream, engine=engine)
 
             # -- 3. update the upper factor (unit-lower solve) -----------
             irr_trsm(device, "L", "L", "N", "U", ib, n_req - j - ib, 1.0,
-                     batch, (j, j), batch, (j, j + ib), stream=stream)
+                     batch, (j, j), batch, (j, j + ib), stream=stream,
+                     engine=engine)
 
             # -- 4. trailing-matrix rank-ib update -----------------------
             if m_req > j + ib:
                 irr_gemm(device, "N", "N", m_req - j - ib, n_req - j - ib,
                          ib, -1.0, batch, (j + ib, j), batch, (j, j + ib),
-                         1.0, batch, (j + ib, j + ib), stream=stream)
+                         1.0, batch, (j + ib, j + ib), stream=stream,
+                         engine=engine)
 
     return pivots
 
@@ -139,7 +153,7 @@ MIN_FUSED_WIDTH = 8
 
 def _factor_panel(device: Device, batch: IrrBatch, pivots: PanelPivots,
                   j: int, ib: int, *, panel: str, laswp_variant: str,
-                  stream) -> None:
+                  stream, engine=None) -> None:
     """Factor the panel at global column ``j``, width ``ib``.
 
     ``panel="auto"`` is the shared-memory-adaptive path of §IV-E, extended
@@ -158,7 +172,8 @@ def _factor_panel(device: Device, batch: IrrBatch, pivots: PanelPivots,
     fits = panel_shared_bytes(batch.max_m, j, ib, batch.itemsize) <= \
         device.spec.max_shared_per_block
     if fits or panel == "fused":
-        fused_getf2(device, batch, pivots, j, ib, stream=stream)
+        fused_getf2(device, batch, pivots, j, ib, stream=stream,
+                    engine=engine)
         return
     if ib <= MIN_FUSED_WIDTH:
         columnwise_getf2(device, batch, pivots, j, ib, stream=stream)
@@ -168,21 +183,22 @@ def _factor_panel(device: Device, batch: IrrBatch, pivots: PanelPivots,
     ib2 = ib - ib1
     m_req = batch.max_m
     _factor_panel(device, batch, pivots, j, ib1, panel=panel,
-                  laswp_variant=laswp_variant, stream=stream)
+                  laswp_variant=laswp_variant, stream=stream, engine=engine)
     # first-half pivots -> right half of this panel only
     irr_laswp(device, batch, pivots, j, ib1, (j + ib1, j + ib),
-              variant=laswp_variant, stream=stream)
+              variant=laswp_variant, stream=stream, engine=engine)
     irr_trsm(device, "L", "L", "N", "U", ib1, ib2, 1.0,
-             batch, (j, j), batch, (j, j + ib1), stream=stream)
+             batch, (j, j), batch, (j, j + ib1), stream=stream,
+             engine=engine)
     if m_req > j + ib1:
         irr_gemm(device, "N", "N", m_req - j - ib1, ib2, ib1, -1.0,
                  batch, (j + ib1, j), batch, (j, j + ib1), 1.0,
-                 batch, (j + ib1, j + ib1), stream=stream)
+                 batch, (j + ib1, j + ib1), stream=stream, engine=engine)
     _factor_panel(device, batch, pivots, j + ib1, ib2, panel=panel,
-                  laswp_variant=laswp_variant, stream=stream)
+                  laswp_variant=laswp_variant, stream=stream, engine=engine)
     # second-half pivots -> left half of this panel
     irr_laswp(device, batch, pivots, j + ib1, ib2, (j, j + ib1),
-              variant=laswp_variant, stream=stream)
+              variant=laswp_variant, stream=stream, engine=engine)
 
 
 def lu_reconstruct(factored: np.ndarray, ipiv: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..device.kernel import KernelCost
 from ..device.simulator import Device
+from .engine import resolve_engine
 from .interface import IrrBatch
 from .panel import PanelPivots
 from .trsm import irr_trsm
@@ -24,29 +25,41 @@ __all__ = ["irr_getrs"]
 
 
 def irr_getrs(device: Device, factored: IrrBatch, pivots: PanelPivots,
-              rhs: IrrBatch, *, trans: str = "N", stream=None) -> None:
+              rhs: IrrBatch, *, trans: str = "N", stream=None,
+              engine="bucketed") -> None:
     """Solve ``A_i·X_i = B_i`` in place in ``rhs`` for every matrix.
 
     ``factored`` holds the packed LU of square matrices; ``rhs`` the
     right-hand sides (``rhs.m_vec`` must match ``factored.m_vec``; column
     counts may differ per matrix).  Only ``trans='N'`` is supported (the
     transposed solve is a trivial composition left to the caller).
+
+    ``engine`` selects the host execution path (see
+    :func:`~repro.batched.engine.resolve_engine`): the bucketed engine
+    rehearses every matrix's pivot swaps into one permutation gather and
+    plan-caches the TRSM inference; results and costs are bitwise
+    identical to the naive loops.
     """
     if trans != "N":
         raise NotImplementedError("only trans='N' is supported")
     if len(factored) != len(rhs):
         raise ValueError("factor and rhs batches must have equal size")
-    for i in range(len(factored)):
-        m, n = factored.local_dims(i)
-        if m != n:
-            raise ValueError(f"matrix {i} is not square ({m}x{n})")
-        if int(rhs.m_vec[i]) != m:
-            raise ValueError(
-                f"rhs {i} has {int(rhs.m_vec[i])} rows, expected {m}")
+    if np.any(factored.m_vec != factored.n_vec) or \
+            np.any(rhs.m_vec != factored.m_vec):
+        for i in range(len(factored)):
+            m, n = factored.local_dims(i)
+            if m != n:
+                raise ValueError(f"matrix {i} is not square ({m}x{n})")
+            if int(rhs.m_vec[i]) != m:
+                raise ValueError(
+                    f"rhs {i} has {int(rhs.m_vec[i])} rows, expected {m}")
 
     itemsize = rhs.itemsize
+    engine = resolve_engine(engine)
 
     def apply_pivots() -> KernelCost:
+        if engine is not None:
+            return engine.exec_apply_pivots(rhs, pivots)
         nbytes = 0.0
         blocks = 0
         for i in range(len(rhs)):
@@ -69,7 +82,7 @@ def irr_getrs(device: Device, factored: IrrBatch, pivots: PanelPivots,
     n_req = rhs.max_n
     irr_trsm(device, "L", "L", "N", "U", m_req, n_req, 1.0,
              factored, (0, 0), rhs, (0, 0), stream=stream,
-             name="irrgetrs:ltrsm")
+             name="irrgetrs:ltrsm", engine=engine)
     irr_trsm(device, "L", "U", "N", "N", m_req, n_req, 1.0,
              factored, (0, 0), rhs, (0, 0), stream=stream,
-             name="irrgetrs:utrsm")
+             name="irrgetrs:utrsm", engine=engine)

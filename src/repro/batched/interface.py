@@ -134,6 +134,21 @@ class IrrBatch:
                 np.dtype(np.complex128): 0.25}[self.dtype]
 
     @property
+    def dims_key(self) -> tuple[bytes, bytes]:
+        """Hashable signature of the local dimensions.
+
+        ``m_vec``/``n_vec`` are immutable for the life of the batch, so
+        the key is computed once and reused by the plan cache in
+        :mod:`repro.batched.engine` — two batches with identical local
+        dims share every cached inference plan.
+        """
+        key = getattr(self, "_dims_key", None)
+        if key is None:
+            key = (self.m_vec.tobytes(), self.n_vec.tobytes())
+            self._dims_key = key
+        return key
+
+    @property
     def max_m(self) -> int:
         return int(self.m_vec.max()) if len(self.m_vec) else 0
 

@@ -25,7 +25,7 @@ from ..device.memory import DeviceArray
 from ..device.simulator import Device
 
 __all__ = ["interleaved_getrf", "interleave", "deinterleave",
-            "INTERLEAVED_MAX_N"]
+            "interleaved_lu_core", "INTERLEAVED_MAX_N"]
 
 #: the small-matrix regime the layout targets (STRUMPACK's naive batch
 #: kernels and the Kokkos/MKL interleaved kernels live below this, §II).
@@ -53,6 +53,57 @@ def deinterleave(packed: np.ndarray) -> list[np.ndarray]:
             for b in range(packed.shape[-1])]
 
 
+def interleaved_lu_core(data: np.ndarray, k: int,
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The vectorized right-looking elimination on an interleaved batch.
+
+    ``data`` is ``(m, n, batch)``; ``k`` is the number of pivot columns
+    to eliminate (``min(m, n)`` for a full LU).  Every elimination step
+    is one vectorized operation across the whole batch — elementwise, so
+    each matrix's factors are bitwise identical to a scalar unblocked
+    elimination of the same matrix.  Factors overwrite ``data``.
+
+    Returns ``(ipiv, nz_counts, first_zero)``: the ``(k, batch)`` pivot
+    array, the per-column count of matrices with a nonzero pivot (for
+    exact flop accounting by callers that exclude skipped columns), and
+    the per-matrix 1-based column of the first exactly-zero pivot
+    (0 = none), matching LAPACK ``info`` semantics.
+    """
+    m, n, bs = data.shape
+    ipiv = np.tile(np.arange(k, dtype=np.int64)[:, None], (1, bs))
+    nz_counts = np.zeros(k, dtype=np.int64)
+    first_zero = np.zeros(bs, dtype=np.int64)
+    if k == 0 or bs == 0:
+        return ipiv, nz_counts, first_zero
+    batch_ix = np.arange(bs)
+    for c in range(k):
+        # vectorized pivot search across the whole batch
+        p = np.argmax(np.abs(data[c:, c, :]), axis=0) + c   # (bs,)
+        ipiv[c, :] = p
+        # vectorized row interchange (rows c and p_b in every matrix)
+        rows_c = data[c, :, batch_ix]          # (bs, n)
+        rows_p = data[p, :, batch_ix]
+        data[c, :, batch_ix] = rows_p
+        data[p, :, batch_ix] = rows_c
+        piv = data[c, c, :]                    # (bs,)
+        nz = piv != 0.0
+        nz_counts[c] = int(np.count_nonzero(nz))
+        newly = (~nz) & (first_zero == 0)
+        if newly.any():
+            first_zero[newly] = c + 1
+        if c + 1 < m:
+            inv = np.where(nz, piv, 1.0)
+            data[c + 1:, c, :] = np.where(
+                nz[None, :], data[c + 1:, c, :] / inv[None, :],
+                data[c + 1:, c, :])
+            if c + 1 < n:
+                data[c + 1:, c + 1:, :] -= np.where(
+                    nz[None, None, :],
+                    data[c + 1:, c, :][:, None, :] *
+                    data[c, c + 1:, :][None, :, :], 0.0)
+    return ipiv, nz_counts, first_zero
+
+
 def interleaved_getrf(device: Device, packed: DeviceArray | np.ndarray, *,
                       stream=None) -> np.ndarray:
     """LU with partial pivoting on an interleaved uniform batch.
@@ -77,29 +128,11 @@ def interleaved_getrf(device: Device, packed: DeviceArray | np.ndarray, *,
             "use irr_getrf")
 
     def kernel() -> KernelCost:
-        batch_ix = np.arange(bs)
+        core_ipiv, _nz, _fz = interleaved_lu_core(data, k)
+        ipiv[...] = core_ipiv
         flops = 0.0
         for c in range(k):
-            # vectorized pivot search across the whole batch
-            p = np.argmax(np.abs(data[c:, c, :]), axis=0) + c   # (bs,)
-            ipiv[c, :] = p
-            # vectorized row interchange (rows c and p_b in every matrix)
-            rows_c = data[c, :, batch_ix]          # (bs, n)
-            rows_p = data[p, :, batch_ix]
-            data[c, :, batch_ix] = rows_p
-            data[p, :, batch_ix] = rows_c
-            piv = data[c, c, :]                    # (bs,)
-            nz = piv != 0.0
             if c + 1 < m:
-                inv = np.where(nz, piv, 1.0)
-                data[c + 1:, c, :] = np.where(
-                    nz[None, :], data[c + 1:, c, :] / inv[None, :],
-                    data[c + 1:, c, :])
-                if c + 1 < n:
-                    data[c + 1:, c + 1:, :] -= np.where(
-                        nz[None, None, :],
-                        data[c + 1:, c, :][:, None, :] *
-                        data[c, c + 1:, :][None, :, :], 0.0)
                 flops += bs * ((m - c - 1) +
                                2.0 * (m - c - 1) * (n - c - 1))
         itemsize = data.dtype.itemsize

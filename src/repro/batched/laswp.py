@@ -101,8 +101,26 @@ def looped_laswp(device: Device, batch: IrrBatch, pivots: PanelPivots,
 def rehearsed_laswp(device: Device, batch: IrrBatch, pivots: PanelPivots,
                     j: int, ib: int, part: str, *, stream=None,
                     wait_events=None, chunk_rows: int = 32,
-                    name: str = "irrlaswp") -> None:
-    """Rehearse swaps on an index column, then move rows in chunks."""
+                    name: str = "irrlaswp", engine=None) -> None:
+    """Rehearse swaps on an index column, then move rows in chunks.
+
+    With a bucketed ``engine`` the three launches keep their names and
+    costs, but the auxiliary columns live in one padded matrix and the
+    rehearsal runs as ``ib`` vectorized swap steps across the batch
+    instead of a per-matrix per-pivot Python loop.
+    """
+    from .engine import resolve_engine  # deferred: engine imports panel
+    eng = resolve_engine(engine)
+    if eng is not None:
+        sess = eng.laswp_session(batch, pivots, j, ib, part, chunk_rows)
+        label = _part_label(part)
+        device.launch(f"{name}:{label}:init", sess.init, stream=stream,
+                      wait_events=wait_events)
+        device.launch(f"{name}:{label}:rehearse", sess.rehearse,
+                      stream=stream)
+        device.launch(f"{name}:{label}:gather", sess.gather, stream=stream)
+        return
+
     bs = len(batch)
     # The auxiliary one-column matrices: aux[i][r] = source row that must
     # end up at row r.  Rehearsal only involves rows >= j that the current
@@ -182,11 +200,15 @@ def rehearsed_laswp(device: Device, batch: IrrBatch, pivots: PanelPivots,
 
 def irr_laswp(device: Device, batch: IrrBatch, pivots: PanelPivots,
               j: int, ib: int, part: str, *, variant: str = "rehearsed",
-              stream=None, wait_events=None) -> None:
-    """Dispatch to the selected row-interchange implementation."""
+              stream=None, wait_events=None, engine=None) -> None:
+    """Dispatch to the selected row-interchange implementation.
+
+    ``engine`` only affects the rehearsed variant; the looped variant is
+    a per-pivot launch sequence by definition and always runs naive.
+    """
     if variant == "rehearsed":
         rehearsed_laswp(device, batch, pivots, j, ib, part, stream=stream,
-                        wait_events=wait_events)
+                        wait_events=wait_events, engine=engine)
     elif variant == "looped":
         looped_laswp(device, batch, pivots, j, ib, part, stream=stream,
                      wait_events=wait_events)

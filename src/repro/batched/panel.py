@@ -112,15 +112,27 @@ def factor_panel_block(a: np.ndarray, npiv: int, ipiv_out: np.ndarray,
 
 def fused_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,
                 j: int, ib: int, *, stream=None,
-                name: str = "irrgetf2") -> KernelCost:
-    """One launch factoring every matrix's panel in shared memory."""
+                name: str = "irrgetf2", engine=None) -> KernelCost:
+    """One launch factoring every matrix's panel in shared memory.
+
+    ``engine`` selects the host execution path of the launch body: the
+    bucketed engine groups matrices by inferred panel shape, routing
+    uniform small groups through the interleaved-layout elimination core
+    and the rest through one zero-padded vectorized elimination —
+    bitwise-identical factors, pivots and cost.
+    """
     smem = panel_shared_bytes(batch.max_m, j, ib, batch.itemsize)
     if smem > device.spec.max_shared_per_block:
         raise ValueError(
             f"panel of {smem} B does not fit in shared memory "
             f"({device.spec.max_shared_per_block} B) — use columnwise_getf2")
 
+    from .engine import resolve_engine  # deferred: engine imports panel
+    eng = resolve_engine(engine)
+
     def kernel() -> KernelCost:
+        if eng is not None:
+            return eng.exec_panel(device, batch, pivots, j, ib, smem)
         flops = 0.0
         nbytes = 0.0
         blocks = 0

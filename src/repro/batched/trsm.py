@@ -26,6 +26,7 @@ import scipy.linalg as sla
 from ..device.kernel import KernelCost, gemm_compute_ramp
 from ..device.simulator import Device
 from .dcwi import Workload, infer_trsm
+from .engine import resolve_engine
 from .gemm import irr_gemm
 from .interface import IrrBatch, Offsets
 
@@ -68,12 +69,16 @@ def _solve_small(t: np.ndarray, b: np.ndarray, side: str, uplo: str,
 def _base_kernel(device: Device, side: str, uplo: str, trans: str, diag: str,
                  m: int, n: int, alpha: float, T: IrrBatch, t_off: Offsets,
                  B: IrrBatch, b_off: Offsets, stream, kernel_class: str,
-                 name: str) -> KernelCost:
+                 name: str, eng=None) -> KernelCost:
     """One launch solving every matrix's (DCWI-inferred) small triangle."""
     itemsize = B.itemsize
     order_req = m if side == "L" else n
 
     def kernel() -> KernelCost:
+        if eng is not None:
+            return eng.exec_trsm_base(device, side, uplo, trans, diag,
+                                      m, n, alpha, T, t_off, B, b_off,
+                                      kernel_class, _solve_small)
         flops = 0.0
         bytes_r = 0.0
         bytes_w = 0.0
@@ -113,15 +118,21 @@ def irr_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,
              B: IrrBatch, b_off: Offsets, *,
              stream=None, base_nb: int = TRSM_BASE_NB,
              kernel_class: str = "trsm_irr",
-             name: str = "irrtrsm") -> None:
+             name: str = "irrtrsm", engine=None) -> None:
     """Recursive nonuniform batched triangular solve, in place in ``B``.
 
     Solves ``op(T)·X = α·B`` (``side='L'``, ``T`` of required order ``m``)
     or ``X·op(T) = α·B`` (``side='R'``, order ``n``), overwriting ``B``
     with ``X``.  All eight (side, uplo, trans) combinations are supported;
     ``diag='U'`` treats the diagonal as unit (the L factor of an LU).
+
+    ``engine`` selects the host execution path (see
+    :mod:`repro.batched.engine`); the base-case numerics stay per-matrix
+    in both engines — bucketing only removes inference/accounting
+    overhead here and speeds up the off-diagonal irrGEMM updates.
     """
     _check_args(side, uplo, trans, diag)
+    engine = resolve_engine(engine)
     if m < 0 or n < 0:
         raise ValueError("required dimensions must be nonnegative")
     if len(T) != len(B):
@@ -133,7 +144,7 @@ def irr_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,
     if order <= base_nb:
         _base_kernel(device, side, uplo, trans, diag, m, n, alpha,
                      T, t_off, B, b_off, stream, kernel_class,
-                     f"{name}:base")
+                     f"{name}:base", eng=engine)
         return
 
     # Split the required order; recurse on diagonal blocks, GEMM the
@@ -162,12 +173,12 @@ def irr_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,
             sub_b = (bi, bj) if first else (bi + n1, bj)
             irr_trsm(device, side, uplo, trans, diag, sz, n, a, T, d_off,
                      B, sub_b, stream=stream, base_nb=base_nb,
-                     kernel_class=kernel_class, name=name)
+                     kernel_class=kernel_class, name=name, engine=engine)
         else:
             sub_b = (bi, bj) if first else (bi, bj + n1)
             irr_trsm(device, side, uplo, trans, diag, m, sz, a, T, d_off,
                      B, sub_b, stream=stream, base_nb=base_nb,
-                     kernel_class=kernel_class, name=name)
+                     kernel_class=kernel_class, name=name, engine=engine)
 
     def update(a: float) -> None:
         """B_other ← a·B_other − op(T_off)·X_solved (or the R-side mirror)."""
@@ -183,7 +194,8 @@ def irr_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,
                 dims = (n1, n, n2)
             irr_gemm(device, opT, "N", dims[0], dims[1], dims[2], -1.0,
                      T, o_off, B, x_off, a, B, c_off2, stream=stream,
-                     kernel_class=kernel_class, name=f"{name}:gemm")
+                     kernel_class=kernel_class, name=f"{name}:gemm",
+                     engine=engine)
         else:
             if forward:
                 c_off2, x_off = (bi, bj + n1), (bi, bj)
@@ -193,7 +205,8 @@ def irr_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,
                 dims = (m, n1, n2)
             irr_gemm(device, "N", opT, dims[0], dims[1], dims[2], -1.0,
                      B, x_off, T, o_off, a, B, c_off2, stream=stream,
-                     kernel_class=kernel_class, name=f"{name}:gemm")
+                     kernel_class=kernel_class, name=f"{name}:gemm",
+                     engine=engine)
 
     if forward:
         recurse("first", alpha)

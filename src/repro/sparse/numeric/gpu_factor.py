@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from ...batched.engine import resolve_engine
 from ...batched.gemm import irr_gemm
 from ...batched.getrf import irr_getrf
 from ...batched.interface import IrrBatch
@@ -68,9 +69,18 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
                             hybrid_cutoff: int = HYBRID_GEMM_CUTOFF,
                             laswp_variant: str = "rehearsed",
                             nb: int = 32,
-                            memory_budget: int | None = None
-                            ) -> GpuFactorResult:
+                            memory_budget: int | None = None,
+                            engine="bucketed") -> GpuFactorResult:
     """Factor the permuted sparse matrix on the simulated device.
+
+    ``engine`` selects the host execution path for the batched kernels
+    (``"bucketed"`` default / ``"naive"``, see
+    :mod:`repro.batched.engine`).  One :class:`BatchEngine` is shared by
+    every level of the traversal, so levels with matching front-size
+    vectors reuse each other's DCWI plans.  Same-level fronts are highly
+    shape-clustered, which is exactly the case shape bucketing rewards.
+    The strategies that *model* naive implementations (``"looped"``,
+    ``"strumpack"``) always run their reference loops.
 
     ``memory_budget`` (bytes) enables the paper's §III-A out-of-core
     mode: "if the entire assembly tree does not fit in the device memory,
@@ -99,6 +109,7 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
 
     chunks = plan_traversals(symb, memory_budget)
     streaming = len(chunks) > 1
+    engine = resolve_engine(engine)
 
     buffers: dict[int, DeviceArray] = {}
     pivots_of: dict[int, np.ndarray] = {}
@@ -128,7 +139,7 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
                 _factor_level(device, a_perm, symb, level_fids, buffers,
                               pivots_of, strategy, gemm_mode,
                               hybrid_cutoff, laswp_variant, nb,
-                              host_schur=host_schur)
+                              host_schur=host_schur, engine=engine)
             if streaming:
                 flush_chunk(chunk)
 
@@ -209,7 +220,7 @@ def _chunk_levels(symb: SymbolicFactorization,
 
 def _factor_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
                   gemm_mode, hybrid_cutoff, laswp_variant, nb, *,
-                  host_schur=None) -> None:
+                  host_schur=None, engine=None) -> None:
     infos = [symb.fronts[f] for f in fids]
     for fid, info in zip(fids, infos):
         buffers[fid] = device.zeros((info.order, info.order),
@@ -224,7 +235,7 @@ def _factor_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
 
     if strategy == "batched":
         _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
-                       hybrid_cutoff, laswp_variant, nb)
+                       hybrid_cutoff, laswp_variant, nb, engine=engine)
     elif strategy == "looped":
         _level_looped(device, symb, fids, buffers, pivots_of)
     else:
@@ -313,11 +324,13 @@ def _make_block_batches(device, symb, fids, buffers):
     return s_vec, u_vec, f11, f12, f21, f22
 
 
-def _apply_pivots_to_f12(device, f12: IrrBatch, pivots: list[np.ndarray]
-                         ) -> None:
+def _apply_pivots_to_f12(device, f12: IrrBatch, pivots: list[np.ndarray],
+                         engine=None) -> None:
     """One kernel: gather-apply each front's pivot swaps to its F12 rows."""
 
     def kernel() -> KernelCost:
+        if engine is not None:
+            return engine.exec_apply_pivots_f12(f12, pivots)
         nbytes = 0.0
         blocks = 0
         for i in range(len(f12)):
@@ -339,27 +352,29 @@ def _apply_pivots_to_f12(device, f12: IrrBatch, pivots: list[np.ndarray]
 
 
 def _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
-                   hybrid_cutoff, laswp_variant, nb) -> None:
+                   hybrid_cutoff, laswp_variant, nb, *, engine=None) -> None:
     s_vec, u_vec, f11, f12, f21, f22 = _make_block_batches(
         device, symb, fids, buffers)
     smax = int(s_vec.max()) if len(s_vec) else 0
     umax = int(u_vec.max()) if len(u_vec) else 0
 
-    piv = irr_getrf(device, f11, nb=nb, laswp_variant=laswp_variant)
+    piv = irr_getrf(device, f11, nb=nb, laswp_variant=laswp_variant,
+                    engine=engine)
     for fid, ip in zip(fids, piv.ipiv):
         pivots_of[fid] = ip
     if umax == 0 or smax == 0:
         return
 
-    _apply_pivots_to_f12(device, f12, piv.ipiv)
+    _apply_pivots_to_f12(device, f12, piv.ipiv, engine=engine)
     irr_trsm(device, "L", "L", "N", "U", smax, umax, 1.0,
-             f11, (0, 0), f12, (0, 0), name="irrtrsm:f12")
+             f11, (0, 0), f12, (0, 0), name="irrtrsm:f12", engine=engine)
     irr_trsm(device, "R", "U", "N", "N", umax, smax, 1.0,
-             f11, (0, 0), f21, (0, 0), name="irrtrsm:f21")
+             f11, (0, 0), f21, (0, 0), name="irrtrsm:f21", engine=engine)
 
     if gemm_mode == "irr":
         irr_gemm(device, "N", "N", umax, umax, smax, -1.0, f21, (0, 0),
-                 f12, (0, 0), 1.0, f22, (0, 0), name="irrgemm:schur")
+                 f12, (0, 0), 1.0, f22, (0, 0), name="irrgemm:schur",
+                 engine=engine)
     elif gemm_mode == "vendor":
         _vendor_gemm_loop(device, fids, symb, f12, f21, f22, range(len(fids)))
     else:  # hybrid (Fig 14)
@@ -376,7 +391,8 @@ def _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
                      int(u_vec[sel].max()), int(u_vec[sel].max()),
                      int(s_vec[sel].max()), -1.0,
                      sub(f21, sel), (0, 0), sub(f12, sel), (0, 0), 1.0,
-                     sub(f22, sel), (0, 0), name="irrgemm:schur")
+                     sub(f22, sel), (0, 0), name="irrgemm:schur",
+                     engine=engine)
         _vendor_gemm_loop(device, fids, symb, f12, f21, f22, large)
 
 

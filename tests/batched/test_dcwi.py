@@ -1,10 +1,12 @@
 """Tests for the Dynamic Compute-Workload Inference layer."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.batched.dcwi import Workload, infer_extent, infer_gemm, \
-    infer_matrix, infer_trsm, op_shape
+    infer_gemm_batch, infer_matrix, infer_matrix_batch, infer_trsm, \
+    infer_trsm_batch, op_shape, workload_code
 
 
 class TestInferExtent:
@@ -159,3 +161,122 @@ class TestInferTrsm:
     def test_offsets_shrink_order(self):
         mi, _, _ = infer_trsm("L", 8, 4, (10, 10), (7, 7), (10, 10), (7, 0))
         assert mi == 3
+
+
+class TestGemmWorkCls:
+    """Regression: ``GemmWork.cls`` used to be a property that returned
+    PARTIAL for every nonempty workload — even when the inferred dims
+    covered the whole required operation — so it could disagree with the
+    classification ``infer_gemm`` itself returned."""
+
+    def test_full_workload_is_full_not_partial(self):
+        work, cls = infer_gemm("N", "N", 6, 6, 6, (6, 6), (0, 0),
+                               (6, 6), (0, 0), (6, 6), (0, 0))
+        assert cls is Workload.FULL
+        assert work.cls is Workload.FULL  # the old property said PARTIAL
+
+    def test_none_workload(self):
+        work, cls = infer_gemm("N", "N", 4, 4, 4, (4, 4), (4, 0),
+                               (4, 4), (0, 0), (4, 4), (0, 0))
+        assert cls is Workload.NONE
+        assert work.cls is Workload.NONE
+
+    @given(st.integers(0, 8), st.integers(0, 8), st.integers(0, 8),
+           st.integers(1, 10), st.integers(1, 10),
+           st.integers(0, 10), st.integers(0, 10))
+    def test_cls_always_agrees_with_returned_classification(
+            self, m, n, k, am, an, ai, aj):
+        work, cls = infer_gemm("N", "N", m, n, k, (am, an), (ai, aj),
+                               (10, 10), (0, 0), (10, 10), (0, 0))
+        assert work.cls is cls
+
+
+class TestVectorizedBatchInference:
+    """The ``*_batch`` functions must match the scalar reference
+    element-for-element, including every edge the engine relies on."""
+
+    # (local_m, local_n) per matrix: 0x0, 1x1, offsets landing exactly on
+    # the local dim, offsets beyond it, and dims smaller than required.
+    EDGE_LOCALS = [(0, 0), (1, 1), (5, 5), (5, 3), (3, 5), (8, 8),
+                   (2, 7), (7, 2), (1, 8), (8, 1)]
+    EDGE_CASES = [
+        # (m, n, k, a_off, b_off, c_off)
+        (5, 5, 5, (0, 0), (0, 0), (0, 0)),
+        (5, 5, 5, (5, 0), (0, 0), (0, 0)),    # offset at local dim
+        (5, 5, 5, (7, 7), (7, 7), (7, 7)),    # offset beyond local dim
+        (8, 8, 8, (0, 0), (0, 0), (0, 0)),    # required > every local
+        (12, 12, 12, (1, 1), (1, 1), (1, 1)),  # required > all, offset
+        (1, 1, 1, (0, 0), (0, 0), (0, 0)),
+        (5, 5, 0, (0, 0), (0, 0), (0, 0)),    # k == 0: beta-only
+        (0, 5, 5, (0, 0), (0, 0), (0, 0)),    # zero required dim
+        (5, 5, 5, (0, 3), (3, 0), (0, 0)),    # k clipped by offsets
+    ]
+
+    def _vecs(self):
+        mv = np.array([m for m, _ in self.EDGE_LOCALS], dtype=np.int64)
+        nv = np.array([n for _, n in self.EDGE_LOCALS], dtype=np.int64)
+        return mv, nv
+
+    @pytest.mark.parametrize("m,n,k,a_off,b_off,c_off", EDGE_CASES)
+    @pytest.mark.parametrize("transa", ["N", "T", "C"])
+    @pytest.mark.parametrize("transb", ["N", "T", "C"])
+    def test_gemm_matches_scalar(self, m, n, k, a_off, b_off, c_off,
+                                 transa, transb):
+        mv, nv = self._vecs()
+        mi, ni, ki, cls = infer_gemm_batch(transa, transb, m, n, k,
+                                           mv, nv, a_off, mv, nv, b_off,
+                                           mv, nv, c_off)
+        for i, (lm, ln) in enumerate(self.EDGE_LOCALS):
+            work, scls = infer_gemm(transa, transb, m, n, k,
+                                    (lm, ln), a_off, (lm, ln), b_off,
+                                    (lm, ln), c_off)
+            assert (int(mi[i]), int(ni[i]), int(ki[i])) == \
+                (work.m, work.n, work.k), (i, lm, ln)
+            assert int(cls[i]) == workload_code(scls), (i, lm, ln)
+
+    @pytest.mark.parametrize("m,n,a_off", [
+        (5, 5, (0, 0)), (5, 5, (5, 5)), (5, 5, (9, 0)), (12, 12, (0, 0)),
+        (1, 1, (0, 0)), (0, 4, (0, 0)), (12, 3, (2, 2)),
+    ])
+    def test_matrix_matches_scalar(self, m, n, a_off):
+        mv, nv = self._vecs()
+        mi, ni, cls = infer_matrix_batch(m, n, mv, nv, *a_off)
+        for i, (lm, ln) in enumerate(self.EDGE_LOCALS):
+            smi, sni, scls = infer_matrix(m, n, lm, ln, *a_off)
+            assert (int(mi[i]), int(ni[i])) == (smi, sni), (i, lm, ln)
+            assert int(cls[i]) == workload_code(scls), (i, lm, ln)
+
+    @pytest.mark.parametrize("side", ["L", "R"])
+    @pytest.mark.parametrize("m,n,t_off,b_off", [
+        (5, 5, (0, 0), (0, 0)), (5, 5, (5, 0), (0, 0)),
+        (5, 5, (0, 0), (7, 7)), (12, 12, (0, 0), (0, 0)),
+        (1, 1, (0, 0), (0, 0)), (8, 3, (2, 2), (1, 0)),
+        (3, 8, (2, 2), (0, 1)),
+    ])
+    def test_trsm_matches_scalar(self, side, m, n, t_off, b_off):
+        mv, nv = self._vecs()
+        mi, ni, cls = infer_trsm_batch(side, m, n, mv, nv, t_off,
+                                       mv, nv, b_off)
+        for i, (lm, ln) in enumerate(self.EDGE_LOCALS):
+            smi, sni, scls = infer_trsm(side, m, n, (lm, ln), t_off,
+                                        (lm, ln), b_off)
+            assert (int(mi[i]), int(ni[i])) == (smi, sni), (i, lm, ln)
+            assert int(cls[i]) == workload_code(scls), (i, lm, ln)
+
+    @given(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9),
+           st.integers(0, 6), st.integers(0, 6),
+           st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                    min_size=1, max_size=12))
+    def test_gemm_random_sweep(self, m, n, k, oi, oj, locals_):
+        mv = np.array([a for a, _ in locals_], dtype=np.int64)
+        nv = np.array([b for _, b in locals_], dtype=np.int64)
+        off = (oi, oj)
+        mi, ni, ki, cls = infer_gemm_batch("N", "T", m, n, k,
+                                           mv, nv, off, mv, nv, off,
+                                           mv, nv, (0, 0))
+        for i, (lm, ln) in enumerate(locals_):
+            work, scls = infer_gemm("N", "T", m, n, k, (lm, ln), off,
+                                    (lm, ln), off, (lm, ln), (0, 0))
+            assert (int(mi[i]), int(ni[i]), int(ki[i])) == \
+                (work.m, work.n, work.k)
+            assert int(cls[i]) == workload_code(scls)

@@ -176,3 +176,54 @@ class TestGemmProperty:
                  B, (0, 0), 0.0, C, (0, 0))
         for a, b, got in zip(A.to_host(), B.to_host(), C.to_host()):
             np.testing.assert_allclose(got, a @ b, rtol=1e-12, atol=1e-12)
+
+
+class TestBetaAccounting:
+    """Accounting of the beta-handling paths (both engines must agree;
+    parity is enforced in test_engine.py — these pin the reference)."""
+
+    def test_k_exhausted_beta_scaling_counts_flops(self, a100, rng):
+        # A exhausted at the offset: the remaining work is C *= beta,
+        # one flop per element, one read + one write.
+        A = make_batch(a100, rng, [(4, 2)])
+        B = make_batch(a100, rng, [(4, 4)])
+        C = make_batch(a100, rng, [(4, 4)])
+        cost = irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (0, 2),
+                        B, (0, 0), 0.5, C, (0, 0))
+        assert cost.flops == pytest.approx(4 * 4)
+        assert cost.bytes_read == pytest.approx(4 * 4 * C.itemsize)
+        assert cost.bytes_written == pytest.approx(4 * 4 * C.itemsize)
+
+    def test_k_exhausted_beta_zero_skips_read(self, a100, rng):
+        # beta == 0 writes zeros without reading C (BLAS semantics).
+        A = make_batch(a100, rng, [(4, 2)])
+        B = make_batch(a100, rng, [(4, 4)])
+        C = make_batch(a100, rng, [(4, 4)])
+        cost = irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (0, 2),
+                        B, (0, 0), 0.0, C, (0, 0))
+        assert cost.flops == 0
+        assert cost.bytes_read == 0
+        assert cost.bytes_written == pytest.approx(4 * 4 * C.itemsize)
+        np.testing.assert_array_equal(C.to_host()[0], np.zeros((4, 4)))
+
+    def test_k_exhausted_beta_one_is_free(self, a100, rng):
+        A = make_batch(a100, rng, [(4, 2)])
+        B = make_batch(a100, rng, [(4, 4)])
+        C = make_batch(a100, rng, [(4, 4)])
+        before = C.to_host()[0]
+        cost = irr_gemm(a100, "N", "N", 4, 4, 4, 1.0, A, (0, 2),
+                        B, (0, 0), 1.0, C, (0, 0))
+        assert cost.flops == 0
+        assert cost.bytes_total == 0
+        np.testing.assert_array_equal(C.to_host()[0], before)
+
+    def test_beta_zero_skips_c_read_in_main_path(self, a100, rng):
+        A = make_batch(a100, rng, [(8, 8)])
+        C = make_batch(a100, rng, [(8, 8)])
+        c0 = irr_gemm(a100, "N", "N", 8, 8, 8, 1.0, A, (0, 0), A, (0, 0),
+                      0.0, C, (0, 0))
+        c1 = irr_gemm(a100, "N", "N", 8, 8, 8, 1.0, A, (0, 0), A, (0, 0),
+                      1.0, C, (0, 0))
+        # beta != 0 reads C in addition to A and B; beta == 0 must not.
+        assert c1.bytes_read - c0.bytes_read == \
+            pytest.approx(8 * 8 * C.itemsize)

@@ -827,8 +827,19 @@ class BatchEngine:
         return perm, swaps
 
     def exec_apply_pivots(self, rhs, pivots) -> KernelCost:
-        """Bucketed body of the ``irrgetrs:pivots`` launch."""
-        perm, swaps = self._rehearse_permutation(pivots.ipiv, rhs.max_m)
+        """Bucketed body of the ``irrgetrs:pivots`` launch.
+
+        The rehearsed permutation depends only on the pivot sequences
+        and the row count, so it is memoized on the pivots object —
+        repeated solves against one set of factors (the getrs analogue
+        of the solve plan) rehearse once and replay the gather.
+        """
+        memo = getattr(pivots, "_rehearsal", None)
+        if memo is not None and memo[0] == rhs.max_m:
+            _m, perm, swaps = memo
+        else:
+            perm, swaps = self._rehearse_permutation(pivots.ipiv, rhs.max_m)
+            pivots._rehearsal = (rhs.max_m, perm, swaps)
         itemsize = rhs.itemsize
         nbytes = 0
         blocks = 0
@@ -861,6 +872,99 @@ class BatchEngine:
         return KernelCost(bytes_read=nbytes / 2, bytes_written=nbytes / 2,
                           blocks=max(blocks, 1), kernel_class="swap",
                           memory_ramp=0.4)
+
+    # ------------------------------------------------------------------
+    # multifrontal solve phase (plan-driven level kernels)
+    # ------------------------------------------------------------------
+    # ``lp`` below is a LevelSolvePlan from repro.sparse.numeric.solve_plan
+    # (duck-typed here to keep the dependency one-directional);
+    # ``stacks`` the per-bucket 3-D DeviceArray factor stacks.  Costs
+    # reproduce the reference closures in gpu_solve bit-for-bit: the
+    # accumulators are integer-valued, so the precomputed sums equal the
+    # naive loop's sequential ``+=`` in IEEE double.
+
+    def exec_solve_pivots(self, x, lp, nrhs: int,
+                          itemsize: int) -> KernelCost:
+        """Planned body of the ``solve:pivots`` launch.
+
+        The per-front swap loops were rehearsed at plan-build time into
+        one global ``(dst, src)`` row gather; the fancy-index read
+        completes before any write, so permutation cycles resolve to the
+        same rows as the sequential swaps they replay.
+        """
+        if len(lp.piv_dst):
+            x[lp.piv_dst, :] = x[lp.piv_src, :]
+        nbytes = 4.0 * nrhs * itemsize * lp.swaps_total
+        return KernelCost(bytes_read=nbytes / 2, bytes_written=nbytes / 2,
+                          blocks=max(lp.nfronts, 1),
+                          kernel_class="swap", memory_ramp=0.3)
+
+    def exec_solve_scatter(self, x, lp, stacks, nrhs: int,
+                           itemsize: int) -> KernelCost:
+        """Planned body of the ``solve:scatter`` launch (forward updates).
+
+        Every bucket's ``f21 @ y`` products are computed stacked into a
+        contiguous delta buffer first — safe, because same-level
+        separators never appear in same-level update sets, so no product
+        reads a row the subtraction writes.  The conflict-free rounds
+        then drain the buffer with one vectorized subtract each, hitting
+        every row in the reference's per-front order.
+        """
+        total = len(lp.upd_rows)
+        delta = self._scratch("solve_delta", total * nrhs,
+                              x.dtype).reshape(total, nrhs)
+        for b, stack in zip(lp.buckets, stacks):
+            bs = len(b.fids)
+            blocks3 = stack.data
+            # The (u=1, nrhs=1) product is the inner-product shape whose
+            # 2-D summation order differs from stacked matmul (the GEMM
+            # bucketing rule); it and sub-MIN_BUCKET buckets stay 2-D.
+            if bs >= self.min_bucket and not (b.u == 1 and nrhs == 1):
+                y = x[b.sep_mat, :]
+                prod = np.matmul(blocks3, y)
+                delta[b.out_pos, :] = prod.reshape(bs * b.u, nrhs)
+            else:
+                for j in range(bs):
+                    s0 = int(b.sep_start[j])
+                    g0 = int(b.seg_start[j])
+                    delta[g0:g0 + b.u, :] = \
+                        blocks3[j] @ x[s0:s0 + b.s, :]
+        for rows, pos in lp.rounds:
+            x[rows, :] -= delta[pos, :]
+        flops = 2.0 * lp.sum_us * nrhs
+        nbytes = float(lp.sum_us + 2 * lp.sum_u * nrhs) * itemsize
+        return KernelCost(flops=flops, bytes_read=nbytes * 0.7,
+                          bytes_written=nbytes * 0.3,
+                          blocks=max(lp.nfronts, 1),
+                          kernel_class="gemm_irr", memory_ramp=0.5)
+
+    def exec_solve_gather(self, x, lp, stacks, nrhs: int,
+                          itemsize: int) -> KernelCost:
+        """Planned body of the ``solve:gather`` launch (backward updates).
+
+        Reads ancestor rows (finished by earlier backward levels) and
+        writes this level's disjoint separator ranges, so the bucket
+        subtracts are conflict-free by construction.
+        """
+        for b, stack in zip(lp.buckets, stacks):
+            bs = len(b.fids)
+            blocks3 = stack.data
+            if bs >= self.min_bucket and not (b.s == 1 and nrhs == 1):
+                xu = x[b.upd_mat, :]
+                prod = np.matmul(blocks3, xu)
+                x[b.sep_flat, :] -= prod.reshape(bs * b.s, nrhs)
+            else:
+                for j in range(bs):
+                    s0 = int(b.sep_start[j])
+                    g0 = int(b.seg_start[j])
+                    xu = x[lp.upd_rows[g0:g0 + b.u], :]
+                    x[s0:s0 + b.s, :] -= blocks3[j] @ xu
+        flops = 2.0 * lp.sum_us * nrhs
+        nbytes = float(lp.sum_us + 2 * lp.sum_s_active * nrhs) * itemsize
+        return KernelCost(flops=flops, bytes_read=nbytes * 0.7,
+                          bytes_written=nbytes * 0.3,
+                          blocks=max(lp.nfronts, 1),
+                          kernel_class="gemm_irr", memory_ramp=0.5)
 
 
 class _LaswpSession:

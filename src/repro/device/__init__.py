@@ -19,14 +19,15 @@ Quick use::
 
 from .kernel import KernelCost, LaunchRecord, gemm_compute_ramp, \
     intrinsic_duration, sm_demand
-from .memory import DeviceArray, DeviceOutOfMemory
+from .memory import DeviceArray, DeviceOutOfMemory, pack_to_device
 from .profiler import KernelSummary, Profiler
 from .simulator import Device
 from .spec import A100, MI100, XEON_6140_2S, CpuSpec, DeviceSpec
 from .stream import Event, Stream
 
 __all__ = [
-    "Device", "DeviceArray", "DeviceOutOfMemory", "DeviceSpec", "CpuSpec",
+    "Device", "DeviceArray", "DeviceOutOfMemory", "pack_to_device",
+    "DeviceSpec", "CpuSpec",
     "A100", "MI100", "XEON_6140_2S", "Stream", "Event", "KernelCost",
     "LaunchRecord",
     "Profiler", "KernelSummary", "intrinsic_duration", "sm_demand",

@@ -11,6 +11,7 @@ from .numeric.cpu_factor import multifrontal_factor_cpu
 from .numeric.gpu_factor import GpuFactorResult, HYBRID_GEMM_CUTOFF, \
     STRUMPACK_BATCH_LIMIT, multifrontal_factor_gpu, plan_traversals
 from .numeric.gpu_solve import GpuSolveResult, multifrontal_solve_gpu
+from .numeric.solve_plan import DeviceFactorCache, SolvePlan
 from .distributed import DistributedFactorResult, RankAssignment, \
     multifrontal_factor_distributed, partition_tree
 from .numeric.triangular import multifrontal_solve
@@ -32,6 +33,7 @@ __all__ = [
     "naive_loop_factor", "strumpack_like_factor", "superlu_like_factor",
     "HYBRID_GEMM_CUTOFF", "STRUMPACK_BATCH_LIMIT",
     "plan_traversals", "multifrontal_solve_gpu", "GpuSolveResult",
+    "SolvePlan", "DeviceFactorCache",
     "multifrontal_factor_distributed", "DistributedFactorResult",
     "partition_tree", "RankAssignment",
     "SparseCholesky", "CholeskyFactors",

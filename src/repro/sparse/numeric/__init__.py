@@ -2,10 +2,14 @@
 
 from .cpu_factor import factor_front_blocks, multifrontal_factor_cpu
 from .factors import FrontFactors, MultifrontalFactors, assemble_front
+from .solve_plan import DeviceFactorCache, LevelFactorBlocks, \
+    LevelSolvePlan, SolveBucket, SolvePlan
 from .triangular import multifrontal_solve
 
 __all__ = [
     "multifrontal_factor_cpu", "factor_front_blocks",
     "FrontFactors", "MultifrontalFactors", "assemble_front",
     "multifrontal_solve",
+    "SolvePlan", "DeviceFactorCache", "LevelSolvePlan", "SolveBucket",
+    "LevelFactorBlocks",
 ]

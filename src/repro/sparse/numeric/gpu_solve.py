@@ -9,8 +9,23 @@ Because the permuted numbering gives every front's separator a
 views into the global solution vector; only the update sets need
 gather/scatter.
 
-Factors are uploaded level-by-level (H2D transfers are accounted); a
-production solver would keep them resident after the factorization.
+Two host execution paths produce bitwise-identical solutions and
+identical simulated launch records:
+
+* ``engine="naive"`` — the reference: factors are streamed level-by-level
+  (upload, use, free), pivots applied row-by-row, updates scattered
+  front-by-front.
+* ``engine="bucketed"`` (default) — a :class:`SolvePlan` precomputes the
+  per-level gather/scatter index structure once and a
+  :class:`DeviceFactorCache` keeps factor blocks device-resident across
+  repeated solves; pass ``plan=``/``cache=`` (built by
+  :class:`~repro.sparse.solver.SparseLU` or by hand) to amortize them,
+  or omit them for a self-contained one-shot solve (which streams, so it
+  leaves no device allocations behind).
+
+``rhs_block`` caps how many right-hand-side columns flow through the
+sweeps per pass — many-RHS solves trade one pass over the factors for
+bounded per-level scratch, like a blocked LAPACK ``getrs``.
 """
 
 from __future__ import annotations
@@ -19,11 +34,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...batched.engine import resolve_engine
 from ...batched.interface import IrrBatch
 from ...batched.trsm import irr_trsm
 from ...device.kernel import KernelCost
 from ...device.simulator import Device
 from .factors import MultifrontalFactors
+from .solve_plan import DeviceFactorCache, SolvePlan
 
 __all__ = ["multifrontal_solve_gpu", "GpuSolveResult"]
 
@@ -39,14 +56,18 @@ class GpuSolveResult:
 
 def _upload_level(device: Device, factors: MultifrontalFactors,
                   fids: list[int], which: str) -> IrrBatch:
-    """Upload one factor block (f11/f12/f21) of a level as a batch."""
+    """Upload one factor block (f11/f12/f21) of a level as a batch.
+
+    Zero-sized blocks (a front with no update rows) allocate an empty
+    device array without crossing the bus — nothing to transfer, so no
+    PCIE latency is charged for them.
+    """
     arrays = []
     m_vec, n_vec = [], []
     for fid in fids:
         block = getattr(factors.fronts[fid], which)
-        arrays.append(device.from_host(
-            block if block.size else block.reshape(max(block.shape[0], 0),
-                                                   max(block.shape[1], 0))))
+        arrays.append(device.from_host(block) if block.size else
+                      device.empty(block.shape, dtype=block.dtype))
         m_vec.append(block.shape[0])
         n_vec.append(block.shape[1])
     return IrrBatch(device, arrays,
@@ -54,10 +75,9 @@ def _upload_level(device: Device, factors: MultifrontalFactors,
                     np.array(n_vec, dtype=np.int64))
 
 
-def multifrontal_solve_gpu(device: Device, factors: MultifrontalFactors,
-                           b: np.ndarray, *, stream=None) -> GpuSolveResult:
-    """Solve the permuted system on the device with per-level batching."""
-    symb = factors.symb
+def _promote_rhs(factors: MultifrontalFactors,
+                 b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Copy ``b`` promoted against the factor dtype; report 1-D squeeze."""
     bh = np.array(b, dtype=np.result_type(
         np.asarray(b).dtype,
         factors.fronts[0].f11.dtype if factors.fronts else np.float64),
@@ -65,9 +85,16 @@ def multifrontal_solve_gpu(device: Device, factors: MultifrontalFactors,
     squeeze = bh.ndim == 1
     if squeeze:
         bh = bh[:, None]
-    if bh.shape[0] != symb.n:
-        raise ValueError(
-            f"right-hand side has {bh.shape[0]} rows, expected {symb.n}")
+    if bh.shape[0] != factors.symb.n:
+        raise ValueError(f"right-hand side has {bh.shape[0]} rows, "
+                         f"expected {factors.symb.n}")
+    return bh, squeeze
+
+
+def _solve_naive(device: Device, factors: MultifrontalFactors,
+                 bh: np.ndarray, stream) -> tuple:
+    """Reference path: streamed factors, per-front pivot/update loops."""
+    symb = factors.symb
     nrhs = bh.shape[1]
     itemsize = bh.dtype.itemsize
 
@@ -173,6 +200,105 @@ def multifrontal_solve_gpu(device: Device, factors: MultifrontalFactors,
 
     out = x_dev.to_host()
     x_dev.free()
+    return out, region
+
+
+def _solve_planned(device: Device, factors: MultifrontalFactors,
+                   bh: np.ndarray, stream, plan: SolvePlan,
+                   cache: DeviceFactorCache, rhs_block: int | None) -> tuple:
+    """Plan-driven path: cached factors, vectorized level kernels."""
+    eng = plan.engine
+    nrhs_total = bh.shape[1]
+    itemsize = bh.dtype.itemsize
+    block = nrhs_total if rhs_block is None else max(int(rhs_block), 1)
+
+    x_dev = device.from_host(bh)
+    levels = plan.levels
+
+    with device.timed_region() as region:
+        for c0 in range(0, max(nrhs_total, 1), block):
+            c1 = min(c0 + block, nrhs_total)
+            nrhs = c1 - c0
+            xb = x_dev.data[:, c0:c1]
+            rhs_batches = [
+                IrrBatch(device,
+                         [x_dev[int(s):int(s + m), c0:c1]
+                          for s, m in zip(lp.sep_starts, lp.sep_m)],
+                         lp.sep_m,
+                         np.full(lp.nfronts, nrhs, dtype=np.int64))
+                for lp in levels]
+
+            # ---- forward sweep: leaves -> root -------------------------
+            for li, lp in enumerate(levels):
+                blocks, owned = cache.acquire(li, "fwd")
+                device.launch(
+                    "solve:pivots",
+                    lambda lp=lp: eng.exec_solve_pivots(
+                        xb, lp, nrhs, itemsize), stream=stream)
+                irr_trsm(device, "L", "L", "N", "U", lp.max_sep, nrhs, 1.0,
+                         blocks.f11, (0, 0), rhs_batches[li], (0, 0),
+                         stream=stream, name="irrtrsm:fwd", engine=eng)
+                device.launch(
+                    "solve:scatter",
+                    lambda lp=lp, st=blocks.f21_stacks:
+                        eng.exec_solve_scatter(xb, lp, st, nrhs, itemsize),
+                    stream=stream)
+                if owned:
+                    blocks.free()
+
+            # ---- backward sweep: root -> leaves ------------------------
+            for li in range(len(levels) - 1, -1, -1):
+                lp = levels[li]
+                blocks, owned = cache.acquire(li, "bwd")
+                device.launch(
+                    "solve:gather",
+                    lambda lp=lp, st=blocks.f12_stacks:
+                        eng.exec_solve_gather(xb, lp, st, nrhs, itemsize),
+                    stream=stream)
+                irr_trsm(device, "L", "U", "N", "N", lp.max_sep, nrhs, 1.0,
+                         blocks.f11, (0, 0), rhs_batches[li], (0, 0),
+                         stream=stream, name="irrtrsm:bwd", engine=eng)
+                if owned:
+                    blocks.free()
+
+    out = x_dev.to_host()
+    x_dev.free()
+    return out, region
+
+
+def multifrontal_solve_gpu(device: Device, factors: MultifrontalFactors,
+                           b: np.ndarray, *, stream=None,
+                           engine="bucketed",
+                           plan: SolvePlan | None = None,
+                           cache: DeviceFactorCache | None = None,
+                           rhs_block: int | None = None) -> GpuSolveResult:
+    """Solve the permuted system on the device with per-level batching.
+
+    ``engine="naive"`` (or ``None``) runs the streamed per-front
+    reference path; the default bucketed engine runs the plan-driven
+    path.  A ``plan`` must come from :class:`SolvePlan` over these
+    ``factors``; a ``cache`` must wrap that plan (its engine is used for
+    the TRSM calls, so plan-cache state persists across solves).  With no
+    ``cache``, a one-shot streaming cache is used and freed — repeated
+    callers should hold both and pass them in (``SparseLU.solve`` does).
+    """
+    bh, squeeze = _promote_rhs(factors, b)
+    eng = resolve_engine(engine if plan is None else plan.engine)
+    if eng is None:
+        out, region = _solve_naive(device, factors, bh, stream)
+    else:
+        if plan is None:
+            plan = SolvePlan(factors, engine=eng)
+        one_shot = cache is None
+        if one_shot:
+            cache = DeviceFactorCache(device, factors, plan,
+                                      memory_budget=0)
+        try:
+            out, region = _solve_planned(device, factors, bh, stream,
+                                         plan, cache, rhs_block)
+        finally:
+            if one_shot:
+                cache.free()
     counters = {k: region[k] for k in region if k != "elapsed"}
     return GpuSolveResult(x=out[:, 0] if squeeze else out,
                           elapsed=region["elapsed"], counters=counters)

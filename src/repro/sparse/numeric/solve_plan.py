@@ -1,0 +1,366 @@
+"""Solve plan + device-resident factor cache (fast repeated solves).
+
+A production sparse direct solver factors once and solves *many* times
+(§V-B amortizes the factorization over repeated right-hand sides,
+Fig 12).  The seed solve path re-did all per-solve setup on every call:
+it re-uploaded every factor level, re-applied pivots row-by-row in
+Python, and scatter-updated front-by-front with ``np.subtract.at``.
+This module precomputes everything that depends only on the factors:
+
+* :class:`SolvePlan` — built once per factorization.  Per level it
+  stores the *rehearsed* pivot permutation (the row-by-row swap loop
+  becomes one fancy-index gather, reusing the rehearsal machinery of
+  :class:`~repro.batched.engine.BatchEngine`), the concatenated
+  update-index arrays with segment boundaries, the conflict-free scatter
+  *rounds* (see below) and the shape buckets for the ``f21 @ y`` /
+  ``f12 @ x`` update GEMMs.
+
+* :class:`DeviceFactorCache` — keeps the factor blocks device-resident
+  across solves: per level, the ``f11`` pivot blocks as an
+  :class:`~repro.batched.interface.IrrBatch` (for irrTRSM) and the
+  ``f21``/``f12`` blocks packed into contiguous per-bucket stacks, each
+  uploaded in **one** H2D transfer.  A ``memory_budget`` keeps only the
+  levels that fit resident; the rest fall back to the seed's streaming
+  uploads (upload, use, free) — mirroring the out-of-core factorization
+  mode.
+
+Bitwise-identity contract
+-------------------------
+The planned path must produce solutions bitwise identical to the naive
+per-front reference in :mod:`repro.sparse.numeric.gpu_solve`:
+
+* the rehearsed permutation replays the exact swap sequence, so the
+  single gather equals the row-by-row swaps;
+* stacked 3-D ``np.matmul`` equals the per-matrix 2-D product (the
+  engine's contract); the inner-product shape (``m = nrhs = 1``) stays
+  per-matrix;
+* the forward scatter's ``np.subtract.at`` is order-sensitive when two
+  same-level fronts update the same ancestor row.  The plan partitions
+  the concatenated update positions into *rounds*: round ``r`` holds the
+  ``r``-th occurrence of every row, so within a round the rows are
+  unique (plain vectorized subtract) and across rounds each row receives
+  its contributions in front order — the exact sequence of the
+  per-front ``np.subtract.at`` loop.  Almost all levels need one round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...batched.engine import BatchEngine
+from ...batched.interface import IrrBatch
+from ...device.memory import pack_to_device
+from ...device.simulator import Device
+from .factors import MultifrontalFactors
+
+__all__ = ["SolvePlan", "DeviceFactorCache", "LevelSolvePlan",
+           "SolveBucket", "LevelFactorBlocks"]
+
+
+@dataclass
+class SolveBucket:
+    """One (upd_size, sep_size) shape class of a level's active fronts.
+
+    All member fronts share the update-GEMM shapes, so their ``f21`` /
+    ``f12`` blocks stack into contiguous ``(bs, u, s)`` / ``(bs, s, u)``
+    arrays and their gathers/scatters become single fancy-index
+    operations through the precomputed global row matrices.
+    """
+
+    u: int
+    s: int
+    fids: np.ndarray          #: member front ids (front order)
+    sep_start: np.ndarray     #: per member, first global sep row
+    seg_start: np.ndarray     #: per member, start into the level's
+    #: concatenated update positions
+    sep_mat: np.ndarray       #: (bs, s) global sep rows
+    sep_flat: np.ndarray      #: (bs*s,) flattened ``sep_mat``
+    upd_mat: np.ndarray       #: (bs, u) global update rows
+    out_pos: np.ndarray       #: (bs*u,) positions into the delta buffer
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.fids)
+
+
+@dataclass
+class LevelSolvePlan:
+    """Precomputed execution structure of one assembly-tree level."""
+
+    fids: list[int]           #: fronts with ``sep_size > 0``, front order
+    sep_m: np.ndarray         #: per-front separator sizes (int64)
+    sep_starts: np.ndarray    #: per-front first global sep row
+    max_sep: int
+    # rehearsed pivot application: one gather replaces the swap loops
+    piv_dst: np.ndarray       #: global rows that move (destinations)
+    piv_src: np.ndarray       #: their source rows after all swaps
+    swaps_total: int          #: off-diagonal pivot count (cost parity)
+    # update structure (fronts with ``upd_size > 0`` only)
+    upd_rows: np.ndarray      #: concatenated global update rows
+    rounds: list[tuple[np.ndarray, np.ndarray]]  #: (rows, positions)
+    buckets: list[SolveBucket] = field(default_factory=list)
+    # order-independent cost sums matching the naive loop's accumulators
+    sum_us: int = 0           #: Σ upd·sep over active fronts
+    sum_u: int = 0            #: Σ upd over active fronts
+    sum_s_active: int = 0     #: Σ sep over active fronts
+
+    @property
+    def nfronts(self) -> int:
+        return len(self.fids)
+
+
+def _build_rounds(upd_rows: np.ndarray
+                  ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Partition concatenated update positions into conflict-free rounds.
+
+    Position ``i`` lands in round ``occ(i)`` = how many earlier positions
+    target the same global row.  A stable sort keeps equal rows in front
+    order, so round ``r`` holds every row's ``r``-th contribution and the
+    per-row application order matches the sequential reference exactly.
+    """
+    n = len(upd_rows)
+    if n == 0:
+        return []
+    order = np.argsort(upd_rows, kind="stable")
+    sorted_rows = upd_rows[order]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_rows[1:] != sorted_rows[:-1]
+    idx = np.arange(n, dtype=np.int64)
+    group_start = idx[new_group][np.cumsum(new_group) - 1]
+    occ = np.empty(n, dtype=np.int64)
+    occ[order] = idx - group_start
+    n_rounds = int(occ.max()) + 1
+    return [(upd_rows[occ == r], np.nonzero(occ == r)[0])
+            for r in range(n_rounds)]
+
+
+class SolvePlan:
+    """Per-level execution plan built once from the numeric factors.
+
+    Owns a :class:`~repro.batched.engine.BatchEngine` so the TRSM/DCWI
+    plans cached during the first solve are reused by every later solve
+    (including the refinement passes of one ``SparseLU.solve`` call).
+    """
+
+    def __init__(self, factors: MultifrontalFactors, *,
+                 engine: BatchEngine | None = None):
+        self.factors = factors
+        self.symb = factors.symb
+        self.engine = engine if isinstance(engine, BatchEngine) \
+            else BatchEngine()
+        self.dtype = (factors.fronts[0].f11.dtype if factors.fronts
+                      else np.dtype(np.float64))
+        self.levels: list[LevelSolvePlan] = []
+        for fids in self.symb.levels():
+            fids = [f for f in fids if self.symb.fronts[f].sep_size > 0]
+            if fids:
+                self.levels.append(self._build_level(fids))
+
+    # ------------------------------------------------------------------
+    def _build_level(self, fids: list[int]) -> LevelSolvePlan:
+        symb, factors = self.symb, self.factors
+        infos = [symb.fronts[f] for f in fids]
+        sep_m = np.array([i.sep_size for i in infos], dtype=np.int64)
+        sep_starts = np.array([i.sep_begin for i in infos], dtype=np.int64)
+
+        # Rehearse every front's swap sequence into one permutation.
+        perm, swaps = BatchEngine._rehearse_permutation(
+            [factors.fronts[f].ipiv for f in fids], int(sep_m.max()))
+        dst_parts, src_parts = [], []
+        for i, info in enumerate(infos):
+            s = info.sep_size
+            moved = np.nonzero(perm[i, :s] != np.arange(s))[0]
+            if len(moved):
+                dst_parts.append(info.sep_begin + moved)
+                src_parts.append(info.sep_begin + perm[i, moved])
+        cat = lambda parts: (np.concatenate(parts) if parts  # noqa: E731
+                             else np.empty(0, dtype=np.int64))
+
+        # Active fronts (upd_size > 0): concatenated update rows, the
+        # scatter rounds, and the (u, s) shape buckets.
+        act = [(i, info) for i, info in enumerate(infos) if info.upd_size]
+        upd_rows = cat([info.upd for _i, info in act])
+        seg_starts = np.zeros(len(act), dtype=np.int64)
+        if act:
+            sizes = np.array([info.upd_size for _i, info in act],
+                             dtype=np.int64)
+            seg_starts[1:] = np.cumsum(sizes)[:-1]
+
+        lp = LevelSolvePlan(
+            fids=fids, sep_m=sep_m, sep_starts=sep_starts,
+            max_sep=int(sep_m.max()),
+            piv_dst=cat(dst_parts), piv_src=cat(src_parts),
+            swaps_total=int(swaps.sum()),
+            upd_rows=upd_rows, rounds=_build_rounds(upd_rows))
+        if act:
+            shapes = np.array([[info.upd_size, info.sep_size]
+                               for _i, info in act], dtype=np.int64)
+            uniq, inv = np.unique(shapes, axis=0, return_inverse=True)
+            inv = inv.ravel()
+            for g in range(len(uniq)):
+                members = np.nonzero(inv == g)[0]
+                u, s = int(uniq[g, 0]), int(uniq[g, 1])
+                b_sep = sep_starts[[act[m][0] for m in members]]
+                b_seg = seg_starts[members]
+                sep_mat = b_sep[:, None] + np.arange(s, dtype=np.int64)
+                upd_pos = b_seg[:, None] + np.arange(u, dtype=np.int64)
+                lp.buckets.append(SolveBucket(
+                    u=u, s=s,
+                    fids=np.array([fids[act[m][0]] for m in members],
+                                  dtype=np.int64),
+                    sep_start=b_sep, seg_start=b_seg,
+                    sep_mat=sep_mat, sep_flat=sep_mat.reshape(-1),
+                    upd_mat=upd_rows[upd_pos],
+                    out_pos=upd_pos.reshape(-1)))
+            lp.sum_us = int(np.sum(shapes[:, 0] * shapes[:, 1]))
+            lp.sum_u = int(np.sum(shapes[:, 0]))
+            lp.sum_s_active = int(np.sum(shapes[:, 1]))
+        return lp
+
+    # ------------------------------------------------------------------
+    def level_nbytes(self, lp: LevelSolvePlan) -> int:
+        """Device bytes a resident level holds (f11 + stacked f21/f12)."""
+        itemsize = np.dtype(self.dtype).itemsize
+        return int(itemsize * (np.sum(lp.sep_m * lp.sep_m)
+                               + 2 * lp.sum_us))
+
+    def total_nbytes(self) -> int:
+        return sum(self.level_nbytes(lp) for lp in self.levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SolvePlan(levels={len(self.levels)}, "
+                f"bytes={self.total_nbytes()})")
+
+
+class LevelFactorBlocks:
+    """One level's factor blocks on the device.
+
+    ``f11`` is an :class:`IrrBatch` (consumed by irrTRSM); ``f21_stacks``
+    / ``f12_stacks`` are per-bucket contiguous 3-D stacks, parallel to
+    ``LevelSolvePlan.buckets``.  Parts are uploaded lazily: a streamed
+    forward pass needs only ``f11`` + ``f21``.
+    """
+
+    def __init__(self) -> None:
+        self.f11: IrrBatch | None = None
+        self.f21_stacks: list | None = None
+        self.f12_stacks: list | None = None
+
+    def free(self) -> None:
+        if self.f11 is not None:
+            self.f11.free()
+            self.f11 = None
+        for stacks in (self.f21_stacks, self.f12_stacks):
+            if stacks is not None:
+                for arr in stacks:
+                    arr.free()
+        self.f21_stacks = None
+        self.f12_stacks = None
+
+
+class DeviceFactorCache:
+    """Device-resident factor storage shared across repeated solves.
+
+    ``memory_budget=None`` keeps every level resident (the first solve
+    uploads each level once; later solves — including iterative
+    refinement — perform **zero** factor uploads).  An integer budget
+    keeps only the levels that fit (chosen smallest-first, which
+    maximizes the resident level count and hence the per-solve transfer
+    round-trips saved); evicted levels are streamed per use exactly like
+    the seed path.  ``memory_budget=0`` streams everything.
+    """
+
+    def __init__(self, device: Device, factors: MultifrontalFactors,
+                 plan: SolvePlan, *, memory_budget: int | None = None):
+        self.device = device
+        self.factors = factors
+        self.plan = plan
+        self.memory_budget = memory_budget
+        self.uploads = 0          #: level-part upload events
+        self.hits = 0             #: resident re-uses
+        self._resident: dict[int, LevelFactorBlocks] = {}
+        self._resident_set = self._choose_resident()
+
+    # ------------------------------------------------------------------
+    def _choose_resident(self) -> set[int]:
+        sizes = [(self.plan.level_nbytes(lp), li)
+                 for li, lp in enumerate(self.plan.levels)]
+        if self.memory_budget is None:
+            return {li for _nb, li in sizes}
+        chosen: set[int] = set()
+        used = 0
+        for nb, li in sorted(sizes):
+            if used + nb <= self.memory_budget:
+                chosen.add(li)
+                used += nb
+        return chosen
+
+    @property
+    def resident_levels(self) -> set[int]:
+        return set(self._resident_set)
+
+    @property
+    def resident_nbytes(self) -> int:
+        return sum(self.plan.level_nbytes(self.plan.levels[li])
+                   for li in self._resident_set)
+
+    # ------------------------------------------------------------------
+    def _upload_f11(self, lp: LevelSolvePlan) -> IrrBatch:
+        arrays = [self.device.from_host(self.factors.fronts[f].f11)
+                  for f in lp.fids]
+        return IrrBatch(self.device, arrays, lp.sep_m, lp.sep_m)
+
+    def _upload_stacks(self, lp: LevelSolvePlan, which: str) -> list:
+        """Pack one bucket's f21/f12 blocks and upload in one transfer."""
+        stacks = []
+        for b in lp.buckets:
+            blocks = [getattr(self.factors.fronts[f], which)
+                      for f in b.fids]
+            stacks.append(pack_to_device(self.device, blocks,
+                                         dtype=self.plan.dtype))
+        return stacks
+
+    def acquire(self, li: int, part: str) -> tuple[LevelFactorBlocks, bool]:
+        """Get level ``li``'s blocks for one sweep direction.
+
+        ``part`` is ``"fwd"`` (needs f11 + f21) or ``"bwd"`` (f11 + f12).
+        Returns ``(blocks, owned)``; an *owned* result is streamed and
+        must be freed by the caller after use.
+        """
+        if part not in ("fwd", "bwd"):
+            raise ValueError(f"invalid part {part!r}")
+        lp = self.plan.levels[li]
+        if li in self._resident_set:
+            blocks = self._resident.get(li)
+            if blocks is None:
+                blocks = LevelFactorBlocks()
+                blocks.f11 = self._upload_f11(lp)
+                blocks.f21_stacks = self._upload_stacks(lp, "f21")
+                blocks.f12_stacks = self._upload_stacks(lp, "f12")
+                self._resident[li] = blocks
+                self.uploads += 1
+            else:
+                self.hits += 1
+            return blocks, False
+        blocks = LevelFactorBlocks()
+        blocks.f11 = self._upload_f11(lp)
+        if part == "fwd":
+            blocks.f21_stacks = self._upload_stacks(lp, "f21")
+        else:
+            blocks.f12_stacks = self._upload_stacks(lp, "f12")
+        self.uploads += 1
+        return blocks, True
+
+    def free(self) -> None:
+        """Release all resident device memory (the cache stays usable)."""
+        for blocks in self._resident.values():
+            blocks.free()
+        self._resident.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DeviceFactorCache(levels={len(self.plan.levels)}, "
+                f"resident={len(self._resident_set)}, "
+                f"uploads={self.uploads}, hits={self.hits})")

@@ -28,12 +28,14 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from ..batched.engine import resolve_engine
 from ..device.simulator import Device
 from .baselines import naive_loop_factor, strumpack_like_factor, \
     superlu_like_factor
 from .numeric.cpu_factor import multifrontal_factor_cpu
 from .numeric.gpu_factor import GpuFactorResult, multifrontal_factor_gpu
 from .numeric.gpu_solve import multifrontal_solve_gpu
+from .numeric.solve_plan import DeviceFactorCache, SolvePlan
 from .numeric.triangular import multifrontal_solve
 from .ordering.mc64 import mc64
 from .ordering.nested_dissection import DEFAULT_LEAF_SIZE, nested_dissection
@@ -74,6 +76,7 @@ class SparseLU:
         self._analyzed = False
         self._factored = False
         self.factor_result: GpuFactorResult | None = None
+        self._solve_state: tuple | None = None
 
     # ------------------------------------------------------------------
     # phase 1
@@ -131,14 +134,51 @@ class SparseLU:
                                           **kw)
             self.factors = res.factors
             self.factor_result = res
+        if self._solve_state is not None:
+            self._solve_state[3].free()
+            self._solve_state = None
         self._factored = True
         return self
 
     # ------------------------------------------------------------------
     # phase 3
     # ------------------------------------------------------------------
-    def _solve_once(self, b: np.ndarray,
-                    device: Device | None = None) -> np.ndarray:
+    def _device_solve_state(self, device: Device,
+                            memory_budget: int | None,
+                            engine) -> tuple[SolvePlan, DeviceFactorCache]:
+        """Build (or reuse) the solve plan + device factor cache.
+
+        The plan depends only on the factors, so one plan serves every
+        device/budget; the cache is rebuilt (and its device memory
+        freed) when the device or budget changes.  ``factor()``
+        invalidates both.
+        """
+        st = self._solve_state
+        if st is not None and st[0] is device and st[1] == memory_budget:
+            return st[2], st[3]
+        plan = st[2] if st is not None else \
+            SolvePlan(self.factors, engine=engine)
+        if st is not None:
+            st[3].free()
+        cache = DeviceFactorCache(device, self.factors, plan,
+                                  memory_budget=memory_budget)
+        self._solve_state = (device, memory_budget, plan, cache)
+        return plan, cache
+
+    @property
+    def solve_plan(self) -> SolvePlan | None:
+        """The cached :class:`SolvePlan` of the last device solve."""
+        return self._solve_state[2] if self._solve_state else None
+
+    @property
+    def solve_cache(self) -> DeviceFactorCache | None:
+        """The cached :class:`DeviceFactorCache` of the last device solve."""
+        return self._solve_state[3] if self._solve_state else None
+
+    def _solve_once(self, b: np.ndarray, device: Device | None = None, *,
+                    engine="bucketed", rhs_block: int | None = None,
+                    plan: SolvePlan | None = None,
+                    cache: DeviceFactorCache | None = None) -> np.ndarray:
         """One substitution pass: undo scalings/permutations around the
         permuted multifrontal solve (on the host, or batched on a
         device)."""
@@ -150,7 +190,9 @@ class SparseLU:
             c = b
         if device is not None:
             z = multifrontal_solve_gpu(device, self.factors,
-                                       c[self.nd.perm]).x
+                                       c[self.nd.perm], engine=engine,
+                                       plan=plan, cache=cache,
+                                       rhs_block=rhs_block).x
         else:
             z = multifrontal_solve(self.factors, c[self.nd.perm])
         y = np.empty_like(z)
@@ -161,17 +203,39 @@ class SparseLU:
         return y
 
     def solve(self, b: np.ndarray, *, refine_steps: int = 1,
-              device: Device | None = None
+              device: Device | None = None, engine="bucketed",
+              memory_budget: int | None = None,
+              rhs_block: int | None = None
               ) -> tuple[np.ndarray, SolveInfo]:
         """Solve ``A·x = b`` with optional iterative refinement.
 
         Pass ``device`` to run the substitution phase with the batched
-        per-level GPU kernels instead of the host reference.
+        per-level GPU kernels instead of the host reference.  Device
+        solves with the default ``engine="bucketed"`` build a
+        :class:`SolvePlan` + :class:`DeviceFactorCache` on first use and
+        reuse them for every later solve against the same factors —
+        including the refinement passes of this call — so repeated
+        solves pay no per-solve setup.  ``memory_budget`` bounds the
+        cache's device bytes (``None`` = keep all factor levels
+        resident); ``rhs_block`` blocks many-column ``b`` through the
+        sweeps.  ``engine="naive"`` streams factors per solve (the
+        bitwise-identical reference path).
+
+        The right-hand side is promoted with ``np.result_type``: a
+        complex ``b`` against a real ``A`` yields a complex solution
+        (the imaginary part is never silently dropped).
         """
         if not self._factored:
             raise RuntimeError("factor() must run before solve()")
-        b = np.asarray(b, dtype=self.a.dtype)
-        x = self._solve_once(b, device)
+        b = np.asarray(b)
+        b = b.astype(np.result_type(self.a.dtype, b.dtype), copy=False)
+        plan = cache = None
+        eng = resolve_engine(engine)
+        if device is not None and eng is not None:
+            plan, cache = self._device_solve_state(device, memory_budget,
+                                                   eng)
+        x = self._solve_once(b, device, engine=engine, rhs_block=rhs_block,
+                             plan=plan, cache=cache)
         info = SolveInfo()
         norm_b = float(np.linalg.norm(b))
         denom = norm_b if norm_b else 1.0
@@ -182,6 +246,8 @@ class SparseLU:
         info.residuals.append(resid(x))
         for _ in range(refine_steps):
             r = b - self.a @ x
-            x = x + self._solve_once(r, device)
+            x = x + self._solve_once(r, device, engine=engine,
+                                     rhs_block=rhs_block, plan=plan,
+                                     cache=cache)
             info.residuals.append(resid(x))
         return x, info

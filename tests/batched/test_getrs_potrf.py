@@ -49,6 +49,28 @@ class TestGetrs:
         # pivots + 1 lower-trsm base + 1 upper-trsm base
         assert a100.profiler.launch_count - n0 == 3
 
+    def test_repeated_solves_memoize_rehearsal(self, a100, rng):
+        # the rehearsed pivot permutation is cached on the pivots object,
+        # so repeated solves against one factorization rehearse once
+        from repro.batched.engine import BatchEngine
+        mats = [rng.standard_normal((n, n)) + n * np.eye(n)
+                for n in (7, 23, 23, 41)]
+        rhss = [rng.standard_normal((m.shape[0], 2)) for m in mats]
+        fb = IrrBatch.from_host(a100, [m.copy() for m in mats])
+        piv = irr_getrf(a100, fb)
+        eng = BatchEngine()
+        xs = []
+        for _ in range(2):
+            rb = IrrBatch.from_host(a100, [r.copy() for r in rhss])
+            irr_getrs(a100, fb, piv, rb, engine=eng)
+            xs.append(rb.to_host())
+            rb.free()
+        assert piv._rehearsal is not None  # memoized after the first solve
+        for x1, x2 in zip(*xs):
+            np.testing.assert_array_equal(x1, x2)
+        for a, x, r in zip(mats, xs[0], rhss):
+            assert np.abs(a @ x - r).max() < 1e-10 * max(1, np.abs(r).max())
+
     def test_validation(self, a100, rng):
         fb = IrrBatch.from_host(a100, [rng.standard_normal((4, 5))])
         rb = IrrBatch.from_host(a100, [rng.standard_normal((4, 1))])

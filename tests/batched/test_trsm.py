@@ -59,6 +59,31 @@ class TestAllCombinations:
             np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-9)
 
 
+class TestMixedDtype:
+    def test_real_triangles_complex_rhs(self, rng):
+        # real factors against complex right-hand sides: the multifrontal
+        # solve path after dtype promotion (complex b, real LU)
+        ts, _ = make_tri_problem(rng, SIZES)
+        bs = [rng.standard_normal((m, r)) + 1j * rng.standard_normal((m, r))
+              for m, r in SIZES]
+        m = max(b.shape[0] for b in bs)
+        n = max(b.shape[1] for b in bs)
+        results = {}
+        for engine in ("naive", "bucketed"):
+            dev = Device(A100())
+            T = IrrBatch.from_host(dev, ts)
+            B = IrrBatch.from_host(dev, [b.copy() for b in bs])
+            irr_trsm(dev, "L", "L", "N", "U", m, n, 1.0, T, (0, 0),
+                     B, (0, 0), engine=engine)
+            results[engine] = B.to_host()
+        for xn, xb in zip(results["naive"], results["bucketed"]):
+            assert xn.dtype == np.complex128
+            np.testing.assert_array_equal(xn, xb)
+        for t, b, x in zip(ts, bs, results["naive"]):
+            ref = reference_solve(t, b, "L", "L", "N", "U")
+            np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-9)
+
+
 class TestSemantics:
     def test_alpha_scaling(self, a100, rng):
         ts, bs = make_tri_problem(rng, [(16, 4)])

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.device import A100, Device, DeviceOutOfMemory, KernelCost
+from repro.device import A100, Device, DeviceOutOfMemory, KernelCost, \
+    pack_to_device
 from repro.device.memory import total_nbytes
 
 from .test_simulator import tiny_spec
@@ -45,6 +46,31 @@ class TestDeviceArraySemantics:
         dev = Device(tiny_spec(memory_capacity=100))
         with pytest.raises(DeviceOutOfMemory, match="tiny"):
             dev.zeros(1000)
+
+    def test_pack_to_device_single_transfer(self):
+        # packing N equal-shape blocks pays the PCIE latency once, a
+        # per-block from_host loop pays it N times
+        blocks = [np.full((4, 3), float(i)) for i in range(16)]
+        packed_dev, loop_dev = Device(A100()), Device(A100())
+        stack = pack_to_device(packed_dev, blocks)
+        assert stack.shape == (16, 4, 3)
+        for i, b in enumerate(blocks):
+            np.testing.assert_array_equal(stack.data[i], b)
+        for b in blocks:
+            loop_dev.from_host(b)
+        assert packed_dev.allocated_bytes == loop_dev.allocated_bytes
+        assert packed_dev.profiler.transfer_time < \
+            loop_dev.profiler.transfer_time
+
+    def test_pack_to_device_empty_and_dtype(self):
+        dev = Device(A100())
+        t0 = dev.profiler.transfer_time
+        empty = pack_to_device(dev, [])
+        assert empty.data.size == 0
+        assert dev.profiler.transfer_time == t0  # nothing crossed the bus
+        stack = pack_to_device(dev, [np.ones((2, 2), dtype=np.float64)],
+                               dtype=np.complex128)
+        assert stack.dtype == np.complex128
 
 
 class TestProfilerAccounting:

@@ -126,3 +126,86 @@ class TestReuseOfFactorization:
             b = rng.standard_normal(81)
             x, info = s.solve(b)
             assert info.final_residual < 1e-13
+
+    def test_device_solves_reuse_factor_cache(self, rng):
+        # warm path: the refinement pass and every later solve perform
+        # zero factor re-uploads (§V-B amortization)
+        a = grid2d(10, 10)
+        dev = Device(A100())
+        s = SparseLU(a).factor()
+        x, info = s.solve(rng.standard_normal(100), device=dev,
+                          refine_steps=1)
+        assert info.final_residual < 1e-13
+        cache = s.solve_cache
+        assert cache is not None
+        uploads = cache.uploads
+        assert uploads == len(s.solve_plan.levels)  # first pass only
+        for _ in range(3):
+            _, info = s.solve(rng.standard_normal(100), device=dev,
+                              refine_steps=1)
+            assert info.final_residual < 1e-13
+        assert cache.uploads == uploads  # fully warm: zero re-uploads
+        assert cache.hits > 0
+
+    def test_refactor_invalidates_solve_cache(self, rng):
+        a = grid2d(8, 8)
+        dev = Device(A100())
+        s = SparseLU(a).factor()
+        s.solve(rng.standard_normal(64), device=dev)
+        held = dev.allocated_bytes
+        assert held > 0  # cache keeps factors resident
+        s.factor()
+        assert s.solve_cache is None
+        assert dev.allocated_bytes == 0  # old cache released
+        _, info = s.solve(rng.standard_normal(64), device=dev)
+        assert info.final_residual < 1e-13
+
+    def test_naive_engine_matches_bucketed(self, rng):
+        a = grid2d(9, 9)
+        b = rng.standard_normal(81)
+        s = SparseLU(a).factor()
+        xb, _ = s.solve(b, device=Device(A100()), engine="bucketed")
+        xn, _ = s.solve(b, device=Device(A100()), engine="naive")
+        assert np.array_equal(xb, xn)
+
+    def test_memory_budget_and_rhs_block_kwargs(self, rng):
+        a = grid2d(9, 9)
+        B = rng.standard_normal((81, 5))
+        s = SparseLU(a).factor()
+        dev = Device(A100())
+        x1, info = s.solve(B, device=dev, memory_budget=0, rhs_block=2)
+        assert s.solve_cache.resident_levels == set()
+        assert dev.allocated_bytes == 0
+        assert info.final_residual < 1e-13
+        x2, _ = s.solve(B)
+        np.testing.assert_allclose(x1, x2, rtol=1e-12, atol=1e-14)
+
+
+class TestDtypePromotion:
+    def test_complex_rhs_real_matrix_not_downcast(self, rng):
+        # regression: np.asarray(b, dtype=a.dtype) silently dropped the
+        # imaginary part of a complex b against a real A
+        a = grid2d(8, 8)
+        b = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        s = SparseLU(a).factor()
+        x, info = s.solve(b)
+        assert np.iscomplexobj(x)
+        assert info.final_residual < 1e-13
+        np.testing.assert_allclose(a @ x, b, rtol=1e-10, atol=1e-12)
+
+    def test_complex_rhs_real_matrix_device(self, rng):
+        a = grid2d(8, 8)
+        b = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        s = SparseLU(a).factor()
+        x_host, _ = s.solve(b)
+        x_dev, info = s.solve(b, device=Device(A100()))
+        assert np.iscomplexobj(x_dev)
+        assert info.final_residual < 1e-13
+        np.testing.assert_allclose(x_dev, x_host, rtol=1e-12, atol=1e-14)
+
+    def test_real_rhs_complex_matrix_promotes(self, rng):
+        a = (grid2d(7, 7) - (1.0 + 0.5j) * sp.eye(49)).tocsr()
+        s = SparseLU(a).factor()
+        x, info = s.solve(rng.standard_normal(49))
+        assert np.iscomplexobj(x)
+        assert info.final_residual < 1e-13

@@ -19,8 +19,9 @@ Quick start::
 """
 
 from . import analysis, batched, device, fem, sparse, workloads
+from .errors import FactorizationError
 
 __version__ = "1.0.0"
 
 __all__ = ["device", "batched", "sparse", "fem", "workloads", "analysis",
-           "__version__"]
+           "FactorizationError", "__version__"]

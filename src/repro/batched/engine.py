@@ -565,7 +565,7 @@ class BatchEngine:
                           int(plan.scalar_width[b]))
             flops += factor_panel_block(
                 a, int(plan.scalar_npiv[b]), pivots.ipiv[i],
-                pivots.info, i, j)
+                pivots.info, i, j, ctrl=pivots.ctrl)
         nbytes = float(plan.nbytes_elems) * batch.itemsize
         return KernelCost(
             flops=float(flops), bytes_read=nbytes, bytes_written=nbytes,
@@ -578,18 +578,23 @@ class BatchEngine:
                            width: int, npiv: int, idx: np.ndarray) -> int:
         """Route one uniform small bucket through the interleaved core."""
         bs = len(idx)
+        ctrl = pivots.ctrl
         data = np.empty((rows, width, bs), dtype=batch.dtype)
         for b in range(bs):
             data[:, :, b] = batch.sub(int(idx[b]), j, j, rows, width)
-        ipiv, nz_counts, first_zero = interleaved_lu_core(data, npiv)
+        ipiv, nz_counts, first_bad, n_rep, min_p = interleaved_lu_core(
+            data, npiv, thresh=ctrl.thresh[idx], repl=ctrl.repl[idx])
         for b in range(bs):
             i = int(idx[b])
             batch.sub(i, j, j, rows, width)[...] = data[:, :, b]
             pivots.ipiv[i][j:j + npiv] = j + ipiv[:, b]
-            if first_zero[b] and pivots.info[i] == 0:
-                pivots.info[i] = j + int(first_zero[b])
-        # Exact flop accounting: a zero pivot skips its column's scaling
-        # and rank-1 update, exactly as in the scalar elimination.
+            if first_bad[b] and pivots.info[i] == 0:
+                pivots.info[i] = j + int(first_bad[b])
+        ctrl.n_replaced[idx] += n_rep
+        ctrl.min_pivot[idx] = np.minimum(ctrl.min_pivot[idx], min_p)
+        # Exact flop accounting: an unrecovered pivot breakdown skips its
+        # column's scaling and rank-1 update, exactly as in the scalar
+        # elimination (a replaced pivot proceeds and counts in full).
         flops = 0
         for c in range(npiv):
             cnt = int(nz_counts[c])
@@ -643,7 +648,11 @@ class BatchEngine:
         prod = self._scratch("prod", max(R - 1, 1) * bs, batch.dtype)
         binx = np.arange(bs)
         piv_store = np.empty((P, bs), dtype=np.int64)
-        info_loc = pivots.info[idx]
+        # Local gathers of the breakdown state (threshold, replacement
+        # value, info, diagnostics); scattered back after the chunk.
+        ctrl = pivots.ctrl
+        brk = (ctrl.thresh[idx], ctrl.repl[idx], pivots.info[idx],
+               ctrl.n_replaced[idx], ctrl.min_pivot[idx])
         # Per-column flop totals for the common all-pivots-nonzero case,
         # computed in one vectorized shot; the loop falls back to the
         # masked per-column sums only when a zero pivot appears.
@@ -678,7 +687,7 @@ class BatchEngine:
             for c in range(k0, k1):
                 self._panel_pivot_step(
                     batch, j, c, k0, R, rows, width, npiv, data, prod,
-                    binx, piv_store, info_loc, nz_hist, plain, flops_tab,
+                    binx, piv_store, brk, nz_hist, plain, flops_tab,
                     update)
             # Apply the finished block of steps to the trailing columns
             # while its low columns are still cache-resident; each
@@ -708,13 +717,16 @@ class BatchEngine:
                 data[:width[b], :rows[b], b].T
             np_b = int(npiv[b])
             pivots.ipiv[i][j:j + np_b] = piv_store[:np_b, b]
-        pivots.info[idx] = info_loc
+        pivots.info[idx] = brk[2]
+        ctrl.n_replaced[idx] = brk[3]
+        ctrl.min_pivot[idx] = brk[4]
         return flops
 
     def _panel_pivot_step(self, batch, j, c, k0, R, rows, width, npiv,
-                          data, prod, binx, piv_store, info_loc, nz_hist,
+                          data, prod, binx, piv_store, brk, nz_hist,
                           plain, flops_tab, update) -> None:
         """Bring column ``c`` up to date, pivot, swap and scale it."""
+        thresh_loc, repl_loc, info_loc, nrep_loc, minp_loc = brk
         colv = data[c]
         for k in range(k0, c):
             if k + 1 >= R:
@@ -736,16 +748,34 @@ class BatchEngine:
             data[:, c, :] = np.where(act, row_p, row_c)
             data[:, pr, binx] = np.where(act, row_c, row_p)
         piv = colv[c]
-        nz = (piv != 0.0) & act
-        nz_all = bool(nz.all())
-        if not nz_all:
-            newly = act & (piv == 0.0) & (info_loc == 0)
+        apiv = np.abs(piv)
+        if act_all:
+            np.minimum(minp_loc, apiv, out=minp_loc)
+        else:
+            np.minimum(minp_loc, np.where(act, apiv, np.inf), out=minp_loc)
+        bad = (apiv < thresh_loc) & act
+        if bad.any():
+            rep = bad & (repl_loc > 0.0)
+            if rep.any():
+                # static pivoting: replace, keeping the sign/phase
+                scale = np.where(apiv > 0.0, apiv, 1.0)
+                sgn = np.where(apiv > 0.0, piv / scale, 1.0)
+                piv = np.where(rep, sgn * repl_loc, piv)
+                colv[c] = piv
+                nrep_loc += rep
+            unrec = bad & ~rep
+            newly = unrec & (info_loc == 0)
             if newly.any():
                 info_loc[newly] = j + c + 1
+            nz = act & ~unrec
+        else:
+            nz = act
+        nz_all = bool(nz.all())
         if R - c - 1 > 0:
-            # A zero-pivot column is all zero below the diagonal (the
-            # pivot was chosen by magnitude), so dividing it by the
-            # masked 1.0 is exact — no select temporary needed.
+            # An unrecovered-breakdown column is either all zero below
+            # the diagonal (an exactly-zero pivot chosen by magnitude) or
+            # excluded from the division by the masked 1.0, so no select
+            # temporary is needed and nothing overflows.
             inv = piv if nz_all else np.where(nz, piv, 1.0)
             low = colv[c + 1:]
             np.divide(low, inv, out=low)

@@ -32,8 +32,8 @@ from .engine import resolve_engine
 from .gemm import irr_gemm
 from .interface import IrrBatch
 from .laswp import irr_laswp
-from .panel import PanelPivots, columnwise_getf2, fused_getf2, \
-    panel_shared_bytes
+from .panel import PanelPivots, _batch_abs_max, columnwise_getf2, \
+    fused_getf2, panel_shared_bytes
 from .trsm import irr_trsm
 
 __all__ = ["irr_getrf", "lu_reconstruct", "lu_solve_factored",
@@ -47,6 +47,8 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
               nb: int | str = "auto",
               panel: str = "auto", laswp_variant: str = "rehearsed",
               concurrent_swaps: bool = False,
+              pivot_tol: float = 0.0, static_pivot: bool = False,
+              replace_scale: float | None = None,
               stream=None, engine="bucketed") -> PanelPivots:
     """Factor every matrix of an irregular batch as ``P·A = L·U``.
 
@@ -70,6 +72,21 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
         cannot fit).
     laswp_variant:
         ``"rehearsed"`` (default, §IV-F) or ``"looped"``.
+    pivot_tol:
+        Breakdown threshold as a multiple of ``max|A_i|``: a pivot with
+        ``|pivot| < max(tiny, pivot_tol·max|A_i|)`` breaks down.  The
+        default ``0.0`` still flags exactly-zero and subnormal pivots
+        (dividing by them overflows), matching LAPACK ``info`` semantics.
+    static_pivot:
+        Replace broken pivots by ``±replace_scale·max|A_i|`` (keeping the
+        sign/phase) instead of reporting them in ``info`` — the
+        STRUMPACK-style static-pivot recovery; the perturbation count
+        and diagnostics land in the returned ``PanelPivots``
+        (``n_replaced``, ``min_pivot``, ``growth``).
+    replace_scale:
+        Replacement magnitude for static pivoting (default
+        ``sqrt(eps) ≈ 1.5e-8``, small enough for iterative refinement to
+        absorb, large enough that ``1/pivot`` cannot overwhelm it).
     concurrent_swaps:
         The §VI extension: run the *left* row interchanges on a secondary
         stream, overlapped with the right swaps / TRSM / GEMM of the same
@@ -98,7 +115,9 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
         raise ValueError("panel width must be a positive integer or 'auto'")
     engine = resolve_engine(engine)
 
-    pivots = PanelPivots(batch)
+    pivots = PanelPivots(batch, pivot_tol=pivot_tol,
+                         static_pivot=static_pivot,
+                         replace_scale=replace_scale)
     kmax = batch.max_min_mn
     if kmax == 0 or len(batch) == 0:
         return pivots
@@ -143,6 +162,13 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
                          1.0, batch, (j + ib, j + ib), stream=stream,
                          engine=engine)
 
+    # Element growth factor max|LU| / max|A|, a stability diagnostic
+    # surfaced with the pivots.  Computed on the host after the last
+    # launch (engine-independent, so both engines report identical
+    # diagnostics); the guarded divide keeps empty matrices at 1.0.
+    ctrl = pivots.ctrl
+    post = _batch_abs_max(batch)
+    np.divide(post, ctrl.anorm, out=ctrl.growth, where=ctrl.anorm > 0.0)
     return pivots
 
 

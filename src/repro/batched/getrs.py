@@ -16,6 +16,7 @@ import numpy as np
 
 from ..device.kernel import KernelCost
 from ..device.simulator import Device
+from ..errors import FactorizationError
 from .engine import resolve_engine
 from .interface import IrrBatch
 from .panel import PanelPivots
@@ -26,13 +27,20 @@ __all__ = ["irr_getrs"]
 
 def irr_getrs(device: Device, factored: IrrBatch, pivots: PanelPivots,
               rhs: IrrBatch, *, trans: str = "N", stream=None,
-              engine="bucketed") -> None:
+              engine="bucketed", check_info: bool = True) -> None:
     """Solve ``A_i·X_i = B_i`` in place in ``rhs`` for every matrix.
 
     ``factored`` holds the packed LU of square matrices; ``rhs`` the
     right-hand sides (``rhs.m_vec`` must match ``factored.m_vec``; column
     counts may differ per matrix).  Only ``trans='N'`` is supported (the
     transposed solve is a trivial composition left to the caller).
+
+    ``check_info=True`` (default) refuses factors whose ``pivots.info``
+    reports an unrecovered pivot breakdown with a typed
+    :class:`~repro.errors.FactorizationError` — substituting through a
+    singular ``U`` would silently fill the solutions with Inf/NaN.  Pass
+    ``check_info=False`` to reproduce LAPACK ``getrs``, which does not
+    re-examine ``info``.
 
     ``engine`` selects the host execution path (see
     :func:`~repro.batched.engine.resolve_engine`): the bucketed engine
@@ -44,6 +52,13 @@ def irr_getrs(device: Device, factored: IrrBatch, pivots: PanelPivots,
         raise NotImplementedError("only trans='N' is supported")
     if len(factored) != len(rhs):
         raise ValueError("factor and rhs batches must have equal size")
+    if check_info and np.any(pivots.info != 0):
+        bad = np.nonzero(pivots.info != 0)[0]
+        raise FactorizationError(
+            f"cannot solve from broken-down LU factors: matrices "
+            f"{bad.tolist()} reported an unrecovered pivot breakdown "
+            "(pivots.info != 0); re-factor with static_pivot=True or "
+            "pass check_info=False")
     if np.any(factored.m_vec != factored.n_vec) or \
             np.any(rhs.m_vec != factored.m_vec):
         for i in range(len(factored)):

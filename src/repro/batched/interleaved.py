@@ -53,8 +53,11 @@ def deinterleave(packed: np.ndarray) -> list[np.ndarray]:
             for b in range(packed.shape[-1])]
 
 
-def interleaved_lu_core(data: np.ndarray, k: int,
-                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def interleaved_lu_core(data: np.ndarray, k: int, *,
+                        thresh: np.ndarray | None = None,
+                        repl: np.ndarray | None = None,
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray]:
     """The vectorized right-looking elimination on an interleaved batch.
 
     ``data`` is ``(m, n, batch)``; ``k`` is the number of pivot columns
@@ -63,18 +66,32 @@ def interleaved_lu_core(data: np.ndarray, k: int,
     each matrix's factors are bitwise identical to a scalar unblocked
     elimination of the same matrix.  Factors overwrite ``data``.
 
-    Returns ``(ipiv, nz_counts, first_zero)``: the ``(k, batch)`` pivot
-    array, the per-column count of matrices with a nonzero pivot (for
-    exact flop accounting by callers that exclude skipped columns), and
-    the per-matrix 1-based column of the first exactly-zero pivot
-    (0 = none), matching LAPACK ``info`` semantics.
+    A pivot with ``|pivot| < thresh[b]`` is a breakdown (``thresh``
+    defaults to the smallest normal number of the dtype, flagging exact
+    zeros and subnormals): where ``repl[b] > 0`` it is replaced by
+    ``±repl[b]`` keeping the sign/phase (static pivoting), otherwise the
+    column's scaling and update are skipped for that matrix.
+
+    Returns ``(ipiv, nz_counts, first_bad, n_replaced, min_pivot)``: the
+    ``(k, batch)`` pivot array, the per-column count of matrices that
+    proceeded (nonzero-or-replaced pivot, for exact flop accounting by
+    callers that exclude skipped columns), the per-matrix 1-based column
+    of the first *unrecovered* breakdown (0 = none, LAPACK ``info``
+    semantics), the per-matrix count of replaced pivots and the
+    per-matrix smallest ``|pivot|`` encountered.
     """
     m, n, bs = data.shape
     ipiv = np.tile(np.arange(k, dtype=np.int64)[:, None], (1, bs))
     nz_counts = np.zeros(k, dtype=np.int64)
-    first_zero = np.zeros(bs, dtype=np.int64)
+    first_bad = np.zeros(bs, dtype=np.int64)
+    n_replaced = np.zeros(bs, dtype=np.int64)
+    min_pivot = np.full(bs, np.inf)
     if k == 0 or bs == 0:
-        return ipiv, nz_counts, first_zero
+        return ipiv, nz_counts, first_bad, n_replaced, min_pivot
+    if thresh is None:
+        thresh = np.full(bs, float(np.finfo(data.dtype).tiny))
+    if repl is None:
+        repl = np.zeros(bs)
     batch_ix = np.arange(bs)
     for c in range(k):
         # vectorized pivot search across the whole batch
@@ -86,11 +103,21 @@ def interleaved_lu_core(data: np.ndarray, k: int,
         data[c, :, batch_ix] = rows_p
         data[p, :, batch_ix] = rows_c
         piv = data[c, c, :]                    # (bs,)
-        nz = piv != 0.0
+        apiv = np.abs(piv)
+        np.minimum(min_pivot, apiv, out=min_pivot)
+        bad = apiv < thresh
+        rep = bad & (repl > 0.0)
+        if rep.any():
+            scale = np.where(apiv > 0.0, apiv, 1.0)
+            sgn = np.where(apiv > 0.0, piv / scale, 1.0)
+            piv = np.where(rep, sgn * repl, piv)
+            data[c, c, :] = piv
+            n_replaced += rep
+        nz = ~(bad & ~rep)
         nz_counts[c] = int(np.count_nonzero(nz))
-        newly = (~nz) & (first_zero == 0)
+        newly = (~nz) & (first_bad == 0)
         if newly.any():
-            first_zero[newly] = c + 1
+            first_bad[newly] = c + 1
         if c + 1 < m:
             inv = np.where(nz, piv, 1.0)
             data[c + 1:, c, :] = np.where(
@@ -101,7 +128,7 @@ def interleaved_lu_core(data: np.ndarray, k: int,
                     nz[None, None, :],
                     data[c + 1:, c, :][:, None, :] *
                     data[c, c + 1:, :][None, :, :], 0.0)
-    return ipiv, nz_counts, first_zero
+    return ipiv, nz_counts, first_bad, n_replaced, min_pivot
 
 
 def interleaved_getrf(device: Device, packed: DeviceArray | np.ndarray, *,
@@ -128,7 +155,7 @@ def interleaved_getrf(device: Device, packed: DeviceArray | np.ndarray, *,
             "use irr_getrf")
 
     def kernel() -> KernelCost:
-        core_ipiv, _nz, _fz = interleaved_lu_core(data, k)
+        core_ipiv = interleaved_lu_core(data, k)[0]
         ipiv[...] = core_ipiv
         flops = 0.0
         for c in range(k):

@@ -35,9 +35,77 @@ from ..device.simulator import Device
 from .interface import IrrBatch
 
 __all__ = ["fused_getf2", "columnwise_getf2", "panel_shared_bytes",
-           "PanelPivots", "factor_panel_block"]
+           "PanelPivots", "PivotControl", "factor_panel_block",
+           "DEFAULT_REPLACE_SCALE"]
 
 _ITEM = 8
+
+#: default static-pivot replacement magnitude, as a multiple of
+#: ``max|A_i|``: ``sqrt(eps)`` keeps ``1/pivot`` bounded by
+#: ``eps^{-1/2}/‖A‖`` so iterative refinement can absorb the
+#: ``O(sqrt(eps)·‖A‖)`` perturbation (the STRUMPACK recipe).
+DEFAULT_REPLACE_SCALE = float(np.sqrt(np.finfo(np.float64).eps))
+
+
+class PivotControl:
+    """Per-matrix breakdown thresholds, replacement values and diagnostics.
+
+    A pivot of matrix ``i`` breaks down when ``|pivot| < thresh[i]``,
+    where ``thresh[i] = max(tiny, pivot_tol · anorm[i])`` and
+    ``anorm[i] = max|A_i|`` at construction (``tiny`` is the smallest
+    normal number of the dtype, so exactly-zero *and* subnormal pivots
+    are always flagged — dividing by them overflows).  In static-pivot
+    mode a broken pivot is replaced by ``±replace_scale · anorm[i]``
+    (keeping the original sign/phase) and counted in ``n_replaced``
+    instead of being reported in ``info``.
+
+    Diagnostics, all per matrix: ``n_replaced`` (pivots perturbed),
+    ``min_pivot`` (smallest ``|pivot|`` encountered, ``+inf`` until a
+    pivot column is processed) and ``growth`` (element growth factor
+    ``max|U,L| / max|A|``, filled by the driver after the factorization).
+    """
+
+    def __init__(self, anorm: np.ndarray, dtype=np.float64, *,
+                 pivot_tol: float = 0.0, static_pivot: bool = False,
+                 replace_scale: float | None = None):
+        if pivot_tol < 0.0:
+            raise ValueError("pivot_tol must be >= 0")
+        if replace_scale is None:
+            replace_scale = DEFAULT_REPLACE_SCALE
+        if replace_scale <= 0.0:
+            raise ValueError("replace_scale must be > 0")
+        real = np.finfo(np.dtype(dtype))
+        bs = len(anorm)
+        self.pivot_tol = float(pivot_tol)
+        self.static_pivot = bool(static_pivot)
+        self.replace_scale = float(replace_scale)
+        self.anorm = np.asarray(anorm, dtype=np.float64)
+        self.thresh = np.maximum(float(real.tiny),
+                                 self.pivot_tol * self.anorm)
+        # repl[i] == 0.0 disables replacement for matrix i (always when
+        # static pivoting is off; also for an exactly-zero matrix, whose
+        # breakdown is not recoverable by scaling its norm).
+        if static_pivot:
+            self.repl = np.where(self.anorm > 0.0,
+                                 self.replace_scale * self.anorm, 0.0)
+        else:
+            self.repl = np.zeros(bs, dtype=np.float64)
+        self.n_replaced = np.zeros(bs, dtype=np.int64)
+        self.min_pivot = np.full(bs, np.inf, dtype=np.float64)
+        self.growth = np.ones(bs, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.anorm)
+
+
+def _batch_abs_max(batch: IrrBatch) -> np.ndarray:
+    """``max|A_i|`` over each matrix's local dims (0.0 for empty)."""
+    out = np.zeros(len(batch), dtype=np.float64)
+    for i in range(len(batch)):
+        mat = batch.matrix(i)
+        if mat.size:
+            out[i] = float(np.max(np.abs(mat)))
+    return out
 
 
 class PanelPivots:
@@ -45,14 +113,38 @@ class PanelPivots:
 
     ``ipiv[i][r] = p`` means row ``r`` was interchanged with row ``p >= r``
     (0-based LAPACK convention).  Also records ``info`` per matrix: the
-    1-based index of the first exactly-zero pivot (0 = nonsingular),
-    matching LAPACK ``getrf`` semantics.
+    1-based index of the first *unrecovered* pivot breakdown
+    (0 = nonsingular), matching LAPACK ``getrf`` semantics.  Breakdown
+    thresholds and static-pivot replacement are governed by the attached
+    :class:`PivotControl` (``self.ctrl``); with the default arguments the
+    threshold is the smallest normal number of the dtype, so exact zeros
+    and subnormal pivots are flagged and nothing is replaced.
     """
 
-    def __init__(self, batch: IrrBatch):
+    def __init__(self, batch: IrrBatch, *, pivot_tol: float = 0.0,
+                 static_pivot: bool = False,
+                 replace_scale: float | None = None):
         self.ipiv = [np.arange(min(int(m), int(n)), dtype=np.int64)
                      for m, n in zip(batch.m_vec, batch.n_vec)]
+        self.ctrl = PivotControl(
+            _batch_abs_max(batch), batch.dtype, pivot_tol=pivot_tol,
+            static_pivot=static_pivot, replace_scale=replace_scale)
         self.info = np.zeros(len(batch), dtype=np.int64)
+
+    @property
+    def n_replaced(self) -> np.ndarray:
+        """Per-matrix count of statically replaced (perturbed) pivots."""
+        return self.ctrl.n_replaced
+
+    @property
+    def min_pivot(self) -> np.ndarray:
+        """Per-matrix smallest ``|pivot|`` seen during elimination."""
+        return self.ctrl.min_pivot
+
+    @property
+    def growth(self) -> np.ndarray:
+        """Per-matrix element growth factor ``max|LU| / max|A|``."""
+        return self.ctrl.growth
 
     def __len__(self) -> int:
         return len(self.ipiv)
@@ -80,27 +172,53 @@ def _panel_extents(batch: IrrBatch, i: int, j: int, ib: int
 
 
 def factor_panel_block(a: np.ndarray, npiv: int, ipiv_out: np.ndarray,
-                       info: np.ndarray, idx: int, j: int) -> float:
+                       info: np.ndarray, idx: int, j: int,
+                       ctrl: PivotControl | None = None) -> float:
     """Unblocked right-looking LU of one panel block, in place.
 
     ``a`` is the ``rows × width`` panel view; pivoting happens in the first
     ``npiv`` columns but each rank-1 update spans the full panel width.
     Returns the flop count.  Shared by both code paths (they differ in
     launch structure and traffic, not in numerics).
+
+    A pivot with ``|pivot| < thresh`` is a breakdown: with ``ctrl`` in
+    static-pivot mode it is replaced by ``±repl`` (same sign/phase) and
+    counted, otherwise ``info[idx]`` records the 1-based column and the
+    column's scaling/update are skipped (dividing by a subnormal pivot
+    would overflow).  Without ``ctrl`` the threshold is the smallest
+    normal number of the dtype and nothing is replaced.
     """
     rows, width = a.shape
+    if ctrl is not None:
+        thresh = float(ctrl.thresh[idx])
+        repl = float(ctrl.repl[idx])
+    else:
+        thresh = float(np.finfo(a.dtype).tiny)
+        repl = 0.0
     flops = 0.0
     for c in range(npiv):
         col = a[c:, c]
         p = int(np.argmax(np.abs(col)))
         piv = col[p]
+        # the ufunc, not builtin abs(): complex magnitudes must match
+        # the vectorized engine paths bitwise
+        apiv = float(np.abs(piv))
         ipiv_out[j + c] = j + c + p
         if p != 0:
             a[[c, c + p], :] = a[[c + p, c], :]
-        if piv == 0.0:
-            if info[idx] == 0:
-                info[idx] = j + c + 1  # 1-based, like LAPACK
-            continue
+        if ctrl is not None and apiv < ctrl.min_pivot[idx]:
+            ctrl.min_pivot[idx] = apiv
+        if apiv < thresh:
+            if repl > 0.0:
+                # keep the sign/phase of the (possibly zero) tiny pivot
+                piv = piv / apiv * repl if apiv > 0.0 else \
+                    a.dtype.type(1.0) * repl
+                a[c, c] = piv
+                ctrl.n_replaced[idx] += 1
+            else:
+                if info[idx] == 0:
+                    info[idx] = j + c + 1  # 1-based, like LAPACK
+                continue
         if c + 1 < rows:
             a[c + 1:, c] /= a[c, c]
             flops += rows - c - 1
@@ -142,7 +260,8 @@ def fused_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,
                 continue
             a = batch.sub(i, j, j, rows, width)
             flops += factor_panel_block(a, npiv, pivots.ipiv[i],
-                                        pivots.info, i, j)
+                                        pivots.info, i, j,
+                                        ctrl=pivots.ctrl)
             nbytes += rows * width * batch.itemsize  # read + write once
             blocks += 1
         return KernelCost(
@@ -171,6 +290,12 @@ def columnwise_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,
     bs = len(batch)
     ext = [_panel_extents(batch, i, j, ib) for i in range(bs)]
     piv_row = np.zeros(bs, dtype=np.int64)
+    # Breakdown state shared between irrSCAL (which judges the pivot
+    # against the threshold, replacing or flagging it) and irrGER (which
+    # must skip the rank-1 update of a column whose pivot broke down
+    # un-recovered) — device-resident in the real code.
+    col_ok = np.zeros(bs, dtype=bool)
+    ctrl = pivots.ctrl
 
     for c in range(ib):
         def iamax(c=c) -> KernelCost:
@@ -209,14 +334,26 @@ def columnwise_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,
             blocks = 0
             for i in range(bs):
                 rows, width, npiv = ext[i]
+                col_ok[i] = False
                 if c >= npiv:
                     continue
                 a = batch.sub(i, j, j, rows, width)
                 piv = a[c, c]
-                if piv == 0.0:
-                    if pivots.info[i] == 0:
-                        pivots.info[i] = j + c + 1
-                    continue
+                apiv = float(np.abs(piv))
+                if apiv < ctrl.min_pivot[i]:
+                    ctrl.min_pivot[i] = apiv
+                if apiv < ctrl.thresh[i]:
+                    repl = float(ctrl.repl[i])
+                    if repl > 0.0:
+                        piv = piv / apiv * repl if apiv > 0.0 else \
+                            batch.dtype.type(1.0) * repl
+                        a[c, c] = piv
+                        ctrl.n_replaced[i] += 1
+                    else:
+                        if pivots.info[i] == 0:
+                            pivots.info[i] = j + c + 1
+                        continue
+                col_ok[i] = True
                 if c + 1 < rows:
                     a[c + 1:, c] /= piv
                     flops += rows - c - 1
@@ -235,9 +372,9 @@ def columnwise_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,
                 rows, width, npiv = ext[i]
                 if c >= npiv:
                     continue
-                a = batch.sub(i, j, j, rows, width)
-                if a[c, c] == 0.0:
+                if not col_ok[i]:
                     continue
+                a = batch.sub(i, j, j, rows, width)
                 if c + 1 < rows and c + 1 < width:
                     a[c + 1:, c + 1:] -= np.outer(a[c + 1:, c], a[c, c + 1:])
                     tr = (rows - c - 1) * (width - c - 1)

@@ -97,6 +97,7 @@ def vendor_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,
 
 def vendor_getrf(device: Device, a: DeviceArray | np.ndarray, *,
                  stream=None, nb: int = VENDOR_PANEL_NB,
+                 info_out: np.ndarray | None = None,
                  name: str = "cusolver_getrf") -> np.ndarray:
     """Single-matrix LU with a library solver's launch structure.
 
@@ -104,12 +105,16 @@ def vendor_getrf(device: Device, a: DeviceArray | np.ndarray, *,
     Issues the kernel sequence a real cuSOLVER ``getrf`` performs: for
     each panel — a (narrow, low-occupancy) panel kernel, a row-swap
     kernel, a TRSM on the panel's U block and a trailing GEMM.
+
+    ``info_out`` (a length-1 int64 array) receives the LAPACK-style
+    status — the 1-based column of the first pivot breakdown (0 = clean)
+    — mirroring cuSOLVER's ``devInfo`` output parameter.
     """
     data = a.data if isinstance(a, DeviceArray) else a
     m, n = data.shape
     k = min(m, n)
     ipiv = np.arange(k, dtype=np.int64)
-    info = np.zeros(1, dtype=np.int64)
+    info = info_out if info_out is not None else np.zeros(1, dtype=np.int64)
 
     for j in range(0, k, nb):
         ib = min(nb, k - j)

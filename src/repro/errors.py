@@ -1,0 +1,33 @@
+"""Typed exceptions for the numerical-robustness layer.
+
+:class:`FactorizationError` is the single failure type the pipeline
+raises when an LU factorization breaks down (a pivot below the
+breakdown threshold that static pivoting did not, or could not,
+recover) or when a solve cannot reach its accuracy target from a
+perturbed factorization.  It subclasses :class:`numpy.linalg.LinAlgError`
+so existing ``except LinAlgError`` call sites keep working, and carries
+the per-front :class:`~repro.sparse.numeric.report.FactorReport` (when
+one exists) so callers can see *which* fronts failed and why.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FactorizationError"]
+
+
+class FactorizationError(np.linalg.LinAlgError):
+    """An LU factorization broke down, or refinement could not recover.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.sparse.numeric.report.FactorReport` describing
+        per-front breakdown diagnostics, or ``None`` when the error was
+        raised below the sparse layer (e.g. by a batched kernel).
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

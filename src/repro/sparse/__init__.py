@@ -5,9 +5,11 @@ pipeline, plus the phase-level building blocks (orderings, symbolic
 analysis, numeric kernels, comparator backends) for experiments.
 """
 
+from ..errors import FactorizationError
 from .baselines import naive_loop_factor, strumpack_like_factor, \
     superlu_like_factor
 from .numeric.cpu_factor import multifrontal_factor_cpu
+from .numeric.report import FactorReport, check_factors_ok
 from .numeric.gpu_factor import GpuFactorResult, HYBRID_GEMM_CUTOFF, \
     STRUMPACK_BATCH_LIMIT, multifrontal_factor_gpu, plan_traversals
 from .numeric.gpu_solve import GpuSolveResult, multifrontal_solve_gpu
@@ -25,6 +27,7 @@ from .symbolic.analysis import FrontInfo, SymbolicFactorization, \
 
 __all__ = [
     "SparseLU", "SolveInfo",
+    "FactorizationError", "FactorReport", "check_factors_ok",
     "nested_dissection", "NestedDissection", "SeparatorTreeNode",
     "mc64", "Mc64Result", "StructurallySingularError",
     "symbolic_analysis", "SymbolicFactorization", "FrontInfo",

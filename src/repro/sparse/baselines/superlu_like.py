@@ -19,9 +19,11 @@ from ...analysis.flops import getrf_flops, trsm_flops
 from ...batched.vendor import vendor_gemm
 from ...device.simulator import Device
 from ...device.spec import CpuSpec, XEON_6140_2S
+from ...errors import FactorizationError
 from ..numeric.cpu_factor import factor_front_blocks
 from ..numeric.factors import MultifrontalFactors, assemble_front
 from ..numeric.gpu_factor import GpuFactorResult
+from ..numeric.report import FactorReport
 from ..symbolic.analysis import SymbolicFactorization
 
 __all__ = ["superlu_like_factor"]
@@ -39,8 +41,15 @@ def _panel_seconds(s: int, order: int, cpu: CpuSpec, threads: int) -> float:
 def superlu_like_factor(device: Device, a_perm: sp.spmatrix,
                         symb: SymbolicFactorization, *,
                         cpu: CpuSpec | None = None,
-                        threads: int = 16) -> GpuFactorResult:
+                        threads: int = 16,
+                        pivot_tol: float = 0.0,
+                        static_pivot: bool = False,
+                        replace_scale: float | None = None,
+                        breakdown: str = "raise") -> GpuFactorResult:
     """Factor with the SuperLU-style CPU-panel + GPU-GEMM schedule."""
+    if breakdown not in ("raise", "report"):
+        raise ValueError(f"unknown breakdown mode {breakdown!r}; "
+                         "choose 'raise' or 'report'")
     a_perm = sp.csr_matrix(a_perm)
     cpu = cpu or XEON_6140_2S()
     out = MultifrontalFactors(symb=symb)
@@ -57,7 +66,9 @@ def superlu_like_factor(device: Device, a_perm: sp.spmatrix,
 
             # CPU panel factorization + triangular solves.
             device.host_compute(_panel_seconds(s, info.order, cpu, threads))
-            fac, S = factor_front_blocks(F, s)
+            fac, S = factor_front_blocks(
+                F, s, pivot_tol=pivot_tol, static_pivot=static_pivot,
+                replace_scale=replace_scale, raise_on_breakdown=False)
             out.fronts[fid] = fac
 
             if u:
@@ -71,7 +82,12 @@ def superlu_like_factor(device: Device, a_perm: sp.spmatrix,
             if info.parent >= 0:
                 schur[fid] = (S, info.upd)
 
+    out.report = FactorReport.from_factors(
+        out, pivot_tol=pivot_tol, static_pivot=static_pivot,
+        replace_scale=replace_scale)
+    if breakdown == "raise" and not out.report.ok:
+        raise FactorizationError(out.report.summary(), out.report)
     counters = {k: region[k] for k in region if k != "elapsed"}
     return GpuFactorResult(factors=out, elapsed=region["elapsed"],
-                           counters=counters,
+                           counters=counters, report=out.report,
                            breakdown=device.profiler.by_prefix())

@@ -19,20 +19,38 @@ class FrontFactors:
     above the diagonal) with pivot vector ``ipiv`` (pivoting restricted to
     the pivot block, §III-A); ``f12`` is ``L⁻¹·P·F12`` (the U12 block) and
     ``f21`` is ``F21·U⁻¹`` (the L21 block).
+
+    The trailing fields are the front's pivot-breakdown diagnostics (see
+    :class:`~repro.sparse.numeric.report.FactorReport`): ``info`` is the
+    LAPACK-style 1-based column of the first unrecovered breakdown in the
+    pivot block (0 = clean; a failed front stores zeroed ``f12``/``f21``
+    so nothing downstream meets Inf/NaN), ``n_replaced`` counts
+    statically replaced pivots, ``min_pivot`` is the smallest ``|pivot|``
+    met and ``growth`` the element growth factor ``max|LU|/max|F11|``.
     """
 
     f11: np.ndarray
     ipiv: np.ndarray
     f12: np.ndarray
     f21: np.ndarray
+    info: int = 0
+    n_replaced: int = 0
+    min_pivot: float = np.inf
+    growth: float = 1.0
 
 
 @dataclass
 class MultifrontalFactors:
-    """All front factors, in the symbolic postorder."""
+    """All front factors, in the symbolic postorder.
+
+    ``report`` carries the factorization-wide breakdown diagnostics
+    (``None`` for factors produced by paths that predate the robustness
+    layer, e.g. the comparator baselines).
+    """
 
     symb: SymbolicFactorization
     fronts: list[FrontFactors] = field(default_factory=list)
+    report: "FactorReport | None" = None
 
     def nnz(self) -> int:
         return sum(f.f11.size + f.f12.size + f.f21.size

@@ -41,8 +41,10 @@ from ...batched.vendor import vendor_gemm, vendor_getrf, vendor_trsm
 from ...device.kernel import KernelCost
 from ...device.memory import DeviceArray
 from ...device.simulator import Device
+from ...errors import FactorizationError
 from ..symbolic.analysis import SymbolicFactorization
 from .factors import FrontFactors, MultifrontalFactors
+from .report import FactorReport
 
 __all__ = ["multifrontal_factor_gpu", "GpuFactorResult", "plan_traversals",
            "HYBRID_GEMM_CUTOFF", "STRUMPACK_BATCH_LIMIT"]
@@ -54,12 +56,19 @@ STRUMPACK_BATCH_LIMIT = 32
 
 @dataclass
 class GpuFactorResult:
-    """Factors plus the simulated performance of the factorization."""
+    """Factors plus the simulated performance of the factorization.
+
+    ``report`` is the per-front pivot-breakdown
+    :class:`~repro.sparse.numeric.report.FactorReport` (also attached to
+    ``factors.report``); ``breakdown`` is the *performance* breakdown by
+    kernel prefix, unrelated to pivot breakdown.
+    """
 
     factors: MultifrontalFactors
     elapsed: float
     counters: dict = field(default_factory=dict)
     breakdown: dict = field(default_factory=dict)
+    report: "FactorReport | None" = None
 
 
 def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
@@ -70,6 +79,10 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
                             laswp_variant: str = "rehearsed",
                             nb: int = 32,
                             memory_budget: int | None = None,
+                            pivot_tol: float = 0.0,
+                            static_pivot: bool = False,
+                            replace_scale: float | None = None,
+                            breakdown: str = "raise",
                             engine="bucketed") -> GpuFactorResult:
     """Factor the permuted sparse matrix on the simulated device.
 
@@ -91,11 +104,25 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
     to the host, and those Schur blocks are re-uploaded when their parent
     front is assembled.  Raises :class:`DeviceOutOfMemory` if a single
     front cannot fit.
+
+    ``pivot_tol``/``static_pivot``/``replace_scale`` set the pivot
+    breakdown policy of the batched LU (see
+    :func:`~repro.batched.getrf.irr_getrf`); every front's
+    ``(info, n_replaced, min_pivot, growth)`` diagnostics are aggregated
+    into the result's :class:`FactorReport`.  A front whose pivot block
+    broke down un-recovered is *quarantined* — its F12/F21 factors and
+    Schur complement are zeroed so the extend-add never consumes
+    Inf/NaN — and with ``breakdown="raise"`` (default) a typed
+    :class:`~repro.errors.FactorizationError` carrying the report is
+    raised once the traversal completes; ``breakdown="report"`` returns
+    the quarantined factors with ``report.ok == False``.
     """
     if strategy not in ("batched", "looped", "strumpack"):
         raise ValueError(f"unknown strategy {strategy!r}")
     if gemm_mode not in ("irr", "vendor", "hybrid"):
         raise ValueError(f"unknown gemm_mode {gemm_mode!r}")
+    if breakdown not in ("raise", "report"):
+        raise ValueError(f"unknown breakdown mode {breakdown!r}")
     a_perm = sp.csr_matrix(a_perm)
     if a_perm.shape[0] != symb.n:
         raise ValueError("matrix size does not match the symbolic analysis")
@@ -113,6 +140,7 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
 
     buffers: dict[int, DeviceArray] = {}
     pivots_of: dict[int, np.ndarray] = {}
+    diag_of: dict[int, tuple[int, int, float, float]] = {}
     host_schur: dict[int, np.ndarray] = {}
     host_factors: dict[int, FrontFactors] = {}
 
@@ -123,9 +151,13 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
             info = symb.fronts[fid]
             s = info.sep_size
             data = buffers[fid].to_host()
+            d_info, d_rep, d_minp, d_growth = diag_of.get(
+                fid, (0, 0, np.inf, 1.0))
             host_factors[fid] = FrontFactors(
                 f11=data[:s, :s].copy(), ipiv=pivots_of[fid],
-                f12=data[:s, s:].copy(), f21=data[s:, :s].copy())
+                f12=data[:s, s:].copy(), f21=data[s:, :s].copy(),
+                info=d_info, n_replaced=d_rep, min_pivot=d_minp,
+                growth=d_growth)
             if info.parent >= 0 and info.parent not in chunk_set \
                     and info.upd_size:
                 host_schur[fid] = data[s:, s:].copy()
@@ -139,7 +171,10 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
                 _factor_level(device, a_perm, symb, level_fids, buffers,
                               pivots_of, strategy, gemm_mode,
                               hybrid_cutoff, laswp_variant, nb,
-                              host_schur=host_schur, engine=engine)
+                              host_schur=host_schur, engine=engine,
+                              diag_of=diag_of, pivot_tol=pivot_tol,
+                              static_pivot=static_pivot,
+                              replace_scale=replace_scale)
             if streaming:
                 flush_chunk(chunk)
 
@@ -152,11 +187,18 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
     out.fronts = [host_factors[fid] for fid in range(len(symb.fronts))]
     device._release(a_dev_bytes)
 
+    out.report = FactorReport.from_factors(
+        out, pivot_tol=pivot_tol, static_pivot=static_pivot,
+        replace_scale=replace_scale)
+    if breakdown == "raise" and not out.report.ok:
+        raise FactorizationError(out.report.summary(), out.report)
+
     counters = {k: region[k] for k in region if k != "elapsed"}
     counters["traversals"] = len(chunks)
     return GpuFactorResult(factors=out, elapsed=region["elapsed"],
                            counters=counters,
-                           breakdown=device.profiler.by_prefix())
+                           breakdown=device.profiler.by_prefix(),
+                           report=out.report)
 
 
 def plan_traversals(symb: SymbolicFactorization,
@@ -220,7 +262,9 @@ def _chunk_levels(symb: SymbolicFactorization,
 
 def _factor_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
                   gemm_mode, hybrid_cutoff, laswp_variant, nb, *,
-                  host_schur=None, engine=None) -> None:
+                  host_schur=None, engine=None, diag_of=None,
+                  pivot_tol=0.0, static_pivot=False,
+                  replace_scale=None) -> None:
     infos = [symb.fronts[f] for f in fids]
     for fid, info in zip(fids, infos):
         buffers[fid] = device.zeros((info.order, info.order),
@@ -235,12 +279,18 @@ def _factor_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
 
     if strategy == "batched":
         _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
-                       hybrid_cutoff, laswp_variant, nb, engine=engine)
+                       hybrid_cutoff, laswp_variant, nb, engine=engine,
+                       diag_of=diag_of, pivot_tol=pivot_tol,
+                       static_pivot=static_pivot,
+                       replace_scale=replace_scale)
     elif strategy == "looped":
-        _level_looped(device, symb, fids, buffers, pivots_of)
+        _level_looped(device, symb, fids, buffers, pivots_of,
+                      diag_of=diag_of)
     else:
         _level_strumpack(device, symb, fids, buffers, pivots_of,
-                         laswp_variant, nb)
+                         laswp_variant, nb, diag_of=diag_of,
+                         pivot_tol=pivot_tol, static_pivot=static_pivot,
+                         replace_scale=replace_scale)
 
 
 def _assemble_level(device, a_perm, symb, fids, buffers, *,
@@ -351,21 +401,88 @@ def _apply_pivots_to_f12(device, f12: IrrBatch, pivots: list[np.ndarray],
     device.launch("irrlaswp:f12", kernel)
 
 
+def _sub_batch(device, b: IrrBatch, sel: np.ndarray) -> IrrBatch:
+    """View sub-batch over the selected member indices."""
+    return IrrBatch(device, [b.arrays[i] for i in sel],
+                    b.m_vec[sel], b.n_vec[sel])
+
+
+def _quarantine_broken(device, bad, *batches) -> None:
+    """One kernel: zero the given blocks of broken-down fronts.
+
+    A front whose pivot block reported an unrecovered breakdown holds
+    garbage in the columns at and beyond the breakdown; zeroing its
+    F12/F21 factors and F22 Schur block keeps the extend-add (and any
+    later solve attempt) finite.  Engine-independent, so both engines
+    emit the identical launch.
+    """
+
+    def kernel() -> KernelCost:
+        nbytes = 0.0
+        for i in bad:
+            for b in batches:
+                view = b.matrix(int(i))
+                view[...] = 0.0
+                nbytes += view.nbytes
+        return KernelCost(bytes_written=nbytes, blocks=max(len(bad), 1),
+                          threads_per_block=256, kernel_class="swap",
+                          memory_ramp=0.4)
+
+    device.launch("breakdown:quarantine", kernel)
+
+
+def _record_level_diag(diag_of, fids, piv) -> None:
+    """Propagate each front's per-matrix pivot diagnostics (satellite of
+    the robustness layer: the level loop previously never read
+    ``pivots.info``)."""
+    if diag_of is None:
+        return
+    for i, fid in enumerate(fids):
+        diag_of[fid] = (int(piv.info[i]), int(piv.n_replaced[i]),
+                        float(piv.min_pivot[i]), float(piv.growth[i]))
+
+
 def _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
-                   hybrid_cutoff, laswp_variant, nb, *, engine=None) -> None:
+                   hybrid_cutoff, laswp_variant, nb, *, engine=None,
+                   diag_of=None, pivot_tol=0.0, static_pivot=False,
+                   replace_scale=None) -> None:
     s_vec, u_vec, f11, f12, f21, f22 = _make_block_batches(
         device, symb, fids, buffers)
     smax = int(s_vec.max()) if len(s_vec) else 0
     umax = int(u_vec.max()) if len(u_vec) else 0
 
     piv = irr_getrf(device, f11, nb=nb, laswp_variant=laswp_variant,
-                    engine=engine)
+                    pivot_tol=pivot_tol, static_pivot=static_pivot,
+                    replace_scale=replace_scale, engine=engine)
     for fid, ip in zip(fids, piv.ipiv):
         pivots_of[fid] = ip
+    _record_level_diag(diag_of, fids, piv)
     if umax == 0 or smax == 0:
         return
 
-    _apply_pivots_to_f12(device, f12, piv.ipiv, engine=engine)
+    # Gate broken-down fronts out of the off-diagonal updates: zero their
+    # blocks, then run TRSM/GEMM on the clean survivors only.  piv.info
+    # is bitwise identical between engines, so the gating (and every
+    # downstream launch) is too.
+    bad = np.nonzero(piv.info != 0)[0]
+    piv_list = piv.ipiv
+    if len(bad):
+        _quarantine_broken(device, bad, f12, f21, f22)
+        good = np.setdiff1d(np.arange(len(fids), dtype=np.int64), bad)
+        if not len(good):
+            return
+        s_vec, u_vec = s_vec[good], u_vec[good]
+        f11 = _sub_batch(device, f11, good)
+        f12 = _sub_batch(device, f12, good)
+        f21 = _sub_batch(device, f21, good)
+        f22 = _sub_batch(device, f22, good)
+        piv_list = [piv.ipiv[int(i)] for i in good]
+        smax = int(s_vec.max())
+        umax = int(u_vec.max())
+        if umax == 0 or smax == 0:
+            return
+
+    _apply_pivots_to_f12(device, f12, piv_list, engine=engine)
     irr_trsm(device, "L", "L", "N", "U", smax, umax, 1.0,
              f11, (0, 0), f12, (0, 0), name="irrtrsm:f12", engine=engine)
     irr_trsm(device, "R", "U", "N", "N", umax, smax, 1.0,
@@ -376,23 +493,22 @@ def _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
                  f12, (0, 0), 1.0, f22, (0, 0), name="irrgemm:schur",
                  engine=engine)
     elif gemm_mode == "vendor":
-        _vendor_gemm_loop(device, fids, symb, f12, f21, f22, range(len(fids)))
+        _vendor_gemm_loop(device, fids, symb, f12, f21, f22,
+                          range(len(f12)))
     else:  # hybrid (Fig 14)
-        small = [i for i in range(len(fids))
+        small = [i for i in range(len(f12))
                  if max(s_vec[i], u_vec[i]) <= hybrid_cutoff]
-        large = [i for i in range(len(fids))
+        large = [i for i in range(len(f12))
                  if max(s_vec[i], u_vec[i]) > hybrid_cutoff]
         if small:
-            sub = lambda b, sel: IrrBatch(  # noqa: E731
-                device, [b.arrays[i] for i in sel],
-                b.m_vec[sel], b.n_vec[sel])
             sel = np.array(small, dtype=np.int64)
             irr_gemm(device, "N", "N",
                      int(u_vec[sel].max()), int(u_vec[sel].max()),
                      int(s_vec[sel].max()), -1.0,
-                     sub(f21, sel), (0, 0), sub(f12, sel), (0, 0), 1.0,
-                     sub(f22, sel), (0, 0), name="irrgemm:schur",
-                     engine=engine)
+                     _sub_batch(device, f21, sel), (0, 0),
+                     _sub_batch(device, f12, sel), (0, 0), 1.0,
+                     _sub_batch(device, f22, sel), (0, 0),
+                     name="irrgemm:schur", engine=engine)
         _vendor_gemm_loop(device, fids, symb, f12, f21, f22, large)
 
 
@@ -406,8 +522,16 @@ def _vendor_gemm_loop(device, fids, symb, f12, f21, f22, which) -> None:
                     name="cublas_gemm:schur")
 
 
-def _level_looped(device, symb, fids, buffers, pivots_of) -> None:
-    """cuSOLVER/cuBLAS called in a loop over the level's fronts."""
+def _level_looped(device, symb, fids, buffers, pivots_of, *,
+                  diag_of=None) -> None:
+    """cuSOLVER/cuBLAS called in a loop over the level's fronts.
+
+    The vendor model has no static-pivot mode (cuSOLVER does not), but
+    its ``devInfo`` status is checked per front: a broken-down front is
+    quarantined (F12/F21/F22 zeroed, off-diagonal updates skipped) and
+    reported through ``diag_of`` instead of feeding garbage onward.
+    """
+    info_arr = np.zeros(1, dtype=np.int64)
     for fid in fids:
         info = symb.fronts[fid]
         s, u = info.sep_size, info.upd_size
@@ -415,8 +539,24 @@ def _level_looped(device, symb, fids, buffers, pivots_of) -> None:
         if s == 0:
             pivots_of[fid] = np.empty(0, dtype=np.int64)
             continue
-        ipiv = vendor_getrf(device, arr[:s, :s])
+        info_arr[0] = 0
+        ipiv = vendor_getrf(device, arr[:s, :s], info_out=info_arr)
         pivots_of[fid] = ipiv
+        if diag_of is not None:
+            diag_of[fid] = (int(info_arr[0]), 0, np.inf, 1.0)
+        if int(info_arr[0]) != 0:
+            if u:
+                def zero_blocks(arr=arr, s=s) -> KernelCost:
+                    arr.data[:s, s:] = 0.0
+                    arr.data[s:, :s] = 0.0
+                    arr.data[s:, s:] = 0.0
+                    return KernelCost(
+                        bytes_written=float(arr.data.nbytes -
+                                            s * s * arr.data.itemsize),
+                        blocks=1, kernel_class="swap", memory_ramp=0.4)
+
+                device.launch("breakdown:quarantine", zero_blocks)
+            continue
         if u == 0:
             continue
         _apply_pivots_single(device, arr.data[:s, s:], ipiv)
@@ -442,7 +582,8 @@ def _apply_pivots_single(device, b: np.ndarray, ipiv: np.ndarray) -> None:
 
 
 def _level_strumpack(device, symb, fids, buffers, pivots_of,
-                     laswp_variant, nb) -> None:
+                     laswp_variant, nb, *, diag_of=None, pivot_tol=0.0,
+                     static_pivot=False, replace_scale=None) -> None:
     """STRUMPACK v6.3.1 model: naive batch kernels for pivot blocks
     ≤ 32×32, looped vendor calls above, and a synchronization after every
     operation."""
@@ -457,14 +598,33 @@ def _level_strumpack(device, symb, fids, buffers, pivots_of,
         # the naive batch kernel: unblocked, column-wise, a launch per
         # elementary operation (this is what "naive" costs).
         piv = irr_getrf(device, f11, nb=max(1, nb // 4),
-                        panel="columnwise", laswp_variant="looped")
+                        panel="columnwise", laswp_variant="looped",
+                        pivot_tol=pivot_tol, static_pivot=static_pivot,
+                        replace_scale=replace_scale)
         device.synchronize()
         for fid, ip in zip(small, piv.ipiv):
             pivots_of[fid] = ip
+        _record_level_diag(diag_of, small, piv)
         smax = int(s_vec.max()) if len(s_vec) else 0
         umax = int(u_vec.max()) if len(u_vec) else 0
         if smax and umax:
-            _apply_pivots_to_f12(device, f12, piv.ipiv)
+            bad = np.nonzero(piv.info != 0)[0]
+            piv_list = piv.ipiv
+            good = np.arange(len(small), dtype=np.int64)
+            if len(bad):
+                _quarantine_broken(device, bad, f12, f21, f22)
+                device.synchronize()
+                good = np.setdiff1d(good, bad)
+                s_vec, u_vec = s_vec[good], u_vec[good]
+                f11 = _sub_batch(device, f11, good)
+                f12 = _sub_batch(device, f12, good)
+                f21 = _sub_batch(device, f21, good)
+                f22 = _sub_batch(device, f22, good)
+                piv_list = [piv.ipiv[int(i)] for i in good]
+                smax = int(s_vec.max()) if len(s_vec) else 0
+                umax = int(u_vec.max()) if len(u_vec) else 0
+        if smax and umax and len(good):
+            _apply_pivots_to_f12(device, f12, piv_list)
             device.synchronize()
             irr_trsm(device, "L", "L", "N", "U", smax, umax, 1.0,
                      f11, (0, 0), f12, (0, 0), base_nb=8)
@@ -477,5 +637,6 @@ def _level_strumpack(device, symb, fids, buffers, pivots_of,
             device.synchronize()
 
     for fid in large:
-        _level_looped(device, symb, [fid], buffers, pivots_of)
+        _level_looped(device, symb, [fid], buffers, pivots_of,
+                      diag_of=diag_of)
         device.synchronize()

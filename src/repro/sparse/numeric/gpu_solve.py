@@ -40,6 +40,7 @@ from ...batched.trsm import irr_trsm
 from ...device.kernel import KernelCost
 from ...device.simulator import Device
 from .factors import MultifrontalFactors
+from .report import check_factors_ok
 from .solve_plan import DeviceFactorCache, SolvePlan
 
 __all__ = ["multifrontal_solve_gpu", "GpuSolveResult"]
@@ -281,7 +282,12 @@ def multifrontal_solve_gpu(device: Device, factors: MultifrontalFactors,
     the TRSM calls, so plan-cache state persists across solves).  With no
     ``cache``, a one-shot streaming cache is used and freed — repeated
     callers should hold both and pass them in (``SparseLU.solve`` does).
+
+    Factors whose :class:`FactorReport` records an unrecovered pivot
+    breakdown are refused with a :class:`~repro.errors.FactorizationError`
+    (substituting through them would return garbage).
     """
+    check_factors_ok(factors, "solve on the device")
     bh, squeeze = _promote_rhs(factors, b)
     eng = resolve_engine(engine if plan is None else plan.engine)
     if eng is None:

@@ -54,6 +54,7 @@ from ...batched.interface import IrrBatch
 from ...device.memory import pack_to_device
 from ...device.simulator import Device
 from .factors import MultifrontalFactors
+from .report import check_factors_ok
 
 __all__ = ["SolvePlan", "DeviceFactorCache", "LevelSolvePlan",
            "SolveBucket", "LevelFactorBlocks"]
@@ -147,6 +148,7 @@ class SolvePlan:
 
     def __init__(self, factors: MultifrontalFactors, *,
                  engine: BatchEngine | None = None):
+        check_factors_ok(factors, "build a solve plan")
         self.factors = factors
         self.symb = factors.symb
         self.engine = engine if isinstance(engine, BatchEngine) \
@@ -275,6 +277,7 @@ class DeviceFactorCache:
 
     def __init__(self, device: Device, factors: MultifrontalFactors,
                  plan: SolvePlan, *, memory_budget: int | None = None):
+        check_factors_ok(factors, "cache factors on the device")
         self.device = device
         self.factors = factors
         self.plan = plan

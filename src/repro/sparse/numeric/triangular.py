@@ -11,13 +11,20 @@ import numpy as np
 import scipy.linalg as sla
 
 from .factors import MultifrontalFactors
+from .report import check_factors_ok
 
 __all__ = ["multifrontal_solve"]
 
 
 def multifrontal_solve(factors: MultifrontalFactors,
                        b: np.ndarray) -> np.ndarray:
-    """Solve the permuted system for one or more right-hand sides."""
+    """Solve the permuted system for one or more right-hand sides.
+
+    Factors whose :class:`FactorReport` records an unrecovered pivot
+    breakdown are refused with a
+    :class:`~repro.errors.FactorizationError`.
+    """
+    check_factors_ok(factors, "substitute through the host factors")
     symb = factors.symb
     dtype = np.result_type(np.asarray(b).dtype,
                            factors.fronts[0].f11.dtype

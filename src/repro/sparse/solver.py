@@ -30,11 +30,13 @@ import scipy.sparse as sp
 
 from ..batched.engine import resolve_engine
 from ..device.simulator import Device
+from ..errors import FactorizationError
 from .baselines import naive_loop_factor, strumpack_like_factor, \
     superlu_like_factor
 from .numeric.cpu_factor import multifrontal_factor_cpu
 from .numeric.gpu_factor import GpuFactorResult, multifrontal_factor_gpu
 from .numeric.gpu_solve import multifrontal_solve_gpu
+from .numeric.report import FactorReport, check_factors_ok
 from .numeric.solve_plan import DeviceFactorCache, SolvePlan
 from .numeric.triangular import multifrontal_solve
 from .ordering.mc64 import mc64
@@ -45,12 +47,25 @@ __all__ = ["SparseLU", "SolveInfo"]
 
 _BACKENDS = ("cpu", "batched", "looped", "strumpack", "superlu")
 
+#: Refinement steps a perturbed factorization is escalated to, and the
+#: backward error the escalated steps must reach (≈ eps^{3/4}).
+ESCALATED_REFINE_STEPS = 8
+REFINE_TARGET = 1e-12
+
 
 @dataclass
 class SolveInfo:
-    """Per-solve diagnostics: residual after each refinement step."""
+    """Per-solve diagnostics: residual after each refinement step.
+
+    ``escalated`` is set when the solve ran extra refinement steps
+    because the factorization statically replaced pivots; ``report``
+    carries the factorization's :class:`FactorReport` (``None`` for
+    report-less baseline factors).
+    """
 
     residuals: list[float] = field(default_factory=list)
+    escalated: bool = False
+    report: FactorReport | None = None
 
     @property
     def final_residual(self) -> float:
@@ -76,6 +91,7 @@ class SparseLU:
         self._analyzed = False
         self._factored = False
         self.factor_result: GpuFactorResult | None = None
+        self.factor_report: FactorReport | None = None
         self._solve_state: tuple | None = None
 
     # ------------------------------------------------------------------
@@ -108,35 +124,55 @@ class SparseLU:
         (``"batched"``, ``"looped"``, ``"strumpack"``, ``"superlu"``)
         require a simulated ``device`` and record simulated timings in
         :attr:`factor_result`.
+
+        Breakdown policy keywords (``pivot_tol``, ``static_pivot``,
+        ``replace_scale``, ``breakdown``) pass through to every backend.
+        The resulting :class:`FactorReport` is kept in
+        :attr:`factor_report` — also when the factorization *fails*: a
+        raised :class:`~repro.errors.FactorizationError` still leaves
+        the report behind for inspection, but the solver stays
+        un-factored and any cached solve plan / device factor cache from
+        a previous factorization is invalidated up front.
         """
         if not self._analyzed:
             self.analyze()
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {_BACKENDS}")
-        if backend == "cpu":
-            self.factors = multifrontal_factor_cpu(self.a_perm, self.symb)
-            self.factor_result = None
-        else:
-            if device is None:
-                raise ValueError(f"backend {backend!r} needs a device")
-            if backend == "batched":
-                res = multifrontal_factor_gpu(device, self.a_perm,
-                                              self.symb, strategy="batched",
-                                              **kw)
-            elif backend == "looped":
-                res = naive_loop_factor(device, self.a_perm, self.symb, **kw)
-            elif backend == "strumpack":
-                res = strumpack_like_factor(device, self.a_perm, self.symb,
-                                            **kw)
-            else:
-                res = superlu_like_factor(device, self.a_perm, self.symb,
-                                          **kw)
-            self.factors = res.factors
-            self.factor_result = res
+        # Invalidate eagerly: a failed re-factorization must not leave a
+        # stale plan/cache (or stale factors) serving solves.
         if self._solve_state is not None:
             self._solve_state[3].free()
             self._solve_state = None
+        self._factored = False
+        self.factor_report = None
+        try:
+            if backend == "cpu":
+                self.factors = multifrontal_factor_cpu(self.a_perm,
+                                                       self.symb, **kw)
+                self.factor_result = None
+            else:
+                if device is None:
+                    raise ValueError(f"backend {backend!r} needs a device")
+                if backend == "batched":
+                    res = multifrontal_factor_gpu(device, self.a_perm,
+                                                  self.symb,
+                                                  strategy="batched", **kw)
+                elif backend == "looped":
+                    res = naive_loop_factor(device, self.a_perm, self.symb,
+                                            **kw)
+                elif backend == "strumpack":
+                    res = strumpack_like_factor(device, self.a_perm,
+                                                self.symb, **kw)
+                else:
+                    res = superlu_like_factor(device, self.a_perm,
+                                              self.symb, **kw)
+                self.factors = res.factors
+                self.factor_result = res
+        except FactorizationError as exc:
+            self.factor_report = exc.report
+            raise
+        self.factor_report = getattr(self.factors, "report", None)
         self._factored = True
         return self
 
@@ -224,9 +260,28 @@ class SparseLU:
         The right-hand side is promoted with ``np.result_type``: a
         complex ``b`` against a real ``A`` yields a complex solution
         (the imaginary part is never silently dropped).
+
+        Breakdown handling: factors whose :class:`FactorReport` records
+        an unrecovered pivot breakdown are refused with a
+        :class:`~repro.errors.FactorizationError`.  When the
+        factorization statically replaced pivots, refinement is
+        auto-escalated to at least :data:`ESCALATED_REFINE_STEPS` steps
+        (the extra steps stop early once the backward error reaches
+        :data:`REFINE_TARGET`); if it still stagnates above the target —
+        the perturbed factors do not define a usable solution — a
+        :class:`~repro.errors.FactorizationError` is raised instead of
+        returning a garbage ``x``.  Non-finite substitution output
+        raises the same typed error, never silently returns NaN/Inf.
         """
         if not self._factored:
             raise RuntimeError("factor() must run before solve()")
+        refine_steps = int(refine_steps)
+        if refine_steps < 0:
+            raise ValueError(
+                f"refine_steps must be >= 0, got {refine_steps}")
+        check_factors_ok(self.factors, "solve")
+        report = getattr(self.factors, "report", None)
+        perturbed = report is not None and report.total_replaced > 0
         b = np.asarray(b)
         b = b.astype(np.result_type(self.a.dtype, b.dtype), copy=False)
         plan = cache = None
@@ -234,9 +289,20 @@ class SparseLU:
         if device is not None and eng is not None:
             plan, cache = self._device_solve_state(device, memory_budget,
                                                    eng)
-        x = self._solve_once(b, device, engine=engine, rhs_block=rhs_block,
-                             plan=plan, cache=cache)
-        info = SolveInfo()
+
+        def substitute(rhs):
+            y = self._solve_once(rhs, device, engine=engine,
+                                 rhs_block=rhs_block, plan=plan,
+                                 cache=cache)
+            if not np.all(np.isfinite(y)):
+                raise FactorizationError(
+                    "substitution produced non-finite values — the "
+                    "factors are numerically unusable; re-factor with "
+                    "static_pivot=True (or MC64 scaling)", report)
+            return y
+
+        x = substitute(b)
+        info = SolveInfo(report=report)
         norm_b = float(np.linalg.norm(b))
         denom = norm_b if norm_b else 1.0
 
@@ -244,10 +310,23 @@ class SparseLU:
             return float(np.linalg.norm(b - self.a @ xv) / denom)
 
         info.residuals.append(resid(x))
-        for _ in range(refine_steps):
+        max_steps = max(refine_steps, ESCALATED_REFINE_STEPS) \
+            if perturbed else refine_steps
+        for step in range(max_steps):
+            if step >= refine_steps and \
+                    info.residuals[-1] <= REFINE_TARGET:
+                break
+            if step >= refine_steps:
+                info.escalated = True
             r = b - self.a @ x
-            x = x + self._solve_once(r, device, engine=engine,
-                                     rhs_block=rhs_block, plan=plan,
-                                     cache=cache)
+            x = x + substitute(r)
             info.residuals.append(resid(x))
+        if perturbed and info.residuals[-1] > REFINE_TARGET:
+            raise FactorizationError(
+                f"iterative refinement stagnated at backward error "
+                f"{info.residuals[-1]:.3e} (target {REFINE_TARGET:g}) "
+                f"after {len(info.residuals) - 1} step(s) on a "
+                f"factorization with {report.total_replaced} statically "
+                f"replaced pivot(s) — the matrix is singular or too "
+                f"ill-conditioned for static-pivot recovery", report)
         return x, info

@@ -2,6 +2,8 @@
 
 from .fronts import MaxwellWorkload, build_maxwell_workload, \
     level_front_dims, synthetic_front_batch
+from .gallery import GALLERY, GalleryEntry, gallery_entry, gallery_names, \
+    run_gallery
 from .random_batch import large_square_batch, panel_batch, \
     random_square_batch, triangular_batch, uniform_random_sizes
 
@@ -10,4 +12,6 @@ __all__ = [
     "triangular_batch", "panel_batch",
     "MaxwellWorkload", "build_maxwell_workload", "level_front_dims",
     "synthetic_front_batch",
+    "GalleryEntry", "GALLERY", "gallery_entry", "gallery_names",
+    "run_gallery",
 ]

@@ -1,0 +1,275 @@
+"""Pathological-matrix gallery for pivot-breakdown validation.
+
+A curated set of sparse systems that stress the multifrontal pipeline's
+breakdown detection and static-pivot recovery end to end: graded and
+ill-conditioned diagonals, sign-indefinite Maxwell-like shifts, tiny
+uniformly-scaled entries (which must *not* trip the detector), exactly
+singular matrices (zero rows/columns, duplicate rows) whose fronts break
+down, and saddle-point systems with structurally zero diagonal blocks.
+
+:func:`run_gallery` drives every entry through ``SparseLU`` on a chosen
+backend/engine and reduces each to a single auditable outcome: either it
+solves to a small backward error, or it raises a typed
+:class:`~repro.errors.FactorizationError` carrying a per-front
+:class:`~repro.sparse.numeric.report.FactorReport` — never silent
+NaN/Inf.  The bucketed and naive engines must agree bitwise on every
+diagnostic, which the gallery tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import FactorizationError
+
+__all__ = ["GalleryEntry", "GALLERY", "gallery_entry", "gallery_names",
+           "run_gallery"]
+
+_RHS_SEED = 12345
+
+
+def _grid2d(nx: int, ny: int, diag: float = 4.0) -> sp.csr_matrix:
+    """5-point-stencil grid operator with ``diag`` on the diagonal."""
+    n = nx * ny
+    rows, cols, vals = [], [], []
+
+    def add(i, j, v):
+        rows.append(i)
+        cols.append(j)
+        vals.append(v)
+
+    for y in range(ny):
+        for x in range(nx):
+            i = y * nx + x
+            add(i, i, diag)
+            if x + 1 < nx:
+                add(i, i + 1, -1.0)
+                add(i + 1, i, -1.0)
+            if y + 1 < ny:
+                add(i, i + nx, -1.0)
+                add(i + nx, i, -1.0)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def _well_conditioned() -> sp.csr_matrix:
+    return _grid2d(12, 12)
+
+
+def _graded() -> sp.csr_matrix:
+    # D·A·D with a 10^±3 graded diagonal scaling, shuffled so the
+    # grading is not aligned with the elimination order.
+    a = _grid2d(10, 10)
+    rng = np.random.default_rng(7)
+    d = 10.0 ** np.linspace(-3.0, 3.0, a.shape[0])
+    rng.shuffle(d)
+    return sp.csr_matrix(sp.diags(d) @ a @ sp.diags(d))
+
+
+def _indefinite_shift() -> sp.csr_matrix:
+    # Maxwell-like sign-indefinite shifted operator (curl-curl − σ·M):
+    # the shift sits inside the spectrum, so the factorization meets
+    # pivots of both signs.
+    a = _grid2d(12, 12)
+    return sp.csr_matrix(a - 1.37 * sp.eye(a.shape[0]))
+
+
+def _tiny_scaled() -> sp.csr_matrix:
+    # Every entry ~1e-300: pivots are far below any fixed absolute
+    # cutoff but healthy relative to max|A|.  Must solve — a detector
+    # that false-positives here is thresholding absolutely, not
+    # relative to the panel norm.
+    return sp.csr_matrix(_grid2d(8, 8) * 1e-300)
+
+
+def _saddle_point() -> sp.csr_matrix:
+    # [[L, B], [Bᵀ, 0]]: nonsingular, but the multiplier variables
+    # carry structurally zero diagonal entries.
+    nx = ny = 6
+    L = _grid2d(nx, ny)
+    n = L.shape[0]
+    anchors = [0, 7, 21, 35]
+    m = len(anchors)
+    B = sp.csr_matrix((np.ones(m), (anchors, range(m))), shape=(n, m))
+    return sp.csr_matrix(sp.bmat([[L, B], [B.T, None]]))
+
+
+def _zero_row_col() -> sp.csr_matrix:
+    # Exactly singular: one variable's row and column are zeroed.  The
+    # front that owns it meets an all-zero pivot column → guaranteed
+    # deterministic breakdown.
+    a = _grid2d(9, 9).tolil()
+    k = 40
+    a[k, :] = 0.0
+    a[:, k] = 0.0
+    return sp.csr_matrix(a)
+
+
+def _duplicate_rows() -> sp.csr_matrix:
+    # Exactly singular: two identical rows.  The dependency cancels to
+    # a rounding-level pivot during elimination, so detection needs a
+    # relative pivot_tol, not an exact-zero test.
+    a = _grid2d(9, 9).tolil()
+    a[31, :] = a[30, :]
+    return sp.csr_matrix(a)
+
+
+def _complex_indefinite() -> sp.csr_matrix:
+    a = _grid2d(10, 10).astype(np.complex128)
+    return sp.csr_matrix(a - (1.2 + 0.3j) * sp.eye(a.shape[0]))
+
+
+@dataclass(frozen=True)
+class GalleryEntry:
+    """One pathological system plus its recommended breakdown policy.
+
+    ``kind`` is the contract the validation harness asserts:
+
+    * ``"solvable"`` — must factor cleanly and solve to a small
+      backward error with the entry's recommended policy.
+    * ``"singular"`` — must raise a typed
+      :class:`~repro.errors.FactorizationError`: at factorization
+      without static pivoting, or at/after the solve (stagnating
+      refinement) with it.  Never NaN/Inf.
+    * ``"indefinite"`` — solvable, but exercises sign-indefinite /
+      structurally-zero-diagonal pivot blocks.
+
+    ``pivot_tol`` is the relative pivot threshold the harness factors
+    with (0 keeps only the exact-zero/subnormal detector).
+    """
+
+    name: str
+    build: Callable[[], sp.csr_matrix]
+    kind: str
+    pivot_tol: float = 0.0
+    description: str = ""
+
+
+GALLERY: tuple[GalleryEntry, ...] = (
+    GalleryEntry("well_conditioned", _well_conditioned, "solvable",
+                 description="5-point grid operator, benign pivots"),
+    GalleryEntry("graded", _graded, "solvable",
+                 description="10^±3 graded D·A·D scaling, shuffled"),
+    GalleryEntry("indefinite_shift", _indefinite_shift, "indefinite",
+                 description="Maxwell-like shift inside the spectrum"),
+    GalleryEntry("tiny_scaled", _tiny_scaled, "solvable",
+                 description="uniform 1e-300 scaling; must not "
+                             "false-positive"),
+    GalleryEntry("saddle_point", _saddle_point, "indefinite",
+                 description="KKT block system with zero diagonal "
+                             "multiplier block"),
+    GalleryEntry("zero_row_col", _zero_row_col, "singular",
+                 description="zeroed row+column: an all-zero pivot "
+                             "column in one front"),
+    GalleryEntry("duplicate_rows", _duplicate_rows, "singular",
+                 pivot_tol=1e-10,
+                 description="two identical rows: pivot cancels to "
+                             "rounding level"),
+    GalleryEntry("complex_indefinite", _complex_indefinite, "indefinite",
+                 description="complex shifted operator"),
+)
+
+
+def gallery_names() -> list[str]:
+    return [e.name for e in GALLERY]
+
+
+def gallery_entry(name: str) -> GalleryEntry:
+    for e in GALLERY:
+        if e.name == name:
+            return e
+    raise KeyError(f"no gallery entry named {name!r}; "
+                   f"choose from {gallery_names()}")
+
+
+def _rhs(entry: GalleryEntry, n: int) -> np.ndarray:
+    # Deterministic per-entry right-hand side, identical across
+    # engines/backends so outcomes are directly comparable.  A generic
+    # (inconsistent) rhs guarantees singular systems cannot sneak
+    # through refinement.
+    rng = np.random.default_rng(_RHS_SEED + len(entry.name))
+    return rng.standard_normal(n)
+
+
+def run_gallery(device=None, *, backend: str | None = None,
+                engine: str = "bucketed",
+                entries=None, static_pivot: bool = False,
+                replace_scale: float | None = None,
+                refine_steps: int = 2, use_mc64: bool = False) -> dict:
+    """Drive every gallery entry through the full pipeline.
+
+    Returns ``{name: record}`` where each record has
+
+    * ``outcome`` — ``"solved"``, ``"factor_breakdown"`` (typed error
+      at factorization) or ``"solve_breakdown"`` (typed error at the
+      solve: refused factors, non-finite substitution, or stagnating
+      escalated refinement),
+    * ``berr`` — scaled backward error ``max|b−Ax| /
+      (max|A|·max|x| + max|b|)`` when solved (else ``None``),
+    * ``residual`` — the solve's final normwise residual
+      ``‖b−Ax‖/‖b‖`` when solved,
+    * ``report`` — the :class:`FactorReport` (from the factors or the
+      raised error), ``None`` only if the error carried none,
+    * ``escalated`` — whether refinement auto-escalated,
+    * ``error`` — the error message for breakdown outcomes.
+
+    The gallery's acceptance contract: every record either solved with
+    a small ``berr`` or carries a typed error — never NaN/Inf.
+    """
+    from ..sparse import SparseLU
+
+    if backend is None:
+        backend = "cpu" if device is None else "batched"
+    if entries is None:
+        entries = GALLERY
+    results: dict[str, dict] = {}
+    for entry in entries:
+        a = entry.build()
+        b = _rhs(entry, a.shape[0])
+        rec: dict = {"outcome": None, "berr": None, "report": None,
+                     "escalated": False, "error": None,
+                     "kind": entry.kind}
+        s = SparseLU(a, use_mc64=use_mc64)
+        fkw: dict = dict(pivot_tol=entry.pivot_tol,
+                         static_pivot=static_pivot)
+        if replace_scale is not None:
+            fkw["replace_scale"] = replace_scale
+        if backend != "cpu":
+            fkw["device"] = device
+        if backend == "batched":
+            fkw["engine"] = engine
+        try:
+            s.factor(backend=backend, **fkw)
+        except FactorizationError as exc:
+            rec.update(outcome="factor_breakdown", error=str(exc),
+                       report=exc.report)
+            results[entry.name] = rec
+            continue
+        rec["report"] = s.factor_report
+        try:
+            x, info = s.solve(b, refine_steps=refine_steps,
+                              device=device, engine=engine)
+        except FactorizationError as exc:
+            rec.update(outcome="solve_breakdown", error=str(exc))
+            if exc.report is not None:
+                rec["report"] = exc.report
+            results[entry.name] = rec
+            continue
+        if not np.all(np.isfinite(x)):  # the pipeline must never allow
+            raise AssertionError(        # this past its own checks
+                f"gallery entry {entry.name!r} returned non-finite x")
+        # Scaled (normwise, inf-norm) backward error: the right metric
+        # for graded systems, where residual/||b|| saturates at
+        # eps·||A||·||x||/||b||.
+        r = float(np.abs(b - a @ x).max())
+        denom = float(np.abs(a).max() * np.abs(x).max()
+                      + np.abs(b).max())
+        rec.update(outcome="solved",
+                   berr=r / denom if denom else 0.0,
+                   residual=info.final_residual,
+                   escalated=info.escalated)
+        results[entry.name] = rec
+    return results

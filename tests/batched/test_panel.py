@@ -149,3 +149,31 @@ class TestPanelPivots:
         assert piv.ipiv[0].tolist() == [0, 1, 2]
         assert piv.ipiv[1].tolist() == [0, 1]
         assert piv.info.tolist() == [0, 0]
+
+
+class TestSubnormalPivotMagnitude:
+    """Regression: the breakdown test is a magnitude threshold, not an
+    ``== 0.0`` comparison — a subnormal 1e-310 pivot must set ``info``
+    in both panel kernels instead of overflowing the column scaling."""
+
+    @pytest.mark.parametrize("path", [fused_getf2, columnwise_getf2])
+    @pytest.mark.filterwarnings("error::RuntimeWarning")
+    def test_subnormal_pivot_sets_info(self, a100, path):
+        a = np.eye(3)
+        a[1, 1] = 1e-310
+        b = IrrBatch.from_host(a100, [a])
+        piv = PanelPivots(b)
+        path(a100, b, piv, 0, 3)
+        assert piv.info[0] == 2
+        assert np.all(np.isfinite(b.to_host()[0]))
+        assert piv.min_pivot[0] == 1e-310
+
+    @pytest.mark.parametrize("path", [fused_getf2, columnwise_getf2])
+    def test_static_replacement_at_panel_level(self, a100, path):
+        a = np.eye(3)
+        a[1, 1] = 1e-310
+        b = IrrBatch.from_host(a100, [a])
+        piv = PanelPivots(b, static_pivot=True)
+        path(a100, b, piv, 0, 3)
+        assert piv.info[0] == 0
+        assert piv.n_replaced[0] == 1

@@ -1,0 +1,172 @@
+"""End-to-end pivot-breakdown semantics of the multifrontal pipeline.
+
+Factorization-time detection/recovery, the per-front ``FactorReport``,
+solve-phase refusals (plan, device cache, host sweep), escalated
+iterative refinement, and the typed ``FactorizationError`` surface.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.batched.panel import DEFAULT_REPLACE_SCALE
+from repro.device import A100, Device
+from repro.errors import FactorizationError
+from repro.sparse import FactorReport, SparseLU, multifrontal_factor_cpu
+from repro.sparse.numeric.solve_plan import DeviceFactorCache, SolvePlan
+from repro.sparse.numeric.triangular import multifrontal_solve
+from repro.sparse.solver import ESCALATED_REFINE_STEPS
+
+from .util import grid2d
+
+
+def singular_grid(k: int = 40) -> sp.csr_matrix:
+    """Grid operator with row+column k zeroed — exactly singular, with a
+    guaranteed all-zero pivot column in the front that owns k."""
+    a = grid2d(9, 9).tolil()
+    a[k, :] = 0.0
+    a[:, k] = 0.0
+    return sp.csr_matrix(a)
+
+
+class TestFactorBreakdown:
+    def test_cpu_factor_raises_typed_error_with_report(self):
+        s = SparseLU(singular_grid()).analyze()
+        with pytest.raises(FactorizationError, match="pivot breakdown") \
+                as exc:
+            s.factor()
+        rep = exc.value.report
+        assert isinstance(rep, FactorReport)
+        assert not rep.ok and rep.n_failed >= 1
+        assert len(rep.failed_fronts()) == rep.n_failed
+        # the report is kept on the solver even though factor() failed
+        assert s.factor_report is rep
+        with pytest.raises(RuntimeError, match="factor"):
+            s.solve(np.ones(81))
+
+    def test_error_is_linalgerror_subclass(self):
+        # back-compat: callers catching np.linalg.LinAlgError still work
+        with pytest.raises(np.linalg.LinAlgError):
+            SparseLU(singular_grid()).factor()
+
+    @pytest.mark.parametrize("backend", ["batched", "looped", "strumpack",
+                                         "superlu"])
+    def test_gpu_backends_raise_with_per_front_status(self, backend):
+        s = SparseLU(singular_grid()).analyze()
+        with pytest.raises(FactorizationError) as exc:
+            s.factor(backend=backend, device=Device(A100()))
+        rep = exc.value.report
+        assert rep is not None and not rep.ok
+        assert np.all(rep.info[rep.failed_fronts()] > 0)
+
+    def test_report_mode_returns_quarantined_factors(self):
+        factors = multifrontal_factor_cpu(
+            *_permuted(singular_grid()), breakdown="report")
+        assert not factors.report.ok
+        # quarantined fronts stay finite — no NaN/Inf anywhere
+        for f in factors.fronts:
+            for blk in (f.f11, f.f12, f.f21):
+                assert np.all(np.isfinite(blk))
+
+    def test_report_levels_and_sizes_match_symbolic(self):
+        s = SparseLU(grid2d(8, 8)).factor()
+        rep = s.factor_report
+        assert rep.ok and rep.n_fronts == len(s.symb.fronts)
+        assert np.array_equal(rep.sep_size,
+                              [f.sep_size for f in s.symb.fronts])
+        assert rep.max_growth >= 1.0
+        assert "clean" in rep.summary()
+
+
+def _permuted(a):
+    s = SparseLU(a).analyze()
+    return s.a_perm, s.symb
+
+
+class TestStaticPivotRecovery:
+    def test_factor_succeeds_with_replacement(self):
+        s = SparseLU(singular_grid()).factor(static_pivot=True)
+        rep = s.factor_report
+        assert rep.ok and rep.total_replaced >= 1
+        assert rep.static_pivot
+        assert rep.perturbed_fronts().size >= 1
+
+    def test_singular_system_raises_at_solve_not_nan(self):
+        s = SparseLU(singular_grid()).factor(static_pivot=True)
+        b = np.random.default_rng(3).standard_normal(81)
+        with pytest.raises(FactorizationError, match="stagnated") as exc:
+            s.solve(b)
+        assert exc.value.report is s.factor_report
+
+    def test_recoverable_pivot_escalates_and_converges(self):
+        n = 30
+        d = np.ones(n)
+        d[7] = DEFAULT_REPLACE_SCALE * 1.001
+        a = sp.csr_matrix(sp.diags(d))
+        b = np.random.default_rng(0).standard_normal(n)
+        s = SparseLU(a).factor(pivot_tol=1e-6, static_pivot=True)
+        assert s.factor_report.total_replaced == 1
+        x, info = s.solve(b, refine_steps=1)
+        assert info.escalated
+        assert 1 < len(info.residuals) <= ESCALATED_REFINE_STEPS + 1
+        assert info.final_residual <= 1e-12
+        np.testing.assert_allclose(x, b / d, rtol=1e-10)
+
+    def test_unperturbed_solve_runs_exact_step_count(self, rng):
+        # back-compat: no escalation when nothing was replaced
+        s = SparseLU(grid2d(8, 8)).factor(static_pivot=True)
+        _, info = s.solve(rng.standard_normal(64), refine_steps=2)
+        assert not info.escalated
+        assert len(info.residuals) == 3
+        assert info.report is s.factor_report
+
+
+class TestSolvePhaseRefusals:
+    def _broken_factors(self):
+        return multifrontal_factor_cpu(*_permuted(singular_grid()),
+                                       breakdown="report")
+
+    def test_host_sweep_refuses(self):
+        with pytest.raises(FactorizationError, match="refusing to"):
+            multifrontal_solve(self._broken_factors(), np.ones(81))
+
+    def test_solve_plan_refuses(self):
+        with pytest.raises(FactorizationError, match="solve plan"):
+            SolvePlan(self._broken_factors())
+
+    def test_device_cache_refuses(self):
+        factors = self._broken_factors()
+        with pytest.raises(FactorizationError, match="cache"):
+            DeviceFactorCache(Device(A100()), factors, None)
+
+    def test_failed_refactor_invalidates_cache(self, rng):
+        # Satellite contract: after a failed re-factorization the old
+        # plan/cache must not keep serving solves from stale factors.
+        a = grid2d(8, 8)
+        dev = Device(A100())
+        s = SparseLU(a).factor()
+        s.solve(rng.standard_normal(64), device=dev)
+        assert dev.allocated_bytes > 0
+        with pytest.raises(FactorizationError):
+            s.factor(pivot_tol=10.0)  # every pivot below 10·max|A|
+        assert s.solve_cache is None and s.solve_plan is None
+        assert dev.allocated_bytes == 0
+        with pytest.raises(RuntimeError, match="factor"):
+            s.solve(rng.standard_normal(64), device=dev)
+        # a clean re-factor brings the pipeline back
+        s.factor()
+        _, info = s.solve(rng.standard_normal(64), device=dev)
+        assert info.final_residual < 1e-13
+
+
+class TestRefineStepsValidation:
+    def test_negative_refine_steps_rejected(self, rng):
+        s = SparseLU(grid2d(5, 5)).factor()
+        with pytest.raises(ValueError, match="refine_steps"):
+            s.solve(rng.standard_normal(25), refine_steps=-1)
+
+    def test_zero_refine_steps_records_initial_residual(self, rng):
+        s = SparseLU(grid2d(5, 5)).factor()
+        _, info = s.solve(rng.standard_normal(25), refine_steps=0)
+        assert len(info.residuals) == 1
+        assert np.isfinite(info.final_residual)

@@ -1,0 +1,108 @@
+"""Validation harness over the pathological-matrix gallery.
+
+Acceptance contract (run under ``-W error::RuntimeWarning`` via the
+``gallery`` marker's CI job): every gallery matrix either solves to a
+scaled backward error ≤ 1e-12 or raises a typed ``FactorizationError``
+carrying a per-front ``FactorReport`` — never silent NaN/Inf — on both
+execution engines, with bitwise-identical diagnostics between them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device
+from repro.workloads import GALLERY, gallery_entry, gallery_names, \
+    run_gallery
+
+pytestmark = [pytest.mark.gallery,
+              pytest.mark.filterwarnings("error::RuntimeWarning")]
+
+BERR_TOL = 1e-12
+DIAG_FIELDS = ("info", "n_replaced", "min_pivot", "growth", "level",
+               "sep_size")
+
+
+def assert_contract(results):
+    """Solved with small backward error, or a typed error with report."""
+    for name, rec in results.items():
+        if rec["outcome"] == "solved":
+            assert rec["berr"] <= BERR_TOL, (name, rec["berr"])
+        else:
+            assert rec["outcome"] in ("factor_breakdown",
+                                      "solve_breakdown"), name
+            assert rec["error"], name
+            assert rec["report"] is not None, name
+
+
+class TestGalleryRegistry:
+    def test_names_unique_and_lookup(self):
+        names = gallery_names()
+        assert len(names) == len(set(names))
+        for n in names:
+            assert gallery_entry(n).name == n
+        with pytest.raises(KeyError):
+            gallery_entry("nope")
+
+    def test_covers_required_pathologies(self):
+        kinds = {e.kind for e in GALLERY}
+        assert kinds == {"solvable", "singular", "indefinite"}
+        assert len([e for e in GALLERY if e.kind == "singular"]) >= 2
+
+
+class TestGalleryCpu:
+    @pytest.mark.parametrize("static", [False, True])
+    def test_contract_holds(self, static):
+        assert_contract(run_gallery(static_pivot=static))
+
+    def test_outcomes_by_kind_without_static(self):
+        res = run_gallery()
+        for e in GALLERY:
+            rec = res[e.name]
+            if e.kind == "singular":
+                assert rec["outcome"] == "factor_breakdown", e.name
+                assert not rec["report"].ok
+            else:
+                assert rec["outcome"] == "solved", (e.name, rec)
+                assert rec["report"].ok
+                assert rec["report"].total_replaced == 0
+
+    def test_singular_entries_raise_through_solve_with_static(self):
+        res = run_gallery(static_pivot=True)
+        for e in GALLERY:
+            rec = res[e.name]
+            if e.kind == "singular":
+                assert rec["outcome"] == "solve_breakdown", e.name
+                assert rec["report"].total_replaced >= 1
+            else:
+                assert rec["outcome"] == "solved", e.name
+
+
+class TestGalleryEngines:
+    @pytest.mark.parametrize("engine", ["bucketed", "naive"])
+    @pytest.mark.parametrize("static", [False, True])
+    def test_contract_holds_on_device(self, engine, static):
+        assert_contract(run_gallery(Device(A100()), engine=engine,
+                                    static_pivot=static))
+
+    @pytest.mark.parametrize("static", [False, True])
+    def test_engines_bitwise_identical(self, static):
+        res = {eng: run_gallery(Device(A100()), engine=eng,
+                                static_pivot=static)
+               for eng in ("bucketed", "naive")}
+        for e in GALLERY:
+            rb, rn = res["bucketed"][e.name], res["naive"][e.name]
+            assert rb["outcome"] == rn["outcome"], e.name
+            assert rb["berr"] == rn["berr"], e.name
+            if rb["report"] is None:
+                assert rn["report"] is None
+                continue
+            for f in DIAG_FIELDS:
+                assert np.array_equal(getattr(rb["report"], f),
+                                      getattr(rn["report"], f)), \
+                    (e.name, f)
+
+    def test_batched_outcomes_match_cpu(self):
+        cpu = run_gallery(static_pivot=True)
+        dev = run_gallery(Device(A100()), static_pivot=True)
+        for e in GALLERY:
+            assert cpu[e.name]["outcome"] == dev[e.name]["outcome"], e.name

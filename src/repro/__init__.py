@@ -19,9 +19,13 @@ Quick start::
 """
 
 from . import analysis, batched, device, fem, sparse, workloads
-from .errors import FactorizationError
+from .errors import (FactorizationError, KernelLaunchError,
+                     ResourceExhausted, TransferError)
+from .recovery import RecoveryEvent, RecoveryLog
 
 __version__ = "1.0.0"
 
 __all__ = ["device", "batched", "sparse", "fem", "workloads", "analysis",
-           "FactorizationError", "__version__"]
+           "FactorizationError", "TransferError", "KernelLaunchError",
+           "ResourceExhausted", "RecoveryLog", "RecoveryEvent",
+           "__version__"]

@@ -192,6 +192,17 @@ class BatchEngine:
         self._bufs: dict = {}
         self._lapack: dict = {}
 
+    def clear_plan_caches(self) -> None:
+        """Drop cached plans and scratch buffers (host-side backpressure).
+
+        Called by the recovery ladder before restarting a factorization
+        under a smaller traversal budget: the new chunking changes the
+        level compositions, so the old plans' keys would mostly go cold
+        while their buffers pin host memory.
+        """
+        self.cache.clear()
+        self._bufs.clear()
+
     def _scratch(self, name: str, n: int, dtype) -> np.ndarray:
         """Reusable flat scratch buffer (grown geometrically, never shrunk).
 

@@ -198,8 +198,16 @@ class IrrBatch:
         return int(np.sum(self.m_vec * self.n_vec))
 
     def free(self) -> None:
+        """Release every owned member allocation (idempotent; members
+        that are views never owned bytes, so freeing them is a no-op)."""
         for a in self.arrays:
             a.free()
+
+    def __enter__(self) -> "IrrBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.free()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"IrrBatch(batch={len(self)}, "

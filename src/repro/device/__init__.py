@@ -17,9 +17,12 @@ Quick use::
     print(dev.host_time, dev.profiler.by_kernel())
 """
 
+from .faults import FAULT_KINDS, PERSISTENT, FaultInjector, FaultPlan, \
+    FaultRule, InjectedFault
 from .kernel import KernelCost, LaunchRecord, gemm_compute_ramp, \
     intrinsic_duration, sm_demand
-from .memory import DeviceArray, DeviceOutOfMemory, pack_to_device
+from .memory import MAX_TRANSFER_ATTEMPTS, DeviceArray, DeviceOutOfMemory, \
+    pack_to_device, validate_memory_budget
 from .profiler import KernelSummary, Profiler
 from .simulator import Device
 from .spec import A100, MI100, XEON_6140_2S, CpuSpec, DeviceSpec
@@ -27,6 +30,9 @@ from .stream import Event, Stream
 
 __all__ = [
     "Device", "DeviceArray", "DeviceOutOfMemory", "pack_to_device",
+    "validate_memory_budget", "MAX_TRANSFER_ATTEMPTS",
+    "FaultPlan", "FaultRule", "FaultInjector", "InjectedFault",
+    "PERSISTENT", "FAULT_KINDS",
     "DeviceSpec", "CpuSpec",
     "A100", "MI100", "XEON_6140_2S", "Stream", "Event", "KernelCost",
     "LaunchRecord",

@@ -7,23 +7,114 @@ device accounts simulated time (timing layer).
 
 Allocation is tracked against the device's memory capacity so that the
 "as large as the GPU memory affords" boundary of irrLU-GPU is a real,
-testable failure mode (:class:`DeviceOutOfMemory`).
+testable failure mode (:class:`DeviceOutOfMemory`).  Accounting is
+exception-safe: capacity is claimed *before* host buffers are built and
+released on any construction failure, so a failed allocation or transfer
+never strands bytes in ``device.allocated_bytes``.
+
+Transfers are optionally integrity-checked: with verification enabled
+(``device.verify_transfers``, on by default inside a
+``device.fault_scope``) every H2D/D2H copy checksums the payload,
+retries up to :data:`MAX_TRANSFER_ATTEMPTS` times on mismatch (each
+retry re-pays the bus and is recorded in ``device.recovery_log``), and
+raises a typed :class:`~repro.errors.TransferError` when the corruption
+persists.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from ..errors import TransferError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .simulator import Device
 
-__all__ = ["DeviceArray", "DeviceOutOfMemory", "pack_to_device"]
+__all__ = ["DeviceArray", "DeviceOutOfMemory", "pack_to_device",
+           "validate_memory_budget", "MAX_TRANSFER_ATTEMPTS"]
+
+#: Bounded retry budget for integrity-checked transfers: a transfer is
+#: attempted at most this many times before a typed
+#: :class:`~repro.errors.TransferError` is raised.
+MAX_TRANSFER_ATTEMPTS = 4
 
 
 class DeviceOutOfMemory(MemoryError):
     """Raised when an allocation would exceed the device memory capacity."""
+
+
+def validate_memory_budget(memory_budget, *,
+                           name: str = "memory_budget") -> int | None:
+    """Validate a device memory budget; one message for every call site.
+
+    ``None`` means "no budget" and passes through.  Anything else must
+    be a positive integer number of bytes — zero, negative, boolean and
+    fractional budgets all raise the same :class:`ValueError`, instead
+    of each consumer (out-of-core planner, factor cache, solver) failing
+    in its own divergent way downstream.
+    """
+    if memory_budget is None:
+        return None
+    if isinstance(memory_budget, bool) or \
+            not isinstance(memory_budget, (int, np.integer)):
+        raise ValueError(
+            f"{name} must be None or a positive integer number of bytes, "
+            f"got {memory_budget!r}")
+    if memory_budget <= 0:
+        raise ValueError(
+            f"{name} must be None or a positive integer number of bytes, "
+            f"got {memory_budget!r}")
+    return int(memory_budget)
+
+
+def _digest(data: np.ndarray) -> bytes:
+    """Payload checksum (order-exact bytes digest)."""
+    return hashlib.blake2b(data.tobytes(), digest_size=16).digest()
+
+
+def _transfer_h2d(device: "Device", dest: np.ndarray, src: np.ndarray, *,
+                  verify: bool, site: str, account_empty: bool = True
+                  ) -> None:
+    """Copy ``src`` into device-resident ``dest`` with bounded retries.
+
+    Each attempt pays the bus (latency + bandwidth) exactly like the
+    unchecked path; an installed fault injector may corrupt the landed
+    payload, which verification detects and repairs by re-transferring.
+    """
+    want = _digest(src) if verify else None
+    for attempt in range(1, MAX_TRANSFER_ATTEMPTS + 1):
+        if src.nbytes or account_empty:
+            device._account_transfer(src.nbytes)
+        dest[...] = src
+        if device._injector is not None and dest.size:
+            device._injector.on_transfer("h2d", dest, site)
+        if not verify or _digest(dest) == want:
+            return
+        if attempt >= MAX_TRANSFER_ATTEMPTS:
+            raise TransferError(site, "h2d", attempt)
+        device.recovery_log.record("transfer-retry", site=site,
+                                   attempt=attempt, detail="h2d corrupted")
+
+
+def _transfer_d2h(device: "Device", src: np.ndarray, *,
+                  verify: bool, site: str) -> np.ndarray:
+    """Copy device-resident ``src`` to a new host array, with retries."""
+    want = _digest(src) if verify else None
+    for attempt in range(1, MAX_TRANSFER_ATTEMPTS + 1):
+        device._account_transfer(src.nbytes)
+        out = np.array(src, copy=True)
+        if device._injector is not None and out.size:
+            device._injector.on_transfer("d2h", out, site)
+        if not verify or _digest(out) == want:
+            return out
+        if attempt >= MAX_TRANSFER_ATTEMPTS:
+            raise TransferError(site, "d2h", attempt)
+        device.recovery_log.record("transfer-retry", site=site,
+                                   attempt=attempt, detail="d2h corrupted")
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class DeviceArray:
@@ -33,6 +124,10 @@ class DeviceArray:
     slicing into *views* (views share the parent's allocation and are not
     charged again), and explicit round-trips to the host.  All arithmetic
     happens inside kernels via the ``.data`` NumPy array.
+
+    Also a context manager: ``with device.empty(...) as scratch: ...``
+    frees the allocation on exit.  :meth:`free` is idempotent and safe
+    on views (a view never owns bytes, so freeing it is a no-op).
     """
 
     __slots__ = ("device", "data", "nbytes_owned", "_base")
@@ -65,6 +160,12 @@ class DeviceArray:
     def base(self) -> "DeviceArray | None":
         return self._base
 
+    @property
+    def freed(self) -> bool:
+        """True once this (owning) array released its allocation."""
+        return self._base is None and self.nbytes_owned == 0 \
+            and self.data.nbytes > 0
+
     def view(self, key) -> "DeviceArray":
         """Return a sub-array view sharing this allocation (no copy)."""
         sub = self.data[key]
@@ -76,26 +177,42 @@ class DeviceArray:
         return self.view(key)
 
     # -- host transfers ---------------------------------------------------
-    def to_host(self) -> np.ndarray:
-        """Copy to host (D2H); charges transfer time on the device clock."""
-        self.device._account_transfer(self.data.nbytes)
-        return np.array(self.data, copy=True)
+    def to_host(self, *, verify: bool | None = None) -> np.ndarray:
+        """Copy to host (D2H); charges transfer time on the device clock.
 
-    def copy_from_host(self, host: np.ndarray) -> "DeviceArray":
-        """Copy host data into this array (H2D)."""
+        ``verify=None`` follows ``device.verify_transfers``; ``True``
+        forces checksummed transfer with bounded retries.
+        """
+        if verify is None:
+            verify = self.device.verify_transfers
+        return _transfer_d2h(self.device, self.data, verify=verify,
+                             site="to_host")
+
+    def copy_from_host(self, host: np.ndarray, *,
+                       verify: bool | None = None) -> "DeviceArray":
+        """Copy host data into this array (H2D), optionally checksummed."""
         host = np.asarray(host)
         if host.shape != self.data.shape:
             raise ValueError(
                 f"shape mismatch: device {self.data.shape} vs host {host.shape}")
-        self.device._account_transfer(host.nbytes)
-        self.data[...] = host
+        if verify is None:
+            verify = self.device.verify_transfers
+        _transfer_h2d(self.device, self.data, host, verify=verify,
+                      site="copy_from_host")
         return self
 
     def free(self) -> None:
-        """Release this allocation back to the device."""
+        """Release this allocation back to the device (idempotent)."""
         if self._base is None and self.nbytes_owned:
             self.device._release(self.nbytes_owned)
             self.nbytes_owned = 0
+
+    # -- scoped lifetime --------------------------------------------------
+    def __enter__(self) -> "DeviceArray":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.free()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"DeviceArray(device={self.device.spec.name!r}, "
@@ -112,14 +229,33 @@ def pack_to_device(device: "Device", blocks: Sequence[np.ndarray],
     the transfer pattern a pinned staging buffer gives a real solver.
     An empty ``blocks`` list or zero-sized blocks allocate without any
     transfer accounting (nothing crosses the bus).
+
+    Capacity is claimed *before* the host stack is built and released if
+    stacking or the transfer fails, so a mid-construction error leaves
+    ``device.allocated_bytes`` untouched.
     """
     if not blocks:
-        stacked = np.empty((0, 0, 0), dtype=dtype or np.float64)
+        shape: tuple[int, ...] = (0, 0, 0)
+        dt = np.dtype(dtype or np.float64)
     else:
-        stacked = np.stack([np.asarray(b, dtype=dtype) for b in blocks])
-    device._claim(stacked.nbytes)
-    if stacked.nbytes:
-        device._account_transfer(stacked.nbytes)
+        first = np.asarray(blocks[0])
+        shape = (len(blocks),) + first.shape
+        dt = np.dtype(dtype) if dtype is not None else \
+            np.result_type(*(np.asarray(b).dtype for b in blocks))
+    nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+    device._claim(nbytes, site="pack_to_device")
+    try:
+        if not blocks:
+            stacked = np.empty(shape, dtype=dt)
+        else:
+            host = np.stack([np.asarray(b, dtype=dt) for b in blocks])
+            stacked = np.empty(shape, dtype=dt)
+            _transfer_h2d(device, stacked, host,
+                          verify=device.verify_transfers,
+                          site="pack_to_device", account_empty=False)
+    except BaseException:
+        device._release(nbytes)
+        raise
     return DeviceArray(device, stacked)
 
 

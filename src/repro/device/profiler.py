@@ -41,6 +41,8 @@ class Profiler:
     sync_wait_time: float = 0.0
     transfer_count: int = 0
     transfer_time: float = 0.0
+    stall_count: int = 0
+    stall_time: float = 0.0
 
     def add_record(self, rec: LaunchRecord) -> None:
         self.records.append(rec)
@@ -56,6 +58,11 @@ class Profiler:
     def note_transfer(self, seconds: float) -> None:
         self.transfer_count += 1
         self.transfer_time += seconds
+
+    def note_stall(self, seconds: float) -> None:
+        """Record an injected stream stall (fault-injection timing)."""
+        self.stall_count += 1
+        self.stall_time += max(seconds, 0.0)
 
     # -- reporting ---------------------------------------------------------
     def by_kernel(self) -> dict[str, KernelSummary]:
@@ -89,6 +96,7 @@ class Profiler:
             "sync_count": self.sync_count,
             "sync_wait_time": self.sync_wait_time,
             "transfer_time": self.transfer_time,
+            "stall_time": self.stall_time,
         }
 
     def clear(self) -> None:
@@ -99,3 +107,5 @@ class Profiler:
         self.sync_wait_time = 0.0
         self.transfer_count = 0
         self.transfer_time = 0.0
+        self.stall_count = 0
+        self.stall_time = 0.0

@@ -33,6 +33,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from ..recovery import RecoveryLog
 from .kernel import KernelCost, LaunchRecord, intrinsic_duration, sm_demand
 from .memory import DeviceArray, DeviceOutOfMemory
 from .profiler import Profiler
@@ -55,32 +56,97 @@ class Device:
         self.device_time = 0.0            # makespan of resolved kernels
         self.allocated_bytes = 0
         self.peak_allocated_bytes = 0
+        self.recovery_log = RecoveryLog()
+        self.verify_transfers = False
+        self._injector = None             # installed by fault_scope()
         self._streams: dict[int, Stream] = {0: Stream(0)}
         self._seq = 0
         self._pending: list[LaunchRecord] = []
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    @contextmanager
+    def fault_scope(self, plan, *, verify_transfers: bool = True):
+        """Install a seeded fault schedule for the duration of a block.
+
+        ``plan`` is a :class:`~repro.device.faults.FaultPlan` (or an
+        already-constructed :class:`~repro.device.faults.FaultInjector`
+        to share counters across scopes).  While installed, the device
+        consults the injector at every allocation, transfer and launch;
+        transfer verification is switched on by default so injected
+        corruption is detected rather than silently consumed (pass
+        ``verify_transfers=False`` to test the unprotected path).
+        Yields the injector; the previous injector/verification state is
+        restored on exit.
+        """
+        from .faults import FaultInjector
+        inj = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+        prev_inj, prev_verify = self._injector, self.verify_transfers
+        self._injector = inj
+        self.verify_transfers = bool(verify_transfers) or prev_verify
+        try:
+            yield inj
+        finally:
+            self._injector = prev_inj
+            self.verify_transfers = prev_verify
+
+    # ------------------------------------------------------------------
     # memory
     # ------------------------------------------------------------------
     def empty(self, shape, dtype=np.float64) -> DeviceArray:
-        """Allocate an uninitialized array in device memory."""
-        arr = np.empty(shape, dtype=dtype)
-        self._claim(arr.nbytes)
+        """Allocate an uninitialized array in device memory.
+
+        Capacity is claimed before the host-side buffer is built and
+        released if construction fails, so failures never leak
+        accounting.
+        """
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize \
+            if np.ndim(shape) else int(shape) * dt.itemsize
+        self._claim(nbytes, site="empty")
+        try:
+            arr = np.empty(shape, dtype=dt)
+        except BaseException:
+            self._release(nbytes)
+            raise
         return DeviceArray(self, arr)
 
     def zeros(self, shape, dtype=np.float64) -> DeviceArray:
-        arr = np.zeros(shape, dtype=dtype)
-        self._claim(arr.nbytes)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize \
+            if np.ndim(shape) else int(shape) * dt.itemsize
+        self._claim(nbytes, site="zeros")
+        try:
+            arr = np.zeros(shape, dtype=dt)
+        except BaseException:
+            self._release(nbytes)
+            raise
         return DeviceArray(self, arr)
 
-    def from_host(self, host: np.ndarray) -> DeviceArray:
-        """Allocate and copy a host array to the device (H2D transfer)."""
-        host = np.asarray(host)
-        self._claim(host.nbytes)
-        self._account_transfer(host.nbytes)
-        return DeviceArray(self, np.array(host, copy=True))
+    def from_host(self, host: np.ndarray, *,
+                  verify: bool | None = None) -> DeviceArray:
+        """Allocate and copy a host array to the device (H2D transfer).
 
-    def _claim(self, nbytes: int) -> None:
+        ``verify`` follows ``self.verify_transfers`` when ``None``; see
+        :meth:`DeviceArray.copy_from_host` for checksum/retry semantics.
+        """
+        host = np.asarray(host)
+        self._claim(host.nbytes, site="from_host")
+        try:
+            arr = DeviceArray(self, np.empty(host.shape, dtype=host.dtype))
+            arr.copy_from_host(host, verify=verify)
+        except BaseException:
+            self._release(host.nbytes)
+            raise
+        return arr
+
+    def _claim(self, nbytes: int, site: str = "alloc") -> None:
+        if nbytes < 0:
+            raise ValueError(f"cannot claim a negative allocation "
+                             f"({nbytes} bytes at {site!r})")
+        if self._injector is not None:
+            self._injector.on_alloc(self, nbytes, site)
         if self.allocated_bytes + nbytes > self.spec.memory_capacity:
             raise DeviceOutOfMemory(
                 f"{self.spec.name}: allocation of {nbytes} bytes exceeds "
@@ -91,6 +157,13 @@ class Device:
                                         self.allocated_bytes)
 
     def _release(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"cannot release a negative allocation "
+                             f"({nbytes} bytes)")
+        if nbytes > self.allocated_bytes:
+            raise RuntimeError(
+                f"release of {nbytes} bytes exceeds the {self.allocated_bytes}"
+                f" bytes currently allocated — double release?")
         self.allocated_bytes -= nbytes
 
     def _account_transfer(self, nbytes: int) -> None:
@@ -148,6 +221,12 @@ class Device:
         elif stream is None:
             stream = self.default_stream
 
+        # Fault site: an injected launch failure (or stream stall) fires
+        # before the kernel's numerics run, so device state is unchanged
+        # and the caller may retry the launch from consistent inputs.
+        if self._injector is not None:
+            self._injector.on_launch(self, name, stream)
+
         returned = fn() if fn is not None else None
         if isinstance(returned, KernelCost):
             cost = returned
@@ -203,8 +282,13 @@ class Device:
             recs.sort(key=lambda r: r.seq)
 
         heads: dict[int, int] = {sid: 0 for sid in chains}
-        prev_end: dict[int, float] = {sid: self._streams[sid].tail
-                                      for sid in chains}
+        # A pending stream stall (injected fault) delays the stream's
+        # next kernel chain; consumed here, once.
+        prev_end: dict[int, float] = {}
+        for sid in chains:
+            s = self._streams[sid]
+            prev_end[sid] = s.tail + s.pending_stall
+            s.pending_stall = 0.0
         active: list[LaunchRecord] = []
         now = 0.0
         makespan = self.device_time
@@ -333,6 +417,7 @@ class Device:
         self.device_time = 0.0
         for s in self._streams.values():
             s.tail = 0.0
+            s.pending_stall = 0.0
         self.profiler.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -29,6 +29,9 @@ class Stream:
     tail: float = 0.0
     #: sequence number of the most recent launch into this stream
     last_seq: int = -1
+    #: injected stall (seconds) delaying the next resolution of this
+    #: stream's kernel chain; consumed (reset to 0) by the simulator
+    pending_stall: float = 0.0
 
     def push(self, rec: LaunchRecord) -> None:
         self.queue.append(rec)

@@ -1,5 +1,7 @@
-"""Typed exceptions for the numerical-robustness layer.
+"""Typed exceptions for the robustness layer (numerical and system).
 
+Numerical failures
+------------------
 :class:`FactorizationError` is the single failure type the pipeline
 raises when an LU factorization breaks down (a pivot below the
 breakdown threshold that static pivoting did not, or could not,
@@ -8,13 +10,26 @@ perturbed factorization.  It subclasses :class:`numpy.linalg.LinAlgError`
 so existing ``except LinAlgError`` call sites keep working, and carries
 the per-front :class:`~repro.sparse.numeric.report.FactorReport` (when
 one exists) so callers can see *which* fronts failed and why.
+
+System failures
+---------------
+The device pipeline can also fail for non-numerical reasons — a transfer
+that keeps arriving corrupted, a kernel launch the runtime rejects, or a
+recovery ladder (retry → split → shrink → spill → host fallback) that
+runs out of options.  These raise :class:`TransferError`,
+:class:`KernelLaunchError` and :class:`ResourceExhausted` respectively;
+never a bare :class:`MemoryError` and never silent garbage.  Each error
+carries enough context (site, attempt count, the
+:class:`~repro.recovery.RecoveryLog` of actions already taken) for a
+caller to decide whether to re-run, re-budget, or re-host the work.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FactorizationError"]
+__all__ = ["FactorizationError", "TransferError", "KernelLaunchError",
+           "ResourceExhausted"]
 
 
 class FactorizationError(np.linalg.LinAlgError):
@@ -31,3 +46,67 @@ class FactorizationError(np.linalg.LinAlgError):
     def __init__(self, message: str, report=None):
         super().__init__(message)
         self.report = report
+
+
+class TransferError(RuntimeError):
+    """A host<->device transfer failed integrity verification N times.
+
+    Raised by the checksummed transfer paths in
+    :mod:`repro.device.memory` once the bounded retry budget is spent —
+    a transfer that keeps arriving corrupted is a persistent fault the
+    device layer cannot repair.
+
+    Attributes
+    ----------
+    site:
+        Label of the failing transfer (e.g. ``"copy_from_host"``).
+    direction:
+        ``"h2d"`` or ``"d2h"``.
+    attempts:
+        Number of transfer attempts made before giving up.
+    """
+
+    def __init__(self, site: str, direction: str, attempts: int):
+        super().__init__(
+            f"{direction} transfer at {site!r} failed checksum "
+            f"verification after {attempts} attempt(s)")
+        self.site = site
+        self.direction = direction
+        self.attempts = attempts
+
+
+class KernelLaunchError(RuntimeError):
+    """The device runtime rejected a kernel launch.
+
+    Injected by the fault layer *before* the kernel's numerics run, so a
+    caller that catches this error can retry the launch (or the enclosing
+    level transaction) from unchanged inputs.
+
+    Attributes
+    ----------
+    kernel:
+        Name of the rejected kernel.
+    """
+
+    def __init__(self, kernel: str, detail: str = ""):
+        msg = f"kernel launch failed: {kernel!r}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.kernel = kernel
+
+
+class ResourceExhausted(RuntimeError):
+    """Every bounded recovery option for a device operation was spent.
+
+    This is the terminal error of the resource-recovery ladder: level
+    retries, sub-batch splits, out-of-core chunk shrinking, cache
+    eviction and (when enabled) the host fallback all failed or were
+    unavailable.  The original device error is chained as ``__cause__``
+    and the :class:`~repro.recovery.RecoveryLog` of every action taken
+    along the way is attached as ``log``.
+    """
+
+    def __init__(self, message: str, log=None):
+        super().__init__(message)
+        self.log = log

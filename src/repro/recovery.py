@@ -1,0 +1,139 @@
+"""Recovery logging: a structured trail of every resilience action.
+
+The fault-tolerant device pipeline (checksummed transfers, OOM
+backpressure, transactional level execution) never recovers silently:
+each retry, split, shrink, eviction and fallback appends a
+:class:`RecoveryEvent` to a :class:`RecoveryLog`.  The log is attached
+to the artifacts a caller already holds — the
+:class:`~repro.sparse.numeric.report.FactorReport` of a factorization,
+the :class:`~repro.sparse.solver.SolveInfo` of a solve, and any
+:class:`~repro.errors.ResourceExhausted` raised when the ladder runs
+dry — so "the run succeeded but limped" is always observable.
+
+Every :class:`~repro.device.simulator.Device` owns one canonical log
+(``device.recovery_log``); layered code brackets its own work with
+:meth:`RecoveryLog.mark` / :meth:`RecoveryLog.since` to carve out the
+events belonging to a single factorization or solve while keeping the
+device-wide ordering intact.
+
+Actions (the closed vocabulary used across the stack):
+
+========================  ====================================================
+``transfer-retry``        a checksummed H2D/D2H transfer re-ran after
+                          detected corruption
+``launch-retry``          a level transaction re-ran after an injected or
+                          runtime kernel-launch failure
+``alloc-retry``           a level transaction re-ran after a transient
+                          allocation failure
+``level-split``           a level's front batch was split into sub-batches
+                          to shrink its transient footprint
+``chunk-shrink``          the out-of-core traversal budget was reduced and
+                          the factorization restarted
+``cache-evict``           a device-resident factor level was spilled (freed;
+                          the host copy is authoritative) to make room
+``host-fallback``         the device path was abandoned for the host path
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RecoveryEvent", "RecoveryLog"]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action taken by the resilient pipeline.
+
+    Attributes
+    ----------
+    action:
+        Action slug (see the module docstring for the vocabulary).
+    site:
+        Where the action happened (kernel name, transfer site, phase).
+    attempt:
+        1-based attempt number for retry-shaped actions, else 1.
+    detail:
+        Free-form context (byte counts, front ids, error text).
+    """
+
+    action: str
+    site: str = ""
+    attempt: int = 1
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [self.action]
+        if self.site:
+            parts.append(f"@{self.site}")
+        if self.attempt > 1:
+            parts.append(f"attempt={self.attempt}")
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
+
+
+@dataclass
+class RecoveryLog:
+    """Ordered collection of :class:`RecoveryEvent` entries.
+
+    Append-only; :meth:`mark`/:meth:`since` slice out the events of one
+    logical operation from a long-lived (device-owned) log.
+    """
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    def record(self, action: str, *, site: str = "", attempt: int = 1,
+               detail: str = "") -> RecoveryEvent:
+        """Append one event and return it."""
+        ev = RecoveryEvent(action=action, site=site, attempt=attempt,
+                           detail=detail)
+        self.events.append(ev)
+        return ev
+
+    # -- slicing -----------------------------------------------------------
+    def mark(self) -> int:
+        """Current position; pass to :meth:`since` to scope a region."""
+        return len(self.events)
+
+    def since(self, mark: int) -> "RecoveryLog":
+        """New log holding the events recorded after ``mark``."""
+        return RecoveryLog(events=list(self.events[mark:]))
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def actions(self) -> list[str]:
+        return [ev.action for ev in self.events]
+
+    def count(self, action: str | None = None) -> int:
+        """Number of events, optionally restricted to one action."""
+        if action is None:
+            return len(self.events)
+        return sum(1 for ev in self.events if ev.action == action)
+
+    def counts(self) -> dict[str, int]:
+        """Event counts grouped by action."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.action] = out.get(ev.action, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """One-line digest, e.g. ``"transfer-retry x2, chunk-shrink x1"``."""
+        if not self.events:
+            return "no recovery actions"
+        return ", ".join(f"{action} x{n}"
+                         for action, n in sorted(self.counts().items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RecoveryLog({self.summary()})"

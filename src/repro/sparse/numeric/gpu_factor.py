@@ -39,9 +39,11 @@ from ...batched.interface import IrrBatch
 from ...batched.trsm import irr_trsm
 from ...batched.vendor import vendor_gemm, vendor_getrf, vendor_trsm
 from ...device.kernel import KernelCost
-from ...device.memory import DeviceArray
+from ...device.memory import DeviceArray, DeviceOutOfMemory, \
+    validate_memory_budget
 from ...device.simulator import Device
-from ...errors import FactorizationError
+from ...errors import FactorizationError, KernelLaunchError, \
+    ResourceExhausted
 from ..symbolic.analysis import SymbolicFactorization
 from .factors import FrontFactors, MultifrontalFactors
 from .report import FactorReport
@@ -52,6 +54,13 @@ __all__ = ["multifrontal_factor_gpu", "GpuFactorResult", "plan_traversals",
 _ITEM = 8
 HYBRID_GEMM_CUTOFF = 256   # Fig 14: irrGEMM below, vendor loop above
 STRUMPACK_BATCH_LIMIT = 32
+
+#: Bounded retries of one level transaction after a kernel-launch
+#: failure before the failure is treated as persistent.
+_MAX_LEVEL_RETRIES = 3
+#: Bounded halvings of the out-of-core traversal budget after a dynamic
+#: device OOM before the device path is declared exhausted.
+_MAX_CHUNK_SHRINKS = 4
 
 
 @dataclass
@@ -83,7 +92,8 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
                             static_pivot: bool = False,
                             replace_scale: float | None = None,
                             breakdown: str = "raise",
-                            engine="bucketed") -> GpuFactorResult:
+                            engine="bucketed",
+                            host_fallback: bool = True) -> GpuFactorResult:
     """Factor the permuted sparse matrix on the simulated device.
 
     ``engine`` selects the host execution path for the batched kernels
@@ -103,7 +113,23 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
     factors (and the Schur complements crossing the chunk boundary) back
     to the host, and those Schur blocks are re-uploaded when their parent
     front is assembled.  Raises :class:`DeviceOutOfMemory` if a single
-    front cannot fit.
+    front cannot fit (a *static* infeasibility — checked eagerly, never
+    entering the recovery ladder below).
+
+    Resource recovery: a *dynamic* failure during the traversal — a
+    transient allocation failure, a rejected kernel launch, or an OOM
+    from the traversal's working set — is retried through a bounded
+    ladder: the failing level transaction re-runs from consistent
+    inputs, its front batch is split into sub-batches, the traversal
+    budget is shrunk (down to the largest-front floor) and the
+    factorization restarted, and finally — with ``host_fallback=True``
+    (default) — the host path takes over.  Every action is recorded in
+    the device's recovery log; the slice belonging to this call is
+    attached as ``report.recovery``.  Recovered runs produce factors
+    bitwise identical to a fault-free run (host fallback preserves the
+    math but not the batched kernels' operation order).  With
+    ``host_fallback=False`` an exhausted ladder raises a typed
+    :class:`~repro.errors.ResourceExhausted` carrying that log.
 
     ``pivot_tol``/``static_pivot``/``replace_scale`` set the pivot
     breakdown policy of the batched LU (see
@@ -123,20 +149,96 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
         raise ValueError(f"unknown gemm_mode {gemm_mode!r}")
     if breakdown not in ("raise", "report"):
         raise ValueError(f"unknown breakdown mode {breakdown!r}")
+    memory_budget = validate_memory_budget(memory_budget)
     a_perm = sp.csr_matrix(a_perm)
     if a_perm.shape[0] != symb.n:
         raise ValueError("matrix size does not match the symbolic analysis")
 
-    # Upload the sparse matrix (outside the timed factorization region, as
-    # a solver would hold A on the device already).
     a_dev_bytes = a_perm.data.nbytes + a_perm.indices.nbytes + \
         a_perm.indptr.nbytes
-    device._claim(a_dev_bytes)
-    device._account_transfer(a_dev_bytes)
+    engine = resolve_engine(engine)
+    mark = device.recovery_log.mark()
 
+    # Static infeasibility ("largest front needs X bytes") is a contract
+    # violation of the requested budget: it raises eagerly, before any
+    # recovery is attempted.  The ladder below only shrinks the budget
+    # down to the largest-front floor, so the static raise cannot recur.
+    plan_traversals(symb, memory_budget)
+    floor = max((_ITEM * f.order ** 2 for f in symb.fronts), default=0)
+
+    budget = memory_budget
+    host_factors = region = failure = None
+    n_chunks = 0
+    for _round in range(_MAX_CHUNK_SHRINKS + 1):
+        try:
+            host_factors, region, n_chunks = _attempt_factorization(
+                device, a_perm, symb, budget, a_dev_bytes, strategy,
+                gemm_mode, hybrid_cutoff, laswp_variant, nb, engine,
+                pivot_tol, static_pivot, replace_scale)
+            break
+        except KernelLaunchError as exc:
+            failure = exc       # already retried per level: persistent,
+            break               # and a smaller budget cannot fix it
+        except DeviceOutOfMemory as exc:
+            failure = exc
+            if _round >= _MAX_CHUNK_SHRINKS:
+                break           # no retry follows: don't log a shrink
+            prev = budget if budget is not None \
+                else int(device.spec.memory_capacity)
+            smaller = max(floor, prev // 2)
+            if floor <= 0 or smaller >= prev:
+                break           # already at the largest-front floor
+            device.recovery_log.record(
+                "chunk-shrink", site="gpu_factor",
+                detail=f"traversal budget {prev} -> {smaller} bytes")
+            if engine is not None:
+                engine.clear_plan_caches()
+            budget = smaller
+
+    if host_factors is None:
+        recovery = device.recovery_log.since(mark)
+        if host_fallback:
+            device.recovery_log.record(
+                "host-fallback", site="gpu_factor",
+                detail=f"{type(failure).__name__}: {failure}")
+            return _host_fallback_result(
+                device, a_perm, symb, mark, pivot_tol=pivot_tol,
+                static_pivot=static_pivot, replace_scale=replace_scale,
+                breakdown=breakdown)
+        raise ResourceExhausted(
+            f"device factorization failed after exhausting its recovery "
+            f"options ({recovery.summary()})", log=recovery) from failure
+
+    out = MultifrontalFactors(symb=symb)
+    out.fronts = [host_factors[fid] for fid in range(len(symb.fronts))]
+
+    out.report = FactorReport.from_factors(
+        out, pivot_tol=pivot_tol, static_pivot=static_pivot,
+        replace_scale=replace_scale)
+    out.report.recovery = device.recovery_log.since(mark)
+    if breakdown == "raise" and not out.report.ok:
+        raise FactorizationError(out.report.summary(), out.report)
+
+    counters = {k: region[k] for k in region if k != "elapsed"}
+    counters["traversals"] = n_chunks
+    return GpuFactorResult(factors=out, elapsed=region["elapsed"],
+                           counters=counters,
+                           breakdown=device.profiler.by_prefix(),
+                           report=out.report)
+
+
+def _attempt_factorization(device, a_perm, symb, memory_budget,
+                           a_dev_bytes, strategy, gemm_mode, hybrid_cutoff,
+                           laswp_variant, nb, engine, pivot_tol,
+                           static_pivot, replace_scale) -> tuple:
+    """One full traversal under a given budget; exception-safe accounting.
+
+    Any failure releases every device allocation this attempt made (the
+    uploaded A, live front buffers) before propagating, so a failed
+    attempt leaves ``device.allocated_bytes`` exactly where it started.
+    """
     chunks = plan_traversals(symb, memory_budget)
     streaming = len(chunks) > 1
-    engine = resolve_engine(engine)
 
     buffers: dict[int, DeviceArray] = {}
     pivots_of: dict[int, np.ndarray] = {}
@@ -164,41 +266,56 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
             buffers[fid].free()
             del buffers[fid]
 
-    with device.timed_region() as region:
-        for chunk in chunks:
-            chunk_set = set(chunk)
-            for level_fids in _chunk_levels(symb, chunk):
-                _factor_level(device, a_perm, symb, level_fids, buffers,
-                              pivots_of, strategy, gemm_mode,
-                              hybrid_cutoff, laswp_variant, nb,
-                              host_schur=host_schur, engine=engine,
-                              diag_of=diag_of, pivot_tol=pivot_tol,
-                              static_pivot=static_pivot,
-                              replace_scale=replace_scale)
-            if streaming:
-                flush_chunk(chunk)
+    # Upload the sparse matrix (outside the timed factorization region,
+    # as a solver would hold A on the device already).
+    device._claim(a_dev_bytes, site="gpu_factor:a_csr")
+    try:
+        device._account_transfer(a_dev_bytes)
+        with device.timed_region() as region:
+            for chunk in chunks:
+                for level_fids in _chunk_levels(symb, chunk):
+                    _run_level(device, a_perm, symb, level_fids, buffers,
+                               pivots_of, strategy, gemm_mode,
+                               hybrid_cutoff, laswp_variant, nb,
+                               host_schur=host_schur, engine=engine,
+                               diag_of=diag_of, pivot_tol=pivot_tol,
+                               static_pivot=static_pivot,
+                               replace_scale=replace_scale)
+                if streaming:
+                    flush_chunk(chunk)
+        if not streaming:
+            # Factors stayed resident (as a solver keeping them for the
+            # solve phase would); download outside the measured region.
+            flush_chunk(chunks[0])
+        return host_factors, region, len(chunks)
+    finally:
+        for arr in buffers.values():
+            arr.free()
+        device._release(a_dev_bytes)
 
-    if not streaming:
-        # Factors stayed resident (as a solver keeping them for the solve
-        # phase would); download them outside the measured region.
-        flush_chunk(chunks[0])
 
-    out = MultifrontalFactors(symb=symb)
-    out.fronts = [host_factors[fid] for fid in range(len(symb.fronts))]
-    device._release(a_dev_bytes)
+def _host_fallback_result(device, a_perm, symb, mark, *, pivot_tol,
+                          static_pivot, replace_scale,
+                          breakdown) -> GpuFactorResult:
+    """Terminal rung of the recovery ladder: factor on the host.
 
-    out.report = FactorReport.from_factors(
-        out, pivot_tol=pivot_tol, static_pivot=static_pivot,
-        replace_scale=replace_scale)
-    if breakdown == "raise" and not out.report.ok:
-        raise FactorizationError(out.report.summary(), out.report)
-
-    counters = {k: region[k] for k in region if k != "elapsed"}
-    counters["traversals"] = len(chunks)
-    return GpuFactorResult(factors=out, elapsed=region["elapsed"],
-                           counters=counters,
-                           breakdown=device.profiler.by_prefix(),
-                           report=out.report)
+    The result carries the same report/recovery surface as a device run
+    so callers see one shape either way; simulated device timings are
+    zero (no device work succeeded).
+    """
+    from .cpu_factor import multifrontal_factor_cpu
+    try:
+        factors = multifrontal_factor_cpu(
+            a_perm, symb, pivot_tol=pivot_tol, static_pivot=static_pivot,
+            replace_scale=replace_scale, breakdown=breakdown)
+    except FactorizationError as exc:
+        if exc.report is not None:
+            exc.report.recovery = device.recovery_log.since(mark)
+        raise
+    factors.report.recovery = device.recovery_log.since(mark)
+    return GpuFactorResult(factors=factors, elapsed=0.0,
+                           counters={"traversals": 0, "host_fallback": 1},
+                           breakdown={}, report=factors.report)
 
 
 def plan_traversals(symb: SymbolicFactorization,
@@ -260,18 +377,96 @@ def _chunk_levels(symb: SymbolicFactorization,
 # level processing
 # ----------------------------------------------------------------------
 
+def _run_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
+               gemm_mode, hybrid_cutoff, laswp_variant, nb, *,
+               host_schur=None, engine=None, diag_of=None, pivot_tol=0.0,
+               static_pivot=False, replace_scale=None) -> None:
+    """Run one level as a transaction: bounded retries, then batch split.
+
+    Level inputs are immutable while the level runs — children buffers
+    are only read by the extend-add, and a consumed host Schur block is
+    deleted only after the level commits — so a retry re-runs the level
+    from identical state and produces bitwise-identical factors.  A
+    failed attempt rolls back everything the level allocated or wrote.
+
+    On a transient allocation failure the level is retried once (the
+    fault layer's per-operation counters mean a transient rule passes on
+    the retry); a second OOM splits the front batch into halves, which
+    halves the engine's transient packing footprint (per-front numerics
+    are batch-composition independent, the engines' bitwise contract).
+    Kernel-launch failures are retried up to :data:`_MAX_LEVEL_RETRIES`
+    times, then treated as persistent.
+    """
+    kw = dict(host_schur=host_schur, engine=engine, diag_of=diag_of,
+              pivot_tol=pivot_tol, static_pivot=static_pivot,
+              replace_scale=replace_scale)
+    launch_failures = alloc_failures = 0
+    while True:
+        try:
+            consumed = _factor_level(device, a_perm, symb, fids, buffers,
+                                     pivots_of, strategy, gemm_mode,
+                                     hybrid_cutoff, laswp_variant, nb, **kw)
+        except (DeviceOutOfMemory, KernelLaunchError) as exc:
+            _rollback_level(fids, buffers, pivots_of, diag_of)
+            if isinstance(exc, KernelLaunchError):
+                launch_failures += 1
+                if launch_failures >= _MAX_LEVEL_RETRIES:
+                    raise
+                device.recovery_log.record(
+                    "launch-retry", site=exc.kernel,
+                    attempt=launch_failures, detail=str(exc))
+                continue
+            alloc_failures += 1
+            if alloc_failures < 2:
+                device.recovery_log.record(
+                    "alloc-retry", site=f"level[{len(fids)} fronts]",
+                    attempt=alloc_failures, detail=str(exc))
+                continue
+            if len(fids) <= 1:
+                raise               # cannot split a single front
+            half = (len(fids) + 1) // 2
+            device.recovery_log.record(
+                "level-split", site=f"level[{len(fids)} fronts]",
+                detail=f"sub-batches of {half} and {len(fids) - half}")
+            _run_level(device, a_perm, symb, fids[:half], buffers,
+                       pivots_of, strategy, gemm_mode, hybrid_cutoff,
+                       laswp_variant, nb, **kw)
+            _run_level(device, a_perm, symb, fids[half:], buffers,
+                       pivots_of, strategy, gemm_mode, hybrid_cutoff,
+                       laswp_variant, nb, **kw)
+            return
+        else:
+            # Commit: only now do consumed cross-traversal Schur blocks
+            # leave the host store (they were needed for any retry).
+            if host_schur is not None:
+                for c in consumed:
+                    host_schur.pop(c, None)
+            return
+
+
+def _rollback_level(fids, buffers, pivots_of, diag_of) -> None:
+    """Undo a failed level attempt: free its buffers, drop its outputs."""
+    for fid in fids:
+        arr = buffers.pop(fid, None)
+        if arr is not None:
+            arr.free()
+        pivots_of.pop(fid, None)
+        if diag_of is not None:
+            diag_of.pop(fid, None)
+
+
 def _factor_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
                   gemm_mode, hybrid_cutoff, laswp_variant, nb, *,
                   host_schur=None, engine=None, diag_of=None,
                   pivot_tol=0.0, static_pivot=False,
-                  replace_scale=None) -> None:
+                  replace_scale=None) -> list[int]:
     infos = [symb.fronts[f] for f in fids]
     for fid, info in zip(fids, infos):
         buffers[fid] = device.zeros((info.order, info.order),
                                     dtype=a_perm.dtype)
 
-    _assemble_level(device, a_perm, symb, fids, buffers,
-                    host_schur=host_schur)
+    consumed = _assemble_level(device, a_perm, symb, fids, buffers,
+                               host_schur=host_schur)
 
     # Children buffers have been consumed by the extend-add; the factor
     # blocks were already harvested... they are still needed for download,
@@ -291,26 +486,23 @@ def _factor_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
                          laswp_variant, nb, diag_of=diag_of,
                          pivot_tol=pivot_tol, static_pivot=static_pivot,
                          replace_scale=replace_scale)
+    return consumed
 
 
 def _assemble_level(device, a_perm, symb, fids, buffers, *,
-                    host_schur=None) -> None:
+                    host_schur=None) -> list[int]:
     """One kernel: gather A entries + extend-add children Schur blocks.
 
     Children factored in an earlier traversal (out-of-core mode) have
     their Schur complements on the host; those are re-uploaded first
-    (H2D transfers the multi-traversal mode pays for), used once, and
-    dropped.
+    (H2D transfers the multi-traversal mode pays for) and used once.
+    Returns the consumed child ids — the *caller* deletes them from
+    ``host_schur`` once the level commits, so a retried level can
+    re-stage them.  Staged uploads are freed on any exit path.
     """
     infos = [symb.fronts[f] for f in fids]
 
     staged: dict[int, DeviceArray] = {}
-    if host_schur:
-        for info in infos:
-            for c in info.children:
-                if c in host_schur:
-                    staged[c] = device.from_host(host_schur[c])
-                    del host_schur[c]
 
     def kernel() -> KernelCost:
         nbytes_r = 0.0
@@ -346,9 +538,17 @@ def _assemble_level(device, a_perm, symb, fids, buffers, *,
                           blocks=max(blocks, 1), threads_per_block=256,
                           kernel_class="swap", memory_ramp=0.4)
 
-    device.launch("assemble:extend_add", kernel)
-    for arr in staged.values():
-        arr.free()
+    try:
+        if host_schur:
+            for info in infos:
+                for c in info.children:
+                    if c in host_schur and c not in staged:
+                        staged[c] = device.from_host(host_schur[c])
+        device.launch("assemble:extend_add", kernel)
+    finally:
+        for arr in staged.values():
+            arr.free()
+    return list(staged)
 
 
 def _make_block_batches(device, symb, fids, buffers):

@@ -38,7 +38,10 @@ from ...batched.engine import resolve_engine
 from ...batched.interface import IrrBatch
 from ...batched.trsm import irr_trsm
 from ...device.kernel import KernelCost
+from ...device.memory import DeviceOutOfMemory
 from ...device.simulator import Device
+from ...errors import ResourceExhausted
+from ...recovery import RecoveryLog
 from .factors import MultifrontalFactors
 from .report import check_factors_ok
 from .solve_plan import DeviceFactorCache, SolvePlan
@@ -48,11 +51,16 @@ __all__ = ["multifrontal_solve_gpu", "GpuSolveResult"]
 
 @dataclass
 class GpuSolveResult:
-    """Solution plus the simulated performance of the solve."""
+    """Solution plus the simulated performance of the solve.
+
+    ``recovery`` holds the resilience actions (transfer retries, cache
+    evictions) taken during this solve — empty for a clean run.
+    """
 
     x: np.ndarray
     elapsed: float
     counters: dict
+    recovery: RecoveryLog | None = None
 
 
 def _upload_level(device: Device, factors: MultifrontalFactors,
@@ -95,13 +103,35 @@ def _promote_rhs(factors: MultifrontalFactors,
 def _solve_naive(device: Device, factors: MultifrontalFactors,
                  bh: np.ndarray, stream) -> tuple:
     """Reference path: streamed factors, per-front pivot/update loops."""
-    symb = factors.symb
-    nrhs = bh.shape[1]
-    itemsize = bh.dtype.itemsize
-
     x_dev = device.from_host(bh)
     x = x_dev.data
-    levels = symb.levels()
+    levels = factors.symb.levels()
+    live: list = []     # streamed factor batches of the level in flight
+
+    def stream_level(fids, which_a, which_b) -> tuple:
+        """Upload a level's two factor batches, tracked for cleanup."""
+        a = _upload_level(device, factors, fids, which_a)
+        live.append(a)
+        b = _upload_level(device, factors, fids, which_b)
+        live.append(b)
+        return a, b
+
+    try:
+        return _naive_sweeps(device, factors, x_dev, x, levels,
+                             stream_level, live, stream)
+    finally:
+        # DeviceArray/IrrBatch frees are idempotent, so unwinding after
+        # a mid-sweep failure releases exactly the still-live uploads.
+        for batch in live:
+            batch.free()
+        x_dev.free()
+
+
+def _naive_sweeps(device, factors, x_dev, x, levels, stream_level, live,
+                  stream) -> tuple:
+    symb = factors.symb
+    nrhs = x.shape[1]
+    itemsize = x.dtype.itemsize
 
     with device.timed_region() as region:
         # ---- forward sweep: y = L^{-1} (block-P) b, leaves -> root -----
@@ -109,8 +139,7 @@ def _solve_naive(device: Device, factors: MultifrontalFactors,
             fids = [f for f in fids if symb.fronts[f].sep_size > 0]
             if not fids:
                 continue
-            f11 = _upload_level(device, factors, fids, "f11")
-            f21 = _upload_level(device, factors, fids, "f21")
+            f11, f21 = stream_level(fids, "f11", "f21")
             rhs_views = [x_dev[symb.fronts[f].sep_begin:
                                symb.fronts[f].sep_end, :] for f in fids]
             rhs = IrrBatch(device, rhs_views,
@@ -160,14 +189,14 @@ def _solve_naive(device: Device, factors: MultifrontalFactors,
             device.launch("solve:scatter", scatter_update, stream=stream)
             f11.free()
             f21.free()
+            live.clear()
 
         # ---- backward sweep: x = U^{-1} y, root -> leaves ---------------
         for fids in reversed(levels):
             fids = [f for f in fids if symb.fronts[f].sep_size > 0]
             if not fids:
                 continue
-            f11 = _upload_level(device, factors, fids, "f11")
-            f12 = _upload_level(device, factors, fids, "f12")
+            f11, f12 = stream_level(fids, "f11", "f12")
             rhs_views = [x_dev[symb.fronts[f].sep_begin:
                                symb.fronts[f].sep_end, :] for f in fids]
             rhs = IrrBatch(device, rhs_views,
@@ -198,10 +227,9 @@ def _solve_naive(device: Device, factors: MultifrontalFactors,
                      name="irrtrsm:bwd")
             f11.free()
             f12.free()
+            live.clear()
 
-    out = x_dev.to_host()
-    x_dev.free()
-    return out, region
+    return x_dev.to_host(), region
 
 
 def _solve_planned(device: Device, factors: MultifrontalFactors,
@@ -215,56 +243,73 @@ def _solve_planned(device: Device, factors: MultifrontalFactors,
 
     x_dev = device.from_host(bh)
     levels = plan.levels
+    streamed: list = []   # the owned (streamed) acquire in flight, if any
 
-    with device.timed_region() as region:
-        for c0 in range(0, max(nrhs_total, 1), block):
-            c1 = min(c0 + block, nrhs_total)
-            nrhs = c1 - c0
-            xb = x_dev.data[:, c0:c1]
-            rhs_batches = [
-                IrrBatch(device,
-                         [x_dev[int(s):int(s + m), c0:c1]
-                          for s, m in zip(lp.sep_starts, lp.sep_m)],
-                         lp.sep_m,
-                         np.full(lp.nfronts, nrhs, dtype=np.int64))
-                for lp in levels]
+    def acquire(li: int, part: str):
+        blocks, owned = cache.acquire(li, part)
+        if owned:
+            streamed.append(blocks)
+        return blocks, owned
 
-            # ---- forward sweep: leaves -> root -------------------------
-            for li, lp in enumerate(levels):
-                blocks, owned = cache.acquire(li, "fwd")
-                device.launch(
-                    "solve:pivots",
-                    lambda lp=lp: eng.exec_solve_pivots(
-                        xb, lp, nrhs, itemsize), stream=stream)
-                irr_trsm(device, "L", "L", "N", "U", lp.max_sep, nrhs, 1.0,
-                         blocks.f11, (0, 0), rhs_batches[li], (0, 0),
-                         stream=stream, name="irrtrsm:fwd", engine=eng)
-                device.launch(
-                    "solve:scatter",
-                    lambda lp=lp, st=blocks.f21_stacks:
-                        eng.exec_solve_scatter(xb, lp, st, nrhs, itemsize),
-                    stream=stream)
-                if owned:
-                    blocks.free()
+    def release(blocks, owned) -> None:
+        if owned:
+            blocks.free()
+            streamed.clear()
 
-            # ---- backward sweep: root -> leaves ------------------------
-            for li in range(len(levels) - 1, -1, -1):
-                lp = levels[li]
-                blocks, owned = cache.acquire(li, "bwd")
-                device.launch(
-                    "solve:gather",
-                    lambda lp=lp, st=blocks.f12_stacks:
-                        eng.exec_solve_gather(xb, lp, st, nrhs, itemsize),
-                    stream=stream)
-                irr_trsm(device, "L", "U", "N", "N", lp.max_sep, nrhs, 1.0,
-                         blocks.f11, (0, 0), rhs_batches[li], (0, 0),
-                         stream=stream, name="irrtrsm:bwd", engine=eng)
-                if owned:
-                    blocks.free()
+    try:
+        with device.timed_region() as region:
+            for c0 in range(0, max(nrhs_total, 1), block):
+                c1 = min(c0 + block, nrhs_total)
+                nrhs = c1 - c0
+                xb = x_dev.data[:, c0:c1]
+                rhs_batches = [
+                    IrrBatch(device,
+                             [x_dev[int(s):int(s + m), c0:c1]
+                              for s, m in zip(lp.sep_starts, lp.sep_m)],
+                             lp.sep_m,
+                             np.full(lp.nfronts, nrhs, dtype=np.int64))
+                    for lp in levels]
 
-    out = x_dev.to_host()
-    x_dev.free()
-    return out, region
+                # ---- forward sweep: leaves -> root ---------------------
+                for li, lp in enumerate(levels):
+                    blocks, owned = acquire(li, "fwd")
+                    device.launch(
+                        "solve:pivots",
+                        lambda lp=lp: eng.exec_solve_pivots(
+                            xb, lp, nrhs, itemsize), stream=stream)
+                    irr_trsm(device, "L", "L", "N", "U", lp.max_sep, nrhs,
+                             1.0, blocks.f11, (0, 0), rhs_batches[li],
+                             (0, 0), stream=stream, name="irrtrsm:fwd",
+                             engine=eng)
+                    device.launch(
+                        "solve:scatter",
+                        lambda lp=lp, st=blocks.f21_stacks:
+                            eng.exec_solve_scatter(xb, lp, st, nrhs,
+                                                   itemsize),
+                        stream=stream)
+                    release(blocks, owned)
+
+                # ---- backward sweep: root -> leaves --------------------
+                for li in range(len(levels) - 1, -1, -1):
+                    lp = levels[li]
+                    blocks, owned = acquire(li, "bwd")
+                    device.launch(
+                        "solve:gather",
+                        lambda lp=lp, st=blocks.f12_stacks:
+                            eng.exec_solve_gather(xb, lp, st, nrhs,
+                                                  itemsize),
+                        stream=stream)
+                    irr_trsm(device, "L", "U", "N", "N", lp.max_sep, nrhs,
+                             1.0, blocks.f11, (0, 0), rhs_batches[li],
+                             (0, 0), stream=stream, name="irrtrsm:bwd",
+                             engine=eng)
+                    release(blocks, owned)
+
+        return x_dev.to_host(), region
+    finally:
+        for blocks in streamed:
+            blocks.free()
+        x_dev.free()
 
 
 def multifrontal_solve_gpu(device: Device, factors: MultifrontalFactors,
@@ -286,25 +331,40 @@ def multifrontal_solve_gpu(device: Device, factors: MultifrontalFactors,
     Factors whose :class:`FactorReport` records an unrecovered pivot
     breakdown are refused with a :class:`~repro.errors.FactorizationError`
     (substituting through them would return garbage).
+
+    Resource exhaustion: a device OOM the cache could not relieve by
+    LRU-spilling resident levels is re-raised as a typed
+    :class:`~repro.errors.ResourceExhausted` carrying the recovery log
+    of the actions already taken; a failed solve never strands device
+    allocations (``device.allocated_bytes`` returns to its pre-call
+    value).
     """
     check_factors_ok(factors, "solve on the device")
     bh, squeeze = _promote_rhs(factors, b)
     eng = resolve_engine(engine if plan is None else plan.engine)
-    if eng is None:
-        out, region = _solve_naive(device, factors, bh, stream)
-    else:
-        if plan is None:
-            plan = SolvePlan(factors, engine=eng)
-        one_shot = cache is None
-        if one_shot:
-            cache = DeviceFactorCache(device, factors, plan,
-                                      memory_budget=0)
-        try:
-            out, region = _solve_planned(device, factors, bh, stream,
-                                         plan, cache, rhs_block)
-        finally:
+    mark = device.recovery_log.mark()
+    try:
+        if eng is None:
+            out, region = _solve_naive(device, factors, bh, stream)
+        else:
+            if plan is None:
+                plan = SolvePlan(factors, engine=eng)
+            one_shot = cache is None
             if one_shot:
-                cache.free()
+                cache = DeviceFactorCache(device, factors, plan,
+                                          _stream_all=True)
+            try:
+                out, region = _solve_planned(device, factors, bh, stream,
+                                             plan, cache, rhs_block)
+            finally:
+                if one_shot:
+                    cache.free()
+    except DeviceOutOfMemory as exc:
+        recovery = device.recovery_log.since(mark)
+        raise ResourceExhausted(
+            f"device solve ran out of memory with nothing left to evict "
+            f"({recovery.summary()})", log=recovery) from exc
     counters = {k: region[k] for k in region if k != "elapsed"}
     return GpuSolveResult(x=out[:, 0] if squeeze else out,
-                          elapsed=region["elapsed"], counters=counters)
+                          elapsed=region["elapsed"], counters=counters,
+                          recovery=device.recovery_log.since(mark))

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import FactorizationError
+from ...recovery import RecoveryLog
 
 __all__ = ["FactorReport", "check_factors_ok"]
 
@@ -54,6 +55,12 @@ class FactorReport:
 
     ``pivot_tol``/``static_pivot``/``replace_scale`` record the breakdown
     policy the factorization ran under.
+
+    ``recovery`` — filled by the device factorization — is the
+    :class:`~repro.recovery.RecoveryLog` slice of every resilience
+    action (transfer retries, level retries/splits, chunk shrinks, host
+    fallback) taken during this factorization; empty for a clean run,
+    ``None`` for paths that never touched a device.
     """
 
     pivot_tol: float = 0.0
@@ -67,6 +74,7 @@ class FactorReport:
     level: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     sep_size: np.ndarray = field(
         default_factory=lambda: np.zeros(0, np.int64))
+    recovery: RecoveryLog | None = None
 
     @classmethod
     def from_factors(cls, factors, *, pivot_tol: float = 0.0,

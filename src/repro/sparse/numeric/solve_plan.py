@@ -51,7 +51,8 @@ import numpy as np
 
 from ...batched.engine import BatchEngine
 from ...batched.interface import IrrBatch
-from ...device.memory import pack_to_device
+from ...device.memory import DeviceOutOfMemory, pack_to_device, \
+    validate_memory_budget
 from ...device.simulator import Device
 from .factors import MultifrontalFactors
 from .report import check_factors_ok
@@ -252,6 +253,7 @@ class LevelFactorBlocks:
         self.f12_stacks: list | None = None
 
     def free(self) -> None:
+        """Release the level's device memory (idempotent)."""
         if self.f11 is not None:
             self.f11.free()
             self.f11 = None
@@ -262,33 +264,55 @@ class LevelFactorBlocks:
         self.f21_stacks = None
         self.f12_stacks = None
 
+    def __enter__(self) -> "LevelFactorBlocks":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.free()
+
 
 class DeviceFactorCache:
     """Device-resident factor storage shared across repeated solves.
 
     ``memory_budget=None`` keeps every level resident (the first solve
     uploads each level once; later solves — including iterative
-    refinement — perform **zero** factor uploads).  An integer budget
-    keeps only the levels that fit (chosen smallest-first, which
+    refinement — perform **zero** factor uploads).  A positive integer
+    budget keeps only the levels that fit (chosen smallest-first, which
     maximizes the resident level count and hence the per-solve transfer
-    round-trips saved); evicted levels are streamed per use exactly like
-    the seed path.  ``memory_budget=0`` streams everything.
+    round-trips saved); other budgets raise :class:`ValueError`.
+    Non-resident levels are streamed per use exactly like the seed path
+    (the internal ``_stream_all`` flag forces that mode for one-shot
+    solves).
+
+    Under memory pressure the cache *spills*: when an upload hits a
+    :class:`~repro.device.memory.DeviceOutOfMemory`, the least recently
+    used uploaded level is evicted (its host factors stay authoritative,
+    so nothing is lost) and the upload retried; each eviction is
+    recorded as a ``cache-evict`` in ``device.recovery_log``.  Evicted
+    levels drop back to streaming for later acquires.
     """
 
     def __init__(self, device: Device, factors: MultifrontalFactors,
-                 plan: SolvePlan, *, memory_budget: int | None = None):
+                 plan: SolvePlan, *, memory_budget: int | None = None,
+                 _stream_all: bool = False):
         check_factors_ok(factors, "cache factors on the device")
         self.device = device
         self.factors = factors
         self.plan = plan
-        self.memory_budget = memory_budget
+        self.memory_budget = validate_memory_budget(memory_budget)
+        self._stream_all = bool(_stream_all)
         self.uploads = 0          #: level-part upload events
         self.hits = 0             #: resident re-uses
+        self.evictions = 0        #: OOM-pressure spills
         self._resident: dict[int, LevelFactorBlocks] = {}
+        self._tick = 0
+        self._last_use: dict[int, int] = {}
         self._resident_set = self._choose_resident()
 
     # ------------------------------------------------------------------
     def _choose_resident(self) -> set[int]:
+        if self._stream_all:
+            return set()
         sizes = [(self.plan.level_nbytes(lp), li)
                  for li, lp in enumerate(self.plan.levels)]
         if self.memory_budget is None:
@@ -301,6 +325,28 @@ class DeviceFactorCache:
                 used += nb
         return chosen
 
+    def evict_lru(self, *, exclude: int | None = None) -> int | None:
+        """Spill the least recently used uploaded level; return its index.
+
+        The level's device blocks are freed (the host copy is
+        authoritative) and the level drops out of the resident set, so
+        later acquires stream it.  Returns ``None`` when nothing is
+        uploaded to evict.
+        """
+        candidates = [li for li in self._resident if li != exclude]
+        if not candidates:
+            return None
+        li = min(candidates, key=lambda li: self._last_use.get(li, -1))
+        self._resident.pop(li).free()
+        self._resident_set.discard(li)
+        self._last_use.pop(li, None)
+        self.evictions += 1
+        self.device.recovery_log.record(
+            "cache-evict", site="DeviceFactorCache",
+            detail=f"level {li} "
+                   f"({self.plan.level_nbytes(self.plan.levels[li])} bytes)")
+        return li
+
     @property
     def resident_levels(self) -> set[int]:
         return set(self._resident_set)
@@ -312,58 +358,95 @@ class DeviceFactorCache:
 
     # ------------------------------------------------------------------
     def _upload_f11(self, lp: LevelSolvePlan) -> IrrBatch:
-        arrays = [self.device.from_host(self.factors.fronts[f].f11)
-                  for f in lp.fids]
+        arrays = []
+        try:
+            for f in lp.fids:
+                arrays.append(
+                    self.device.from_host(self.factors.fronts[f].f11))
+        except BaseException:
+            for a in arrays:
+                a.free()
+            raise
         return IrrBatch(self.device, arrays, lp.sep_m, lp.sep_m)
 
     def _upload_stacks(self, lp: LevelSolvePlan, which: str) -> list:
         """Pack one bucket's f21/f12 blocks and upload in one transfer."""
         stacks = []
-        for b in lp.buckets:
-            blocks = [getattr(self.factors.fronts[f], which)
-                      for f in b.fids]
-            stacks.append(pack_to_device(self.device, blocks,
-                                         dtype=self.plan.dtype))
+        try:
+            for b in lp.buckets:
+                blocks = [getattr(self.factors.fronts[f], which)
+                          for f in b.fids]
+                stacks.append(pack_to_device(self.device, blocks,
+                                             dtype=self.plan.dtype))
+        except BaseException:
+            for s in stacks:
+                s.free()
+            raise
         return stacks
+
+    def _acquire_once(self, li: int,
+                      part: str) -> tuple[LevelFactorBlocks, bool]:
+        lp = self.plan.levels[li]
+        if li in self._resident_set:
+            blocks = self._resident.get(li)
+            if blocks is None:
+                blocks = LevelFactorBlocks()
+                try:
+                    blocks.f11 = self._upload_f11(lp)
+                    blocks.f21_stacks = self._upload_stacks(lp, "f21")
+                    blocks.f12_stacks = self._upload_stacks(lp, "f12")
+                except BaseException:
+                    blocks.free()
+                    raise
+                self._resident[li] = blocks
+                self.uploads += 1
+            else:
+                self.hits += 1
+            self._tick += 1
+            self._last_use[li] = self._tick
+            return blocks, False
+        blocks = LevelFactorBlocks()
+        try:
+            blocks.f11 = self._upload_f11(lp)
+            if part == "fwd":
+                blocks.f21_stacks = self._upload_stacks(lp, "f21")
+            else:
+                blocks.f12_stacks = self._upload_stacks(lp, "f12")
+        except BaseException:
+            blocks.free()
+            raise
+        self.uploads += 1
+        return blocks, True
 
     def acquire(self, li: int, part: str) -> tuple[LevelFactorBlocks, bool]:
         """Get level ``li``'s blocks for one sweep direction.
 
         ``part`` is ``"fwd"`` (needs f11 + f21) or ``"bwd"`` (f11 + f12).
         Returns ``(blocks, owned)``; an *owned* result is streamed and
-        must be freed by the caller after use.
+        must be freed by the caller after use (it supports the context
+        manager protocol for that).  An upload that hits device OOM
+        spills resident levels LRU-first and retries; the OOM propagates
+        only once nothing is left to evict.  A failed acquire never
+        leaves a partial upload behind.
         """
         if part not in ("fwd", "bwd"):
             raise ValueError(f"invalid part {part!r}")
-        lp = self.plan.levels[li]
-        if li in self._resident_set:
-            blocks = self._resident.get(li)
-            if blocks is None:
-                blocks = LevelFactorBlocks()
-                blocks.f11 = self._upload_f11(lp)
-                blocks.f21_stacks = self._upload_stacks(lp, "f21")
-                blocks.f12_stacks = self._upload_stacks(lp, "f12")
-                self._resident[li] = blocks
-                self.uploads += 1
-            else:
-                self.hits += 1
-            return blocks, False
-        blocks = LevelFactorBlocks()
-        blocks.f11 = self._upload_f11(lp)
-        if part == "fwd":
-            blocks.f21_stacks = self._upload_stacks(lp, "f21")
-        else:
-            blocks.f12_stacks = self._upload_stacks(lp, "f12")
-        self.uploads += 1
-        return blocks, True
+        while True:
+            try:
+                return self._acquire_once(li, part)
+            except DeviceOutOfMemory:
+                if self.evict_lru(exclude=li) is None:
+                    raise
 
     def free(self) -> None:
         """Release all resident device memory (the cache stays usable)."""
         for blocks in self._resident.values():
             blocks.free()
         self._resident.clear()
+        self._last_use.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"DeviceFactorCache(levels={len(self.plan.levels)}, "
                 f"resident={len(self._resident_set)}, "
-                f"uploads={self.uploads}, hits={self.hits})")
+                f"uploads={self.uploads}, hits={self.hits}, "
+                f"evictions={self.evictions})")

@@ -29,8 +29,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..batched.engine import resolve_engine
+from ..device.memory import DeviceOutOfMemory, validate_memory_budget
 from ..device.simulator import Device
-from ..errors import FactorizationError
+from ..errors import FactorizationError, KernelLaunchError, \
+    ResourceExhausted, TransferError
+from ..recovery import RecoveryLog
 from .baselines import naive_loop_factor, strumpack_like_factor, \
     superlu_like_factor
 from .numeric.cpu_factor import multifrontal_factor_cpu
@@ -61,11 +64,18 @@ class SolveInfo:
     because the factorization statically replaced pivots; ``report``
     carries the factorization's :class:`FactorReport` (``None`` for
     report-less baseline factors).
+
+    ``recovery`` — set for device solves — is the
+    :class:`~repro.recovery.RecoveryLog` slice of resilience actions
+    taken during this solve (transfer retries, cache evictions, a
+    ``host-fallback`` when the device path was abandoned); empty for a
+    clean device solve, ``None`` for host-only solves.
     """
 
     residuals: list[float] = field(default_factory=list)
     escalated: bool = False
     report: FactorReport | None = None
+    recovery: RecoveryLog | None = None
 
     @property
     def final_residual(self) -> float:
@@ -257,6 +267,17 @@ class SparseLU:
         sweeps.  ``engine="naive"`` streams factors per solve (the
         bitwise-identical reference path).
 
+        Resource recovery: when the device path exhausts its options —
+        a :class:`~repro.errors.ResourceExhausted`, a persistent
+        transfer/launch fault, or an OOM nothing could relieve — the
+        solve falls back to the host substitution path for the rest of
+        the call (refinement passes included), records a
+        ``host-fallback`` in the device's recovery log, and still
+        returns a correct solution.  ``info.recovery`` carries the log
+        slice of every resilience action this call took.  A
+        ``memory_budget`` that is not ``None`` or a positive integer
+        raises :class:`ValueError` up front.
+
         The right-hand side is promoted with ``np.result_type``: a
         complex ``b`` against a real ``A`` yields a complex solution
         (the imaginary part is never silently dropped).
@@ -279,6 +300,7 @@ class SparseLU:
         if refine_steps < 0:
             raise ValueError(
                 f"refine_steps must be >= 0, got {refine_steps}")
+        memory_budget = validate_memory_budget(memory_budget)
         check_factors_ok(self.factors, "solve")
         report = getattr(self.factors, "report", None)
         perturbed = report is not None and report.total_replaced > 0
@@ -286,14 +308,33 @@ class SparseLU:
         b = b.astype(np.result_type(self.a.dtype, b.dtype), copy=False)
         plan = cache = None
         eng = resolve_engine(engine)
+        mark = device.recovery_log.mark() if device is not None else 0
         if device is not None and eng is not None:
             plan, cache = self._device_solve_state(device, memory_budget,
                                                    eng)
+        # The device is dropped for the rest of this call (all remaining
+        # substitution passes included) the first time its recovery
+        # options run dry — the host path is the ladder's last rung.
+        state = {"device": device}
 
         def substitute(rhs):
-            y = self._solve_once(rhs, device, engine=engine,
-                                 rhs_block=rhs_block, plan=plan,
-                                 cache=cache)
+            dev = state["device"]
+            if dev is not None:
+                try:
+                    y = self._solve_once(rhs, dev, engine=engine,
+                                         rhs_block=rhs_block, plan=plan,
+                                         cache=cache)
+                except (ResourceExhausted, DeviceOutOfMemory,
+                        TransferError, KernelLaunchError) as exc:
+                    state["device"] = None
+                    dev.recovery_log.record(
+                        "host-fallback", site="SparseLU.solve",
+                        detail=f"{type(exc).__name__}: {exc}")
+                    y = self._solve_once(rhs, None, engine=engine,
+                                         rhs_block=rhs_block)
+            else:
+                y = self._solve_once(rhs, None, engine=engine,
+                                     rhs_block=rhs_block)
             if not np.all(np.isfinite(y)):
                 raise FactorizationError(
                     "substitution produced non-finite values — the "
@@ -329,4 +370,6 @@ class SparseLU:
                 f"factorization with {report.total_replaced} statically "
                 f"replaced pivot(s) — the matrix is singular or too "
                 f"ill-conditioned for static-pivot recovery", report)
+        if device is not None:
+            info.recovery = device.recovery_log.since(mark)
         return x, info

@@ -1,0 +1,327 @@
+"""Fault injection: seeded schedules, corruption detection, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.device import (A100, FAULT_KINDS, MAX_TRANSFER_ATTEMPTS,
+                          PERSISTENT, Device, DeviceOutOfMemory,
+                          FaultInjector, FaultPlan, FaultRule, KernelCost)
+from repro.errors import KernelLaunchError, TransferError
+
+
+class TestFaultRuleValidation:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("cosmic-ray", at=0)
+
+    def test_rule_needs_position_or_probability(self):
+        with pytest.raises(ValueError, match="needs a position"):
+            FaultRule("alloc")
+
+    def test_negative_at_raises(self):
+        with pytest.raises(ValueError, match="at must be >= 0"):
+            FaultRule("h2d", at=-1)
+
+    def test_zero_times_raises(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultRule("alloc", at=0, times=0)
+
+    def test_probability_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("d2h", probability=1.5)
+
+    def test_stall_rule_needs_duration(self):
+        with pytest.raises(ValueError, match="stall > 0"):
+            FaultRule("stall", at=0)
+
+    def test_plan_rejects_non_rules(self):
+        with pytest.raises(TypeError, match="expected FaultRule"):
+            FaultPlan(["alloc"])
+
+    def test_fires_at_window(self):
+        r = FaultRule("alloc", at=2, times=3)
+        assert [r.fires_at(i) for i in range(6)] == \
+            [False, False, True, True, True, False]
+
+    def test_persistent_fires_forever(self):
+        r = FaultRule("alloc", at=1, times=PERSISTENT)
+        assert not r.fires_at(0)
+        assert all(r.fires_at(i) for i in (1, 10, 10**6))
+
+
+class TestDeterminism:
+    def test_same_seed_same_probabilistic_schedule(self):
+        plan = FaultPlan([FaultRule("alloc", probability=0.3)], seed=42)
+        schedules = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            fired = [inj._fire("alloc", f"site{i}") is not None
+                     for i in range(50)]
+            schedules.append(fired)
+        assert schedules[0] == schedules[1]
+        assert any(schedules[0]) and not all(schedules[0])
+
+    def test_different_seed_different_schedule(self):
+        def schedule(seed):
+            inj = FaultInjector(FaultPlan(
+                [FaultRule("h2d", probability=0.5)], seed=seed))
+            return [inj._fire("h2d", "s") is not None for i in range(64)]
+        assert schedule(1) != schedule(2)
+
+    def test_counters_are_per_kind(self):
+        plan = FaultPlan([FaultRule("alloc", at=0),
+                          FaultRule("h2d", at=0)])
+        inj = FaultInjector(plan)
+        assert inj._fire("alloc", "a") is not None
+        # h2d counter untouched by the alloc op above
+        assert inj._fire("h2d", "b") is not None
+        assert inj.counters == {**{k: 0 for k in FAULT_KINDS},
+                                "alloc": 1, "h2d": 1}
+
+    def test_injected_records_kind_site_index(self):
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("launch", at=1)])
+        with dev.fault_scope(plan) as inj:
+            dev.launch("k0", None, KernelCost(flops=1))     # index 0 passes
+            with pytest.raises(KernelLaunchError):
+                dev.launch("k1", None, KernelCost(flops=1))
+        assert [(f.kind, f.site, f.index) for f in inj.injected] == \
+            [("launch", "k1", 1)]
+        assert inj.injected_of("launch") == inj.injected
+        assert inj.injected_of("alloc") == []
+
+
+class TestAllocFaults:
+    def test_transient_alloc_failure_then_success(self):
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("alloc", at=0)])
+        with dev.fault_scope(plan) as inj:
+            with pytest.raises(DeviceOutOfMemory, match="injected"):
+                dev.zeros((8, 8))
+            a = dev.zeros((8, 8))       # retry: counter moved past the rule
+            assert dev.allocated_bytes == a.nbytes
+            a.free()
+        assert dev.allocated_bytes == 0
+        assert inj.n_injected == 1
+
+    def test_persistent_alloc_failure(self):
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("alloc", at=0, times=PERSISTENT)])
+        with dev.fault_scope(plan):
+            for _ in range(3):
+                with pytest.raises(DeviceOutOfMemory):
+                    dev.empty((4,))
+        assert dev.allocated_bytes == 0
+
+    def test_match_filters_alloc_site(self):
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("alloc", at=0, times=PERSISTENT,
+                                    match="zeros")])
+        with dev.fault_scope(plan):
+            a = dev.empty((4,))         # site "empty": passes
+            with pytest.raises(DeviceOutOfMemory):
+                dev.zeros((4,))
+            a.free()
+        assert dev.allocated_bytes == 0
+
+
+class TestTransferFaults:
+    def test_transient_h2d_corruption_is_repaired(self, rng):
+        dev = Device(A100())
+        host = rng.standard_normal((16, 16))
+        with dev.fault_scope(FaultPlan([FaultRule("h2d", at=0)])) as inj:
+            a = dev.from_host(host)
+            np.testing.assert_array_equal(a.data, host)
+            a.free()
+        assert inj.n_injected == 1
+        retries = [e for e in dev.recovery_log if e.action == "transfer-retry"]
+        assert len(retries) == 1 and retries[0].attempt == 1
+
+    def test_persistent_h2d_raises_typed_transfer_error(self, rng):
+        dev = Device(A100())
+        host = rng.standard_normal(64)
+        plan = FaultPlan([FaultRule("h2d", at=0, times=PERSISTENT)])
+        with dev.fault_scope(plan):
+            with pytest.raises(TransferError) as ei:
+                dev.from_host(host)
+        assert ei.value.attempts == MAX_TRANSFER_ATTEMPTS
+        assert ei.value.direction == "h2d"
+        # the failed upload released its claim
+        assert dev.allocated_bytes == 0
+        assert dev.recovery_log.count("transfer-retry") == \
+            MAX_TRANSFER_ATTEMPTS - 1
+
+    def test_transient_d2h_corruption_is_repaired(self, rng):
+        dev = Device(A100())
+        host = rng.standard_normal(32)
+        a = dev.from_host(host)
+        with dev.fault_scope(FaultPlan([FaultRule("d2h", at=0)])):
+            np.testing.assert_array_equal(a.to_host(), host)
+        a.free()
+
+    def test_persistent_d2h_raises(self, rng):
+        dev = Device(A100())
+        a = dev.from_host(rng.standard_normal(32))
+        plan = FaultPlan([FaultRule("d2h", at=0, times=PERSISTENT)])
+        with dev.fault_scope(plan):
+            with pytest.raises(TransferError, match="d2h"):
+                a.to_host()
+        a.free()
+        assert dev.allocated_bytes == 0
+
+    def test_unverified_corruption_lands_silently(self, rng):
+        # the hazard the checksums exist for: verification off, the
+        # bit-flip reaches device memory undetected
+        dev = Device(A100())
+        host = rng.standard_normal(64)
+        plan = FaultPlan([FaultRule("h2d", at=0)])
+        with dev.fault_scope(plan, verify_transfers=False):
+            a = dev.from_host(host)
+        assert not np.array_equal(a.data, host)
+        assert (a.data != host).sum() == 1      # exactly one element flipped
+        a.free()
+
+    def test_each_retry_pays_the_bus(self, rng):
+        dev = Device(A100())
+        host = rng.standard_normal(1024)
+        with dev.fault_scope(FaultPlan([FaultRule("h2d", at=0, times=2)])):
+            a = dev.from_host(host)
+        # 2 corrupted attempts + 1 clean = 3 transfers accounted
+        assert dev.profiler.transfer_count == 3
+        a.free()
+
+
+class TestLaunchFaults:
+    def test_launch_failure_is_typed_and_state_preserving(self):
+        dev = Device(A100())
+        touched = []
+        plan = FaultPlan([FaultRule("launch", at=0)])
+        with dev.fault_scope(plan):
+            with pytest.raises(KernelLaunchError) as ei:
+                dev.launch("irrgemm[f21]", lambda: touched.append(1))
+        assert ei.value.kernel == "irrgemm[f21]"
+        assert touched == []        # numerics never ran
+        assert dev.profiler.launch_count == 0
+
+    def test_match_filters_kernel_name(self):
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("launch", at=0, times=PERSISTENT,
+                                    match="getrf")])
+        with dev.fault_scope(plan):
+            dev.launch("irrgemm", None, KernelCost(flops=1))    # passes
+            with pytest.raises(KernelLaunchError):
+                dev.launch("irrgetrf", None, KernelCost(flops=1))
+
+    def test_stall_delays_the_stream(self):
+        dev = Device(A100())
+        cost = KernelCost(flops=1e6)
+        dev.launch("warm", None, cost)
+        base = dev.synchronize()
+        dev.reset()
+        with dev.fault_scope(FaultPlan([FaultRule("stall", at=0,
+                                                  stall=0.25)])):
+            dev.launch("warm", None, cost)
+            stalled = dev.synchronize()
+        # the kernel cannot start before the stall clears at t=0.25
+        assert stalled >= 0.25
+        assert stalled > base
+        assert dev.profiler.stall_count == 1
+        assert dev.profiler.stall_time == pytest.approx(0.25)
+
+    def test_stall_is_timing_only(self, rng):
+        dev = Device(A100())
+        host = rng.standard_normal((4, 4))
+        a = dev.from_host(host)
+        with dev.fault_scope(FaultPlan([FaultRule("stall", at=0,
+                                                  stall=1.0)])):
+            def kern():
+                a.data[...] *= 2.0
+                return KernelCost(flops=16)
+            dev.launch("scale", kern)
+            dev.synchronize()
+        np.testing.assert_array_equal(a.data, 2.0 * host)
+        a.free()
+
+
+class TestFaultScope:
+    def test_scope_restores_state(self):
+        dev = Device(A100())
+        assert dev._injector is None and not dev.verify_transfers
+        with dev.fault_scope(FaultPlan([FaultRule("alloc", at=9)])) as inj:
+            assert dev._injector is inj
+            assert dev.verify_transfers
+        assert dev._injector is None
+        assert not dev.verify_transfers
+
+    def test_scope_restores_on_exception(self):
+        dev = Device(A100())
+        with pytest.raises(RuntimeError, match="boom"):
+            with dev.fault_scope(FaultPlan([])):
+                raise RuntimeError("boom")
+        assert dev._injector is None
+        assert not dev.verify_transfers
+
+    def test_scope_accepts_injector_to_share_counters(self):
+        # one schedule spanning two scopes: the 2nd alloc overall fails
+        inj = FaultInjector(FaultPlan([FaultRule("alloc", at=1)]))
+        dev = Device(A100())
+        with dev.fault_scope(inj):
+            a = dev.empty((4,))
+        with dev.fault_scope(inj):
+            with pytest.raises(DeviceOutOfMemory):
+                dev.empty((4,))
+        a.free()
+        assert dev.allocated_bytes == 0
+
+    def test_nested_scope_restores_outer(self):
+        dev = Device(A100())
+        p1 = FaultPlan([FaultRule("alloc", at=99)])
+        p2 = FaultPlan([FaultRule("h2d", at=99)])
+        with dev.fault_scope(p1) as i1:
+            with dev.fault_scope(p2) as i2:
+                assert dev._injector is i2
+            assert dev._injector is i1
+        assert dev._injector is None
+
+
+class TestAccountingGuards:
+    def test_negative_claim_raises(self):
+        dev = Device(A100())
+        with pytest.raises(ValueError):
+            dev._claim(-1)
+
+    def test_over_release_raises(self):
+        dev = Device(A100())
+        a = dev.empty((4,))
+        a.free()
+        with pytest.raises(RuntimeError, match="double release"):
+            dev._release(a.nbytes)
+
+    def test_free_is_idempotent(self):
+        dev = Device(A100())
+        a = dev.empty((8, 8))
+        a.free()
+        a.free()                            # no-op, no exception
+        assert dev.allocated_bytes == 0
+
+    def test_free_on_view_is_noop(self):
+        dev = Device(A100())
+        a = dev.empty((8, 8))
+        v = a[2:4, :]
+        v.free()                            # views own no bytes
+        assert dev.allocated_bytes == a.nbytes
+        a.free()
+        assert dev.allocated_bytes == 0
+
+    def test_context_manager_frees(self):
+        dev = Device(A100())
+        with dev.empty((16, 16)) as scratch:
+            assert dev.allocated_bytes == scratch.nbytes
+        assert dev.allocated_bytes == 0
+
+    def test_context_manager_frees_on_exception(self):
+        dev = Device(A100())
+        with pytest.raises(RuntimeError):
+            with dev.empty((16, 16)):
+                raise RuntimeError("mid-kernel failure")
+        assert dev.allocated_bytes == 0

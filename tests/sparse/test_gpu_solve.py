@@ -185,12 +185,13 @@ class TestSolvePlanCache:
         cache.free()
         assert dev.allocated_bytes == 0
 
-    def test_zero_budget_streams_everything(self, rng):
+    def test_tiny_budget_streams_everything(self, rng):
         a = grid2d(9, 9)
         nd, fac = factored(a)
         plan = SolvePlan(fac)
         dev = Device(A100())
-        cache = DeviceFactorCache(dev, fac, plan, memory_budget=0)
+        # 1 byte fits no level, so every level is streamed per sweep
+        cache = DeviceFactorCache(dev, fac, plan, memory_budget=1)
         assert cache.resident_levels == set()
         res = multifrontal_solve_gpu(dev, fac, rng.standard_normal(81),
                                      plan=plan, cache=cache)

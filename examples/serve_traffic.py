@@ -1,0 +1,115 @@
+"""Serving mixed traffic: concurrent requests coalesced into one batch.
+
+Eight client threads fire independent factor/solve/factor_solve
+requests at a :class:`~repro.serve.service.SolverService`.  The service
+groups compatible requests from its admission queue and runs each group
+as ONE irregular-batch launch sequence — the same amortization the
+paper's kernels give a hand-built batch, won back for requests that
+arrive one at a time.
+
+Run:  PYTHONPATH=src python examples/serve_traffic.py
+"""
+
+import threading
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.device import A100, Device
+from repro.serve import CoalescingPolicy, SolverService
+
+
+def grid2d(nx: int, ny: int, seed: int = 0) -> sp.csr_matrix:
+    """Unsymmetric-valued 5-point grid operator (symmetric pattern)."""
+    g = np.random.default_rng(seed)
+    n = nx * ny
+    rows, cols, vals = [], [], []
+    for i in range(nx):
+        for j in range(ny):
+            k = i * ny + j
+            rows.append(k), cols.append(k), vals.append(4.0 + g.random())
+            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < nx and 0 <= jj < ny:
+                    rows.append(k)
+                    cols.append(ii * ny + jj)
+                    vals.append(-1.0 - 0.3 * g.random())
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+rng = np.random.default_rng(7)
+
+# --- the service: one device, one dispatcher, shared sparse budget ------
+device = Device(A100())
+service = SolverService(
+    device,
+    policy=CoalescingPolicy(max_batch=16, max_wait=2e-3),
+    sparse_memory_budget=8 << 20,
+)
+
+# --- eight clients, three request shapes --------------------------------
+results = {}
+lock = threading.Lock()
+
+
+def dense_client(cid: int) -> None:
+    """factor_solve on a random small dense system."""
+    n = int(rng.integers(8, 48))
+    a = np.asarray(rng.standard_normal((n, n))) + n * np.eye(n)
+    b = np.asarray(rng.standard_normal(n))
+    x, handle = service.factor_solve(a, b)
+    residual = float(np.linalg.norm(a @ x - b) / np.linalg.norm(b))
+    with lock:
+        results[cid] = (f"dense {n:2d}x{n:<2d}", residual,
+                        f"growth={handle.growth:.1f}")
+
+
+def repeat_solver(cid: int) -> None:
+    """factor once, then three coalescible repeated solves."""
+    n = int(rng.integers(8, 32))
+    a = np.asarray(rng.standard_normal((n, n))) + n * np.eye(n)
+    handle = service.factor(a)
+    worst = 0.0
+    for _ in range(3):
+        b = np.asarray(rng.standard_normal(n))
+        x = service.solve(handle, b)
+        worst = max(worst, float(np.linalg.norm(a @ x - b)
+                                 / np.linalg.norm(b)))
+    with lock:
+        results[cid] = (f"dense {n:2d}x{n:<2d}", worst, "3 solves/handle")
+
+
+def sparse_client(cid: int) -> None:
+    """sparse factor -> session -> served solve under the arbiter."""
+    a = grid2d(10, 10, seed=cid)
+    with service.factor(a) as session:
+        b = np.asarray(rng.standard_normal(session.n))
+        x, info = service.solve(session, b)
+        residual = float(np.linalg.norm(a @ x - b) / np.linalg.norm(b))
+    with lock:
+        results[cid] = (f"sparse n={session.n}", residual,
+                        f"budget share={session.budget or 0:>8d}B")
+
+
+threads = [threading.Thread(target=fn, args=(i,))
+           for i, fn in enumerate([dense_client] * 4
+                                  + [repeat_solver] * 2
+                                  + [sparse_client] * 2)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+# --- what happened ------------------------------------------------------
+for cid in sorted(results):
+    kind, residual, note = results[cid]
+    print(f"client {cid}: {kind:14s} residual {residual:.2e}   {note}")
+
+snap = service.stats.snapshot()
+print(f"\n{snap['submitted']} requests -> {snap['dispatches']} dispatches "
+      f"(coalescing ratio {snap['coalescing_ratio']:.1f} requests/launch "
+      f"group)")
+print(f"wait p95 {snap['wait']['p95'] * 1e3:.2f} ms, "
+      f"exec p95 {snap['exec']['p95'] * 1e3:.2f} ms, "
+      f"queue peak {snap['queue_peak']}")
+service.close()
+assert device.allocated_bytes == 0

@@ -18,14 +18,17 @@ Quick start::
     pivots = irr_getrf(dev, batch)
 """
 
-from . import analysis, batched, device, fem, sparse, workloads
-from .errors import (FactorizationError, KernelLaunchError,
-                     ResourceExhausted, TransferError)
+from . import analysis, batched, device, fem, serve, sparse, workloads
+from .errors import (DeadlineExceeded, FactorizationError,
+                     KernelLaunchError, RequestCancelled,
+                     ResourceExhausted, ServiceOverloaded, TransferError)
 from .recovery import RecoveryEvent, RecoveryLog
 
 __version__ = "1.0.0"
 
 __all__ = ["device", "batched", "sparse", "fem", "workloads", "analysis",
+           "serve",
            "FactorizationError", "TransferError", "KernelLaunchError",
-           "ResourceExhausted", "RecoveryLog", "RecoveryEvent",
+           "ResourceExhausted", "ServiceOverloaded", "DeadlineExceeded",
+           "RequestCancelled", "RecoveryLog", "RecoveryEvent",
            "__version__"]

@@ -72,6 +72,7 @@ class IrrBatch:
         self.m_vec = m_vec
         self.n_vec = n_vec
         self.dtype = np.dtype(dtype)
+        self._packed: DeviceArray | None = None
 
     # -- construction -----------------------------------------------------
     @classmethod
@@ -93,10 +94,71 @@ class IrrBatch:
 
         mats = [np.atleast_2d(np.asarray(m, dtype=pick(m)))
                 for m in matrices]
-        arrays = [device.from_host(m) for m in mats]
+        arrays = []
+        try:
+            for m in mats:
+                arrays.append(device.from_host(m))
+        except BaseException:
+            # a failed upload must not leak its predecessors (fault
+            # injection exercises exactly this path)
+            for a in arrays:
+                a.free()
+            raise
         m_vec = np.array([m.shape[0] for m in mats], dtype=np.int64)
         n_vec = np.array([m.shape[1] for m in mats], dtype=np.int64)
         return cls(device, arrays, m_vec, n_vec)
+
+    @classmethod
+    def from_host_packed(cls, device: Device,
+                         matrices: Iterable[np.ndarray],
+                         dtype=None) -> "IrrBatch":
+        """Upload a list of host matrices with ONE staged H2D transfer.
+
+        The matrices are flattened into a contiguous staging buffer,
+        copied in a single transfer (paying the per-transfer latency
+        once instead of once per matrix), and exposed as per-matrix
+        *views* into the packed device allocation.  Values — and hence
+        every downstream kernel's numerics — are identical to
+        :meth:`from_host`; only the transfer schedule differs.  All
+        matrices must share one device dtype (pass ``dtype`` to force
+        it).
+        """
+        def pick(m):
+            if dtype is not None:
+                return dtype
+            kind = np.asarray(m).dtype
+            if kind in (np.float32, np.complex64, np.complex128):
+                return kind
+            return np.float64
+
+        mats = [np.atleast_2d(np.asarray(m, dtype=pick(m)))
+                for m in matrices]
+        dtypes = {m.dtype for m in mats}
+        if len(dtypes) > 1:
+            raise ValueError(f"packed upload needs one dtype, got {dtypes}")
+        dt = dtypes.pop() if dtypes else np.dtype(dtype or np.float64)
+        total = sum(m.size for m in mats)
+        flat = np.empty(total, dtype=dt)
+        offsets = []
+        off = 0
+        for m in mats:
+            flat[off:off + m.size] = m.ravel()
+            offsets.append(off)
+            off += m.size
+        packed = device.from_host(flat)
+        try:
+            arrays = [DeviceArray(device,
+                                  packed.data[o:o + m.size].reshape(m.shape),
+                                  base=packed)
+                      for o, m in zip(offsets, mats)]
+            m_vec = np.array([m.shape[0] for m in mats], dtype=np.int64)
+            n_vec = np.array([m.shape[1] for m in mats], dtype=np.int64)
+            batch = cls(device, arrays, m_vec, n_vec)
+        except BaseException:
+            packed.free()
+            raise
+        batch._packed = packed
+        return batch
 
     @classmethod
     def zeros(cls, device: Device, m_vec, n_vec,
@@ -180,8 +242,19 @@ class IrrBatch:
 
     # -- transfers ----------------------------------------------------------
     def to_host(self) -> list[np.ndarray]:
-        """Download every matrix (restricted to local dims)."""
+        """Download every matrix (restricted to local dims).
+
+        A batch built by :meth:`from_host_packed` downloads its whole
+        packed allocation in one D2H transfer (one latency charge);
+        otherwise each matrix is a separate transfer.
+        """
         out = []
+        if self._packed is not None and not self._packed.freed:
+            self.device._account_transfer(self._packed.nbytes)
+            for i in range(len(self)):
+                m, n = self.local_dims(i)
+                out.append(np.array(self.arrays[i].data[:m, :n], copy=True))
+            return out
         for i in range(len(self)):
             m, n = self.local_dims(i)
             self.device._account_transfer(self.arrays[i].data[:m, :n].nbytes)
@@ -199,9 +272,12 @@ class IrrBatch:
 
     def free(self) -> None:
         """Release every owned member allocation (idempotent; members
-        that are views never owned bytes, so freeing them is a no-op)."""
+        that are views never owned bytes, so freeing them is a no-op).
+        A packed batch releases its single backing allocation."""
         for a in self.arrays:
             a.free()
+        if self._packed is not None:
+            self._packed.free()
 
     def __enter__(self) -> "IrrBatch":
         return self

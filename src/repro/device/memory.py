@@ -19,6 +19,12 @@ retries up to :data:`MAX_TRANSFER_ATTEMPTS` times on mismatch (each
 retry re-pays the bus and is recorded in ``device.recovery_log``), and
 raises a typed :class:`~repro.errors.TransferError` when the corruption
 persists.
+
+Accounting is also *thread-safe*: claim, release and the
+:meth:`DeviceArray.free` ownership hand-off all synchronize on the
+owning device's memory lock, so concurrent service workers can
+allocate/free against one device without corrupting (or over-committing)
+``device.allocated_bytes``.
 """
 
 from __future__ import annotations
@@ -202,10 +208,19 @@ class DeviceArray:
         return self
 
     def free(self) -> None:
-        """Release this allocation back to the device (idempotent)."""
-        if self._base is None and self.nbytes_owned:
-            self.device._release(self.nbytes_owned)
-            self.nbytes_owned = 0
+        """Release this allocation back to the device (idempotent).
+
+        Safe under concurrent callers: the owned-byte count is claimed
+        and zeroed under the device's memory lock, so two racing
+        ``free()`` calls release exactly once (the lock is re-entrant,
+        so the nested ``_release`` does not deadlock).
+        """
+        if self._base is not None:
+            return
+        with self.device._mem_lock:
+            owned, self.nbytes_owned = self.nbytes_owned, 0
+            if owned:
+                self.device._release(owned)
 
     # -- scoped lifetime --------------------------------------------------
     def __enter__(self) -> "DeviceArray":

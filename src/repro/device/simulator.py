@@ -28,6 +28,7 @@ The host then waits for the makespan (recorded as synchronize wait — the
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterator, Sequence
 
@@ -47,7 +48,16 @@ _PCIE_LATENCY = 10e-6       # seconds per transfer
 
 
 class Device:
-    """A simulated GPU: memory arena, streams, launch trace, clocks."""
+    """A simulated GPU: memory arena, streams, launch trace, clocks.
+
+    Thread-safety contract: memory accounting (``_claim``/``_release``,
+    and therefore ``empty``/``zeros``/``from_host``/``free``) and the
+    recovery log are safe to use from concurrent threads.  Kernel
+    *launches*, stream bookkeeping and the host/device clocks are
+    **single-owner**: exactly one thread may drive them at a time (the
+    serving layer in :mod:`repro.serve` enforces this by funnelling all
+    device work through one dispatcher thread).
+    """
 
     def __init__(self, spec: DeviceSpec):
         self.spec = spec
@@ -56,6 +66,11 @@ class Device:
         self.device_time = 0.0            # makespan of resolved kernels
         self.allocated_bytes = 0
         self.peak_allocated_bytes = 0
+        # Guards the capacity check-and-claim and the release so
+        # concurrent workers can never over-commit the device or corrupt
+        # the byte counters (re-entrant: DeviceArray.free() holds it
+        # while delegating to _release).
+        self._mem_lock = threading.RLock()
         self.recovery_log = RecoveryLog()
         self.verify_transfers = False
         self._injector = None             # installed by fault_scope()
@@ -147,24 +162,27 @@ class Device:
                              f"({nbytes} bytes at {site!r})")
         if self._injector is not None:
             self._injector.on_alloc(self, nbytes, site)
-        if self.allocated_bytes + nbytes > self.spec.memory_capacity:
-            raise DeviceOutOfMemory(
-                f"{self.spec.name}: allocation of {nbytes} bytes exceeds "
-                f"capacity ({self.allocated_bytes} of "
-                f"{self.spec.memory_capacity} in use)")
-        self.allocated_bytes += nbytes
-        self.peak_allocated_bytes = max(self.peak_allocated_bytes,
-                                        self.allocated_bytes)
+        with self._mem_lock:
+            if self.allocated_bytes + nbytes > self.spec.memory_capacity:
+                raise DeviceOutOfMemory(
+                    f"{self.spec.name}: allocation of {nbytes} bytes exceeds "
+                    f"capacity ({self.allocated_bytes} of "
+                    f"{self.spec.memory_capacity} in use)")
+            self.allocated_bytes += nbytes
+            self.peak_allocated_bytes = max(self.peak_allocated_bytes,
+                                            self.allocated_bytes)
 
     def _release(self, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError(f"cannot release a negative allocation "
                              f"({nbytes} bytes)")
-        if nbytes > self.allocated_bytes:
-            raise RuntimeError(
-                f"release of {nbytes} bytes exceeds the {self.allocated_bytes}"
-                f" bytes currently allocated — double release?")
-        self.allocated_bytes -= nbytes
+        with self._mem_lock:
+            if nbytes > self.allocated_bytes:
+                raise RuntimeError(
+                    f"release of {nbytes} bytes exceeds the "
+                    f"{self.allocated_bytes} bytes currently allocated — "
+                    f"double release?")
+            self.allocated_bytes -= nbytes
 
     def _account_transfer(self, nbytes: int) -> None:
         seconds = _PCIE_LATENCY + nbytes / _PCIE_BANDWIDTH

@@ -22,6 +22,17 @@ never a bare :class:`MemoryError` and never silent garbage.  Each error
 carries enough context (site, attempt count, the
 :class:`~repro.recovery.RecoveryLog` of actions already taken) for a
 caller to decide whether to re-run, re-budget, or re-host the work.
+
+Service failures
+----------------
+The serving layer (:mod:`repro.serve`) rejects and expires work with its
+own typed errors so callers can distinguish "the solver broke" from "the
+service would not take the job": :class:`ServiceOverloaded` (admission
+queue full — back off and retry), :class:`DeadlineExceeded` (the request
+waited past its deadline and was dropped before dispatch) and
+:class:`RequestCancelled` (the caller cancelled a queued request).  None
+of them subclass :class:`numpy.linalg.LinAlgError`: they carry no
+numerical meaning.
 """
 
 from __future__ import annotations
@@ -29,7 +40,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["FactorizationError", "TransferError", "KernelLaunchError",
-           "ResourceExhausted"]
+           "ResourceExhausted", "ServiceOverloaded", "DeadlineExceeded",
+           "RequestCancelled"]
 
 
 class FactorizationError(np.linalg.LinAlgError):
@@ -110,3 +122,58 @@ class ResourceExhausted(RuntimeError):
     def __init__(self, message: str, log=None):
         super().__init__(message)
         self.log = log
+
+
+class ServiceOverloaded(RuntimeError):
+    """The solver service's bounded admission queue is full.
+
+    This is backpressure, not failure: the submitted work was *not*
+    enqueued and the caller should retry later (or shed load).  Raised
+    synchronously by ``submit_*`` — an overloaded service never accepts
+    a request it cannot hold.
+
+    Attributes
+    ----------
+    queue_depth:
+        Number of requests pending when the submission was rejected.
+    max_queue:
+        The admission queue bound in force.
+    """
+
+    def __init__(self, queue_depth: int, max_queue: int):
+        super().__init__(
+            f"service overloaded: admission queue holds {queue_depth} "
+            f"request(s) (bound {max_queue}); retry later")
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+
+class DeadlineExceeded(RuntimeError):
+    """A queued request's deadline expired before it was dispatched.
+
+    The scheduler drops expired requests at collection time instead of
+    spending device time on answers nobody is waiting for.
+
+    Attributes
+    ----------
+    deadline:
+        The relative deadline the request was submitted with (seconds).
+    waited:
+        How long the request actually sat in the queue (seconds).
+    """
+
+    def __init__(self, deadline: float, waited: float):
+        super().__init__(
+            f"request deadline of {deadline:.4g}s exceeded after waiting "
+            f"{waited:.4g}s in the admission queue")
+        self.deadline = deadline
+        self.waited = waited
+
+
+class RequestCancelled(RuntimeError):
+    """The caller cancelled a queued request before it was dispatched.
+
+    Raised by ``result()``/``exception()`` on a future whose
+    ``cancel()`` succeeded; a request already running cannot be
+    cancelled.
+    """

@@ -37,6 +37,7 @@ Actions (the closed vocabulary used across the stack):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["RecoveryEvent", "RecoveryLog"]
@@ -80,26 +81,38 @@ class RecoveryLog:
 
     Append-only; :meth:`mark`/:meth:`since` slice out the events of one
     logical operation from a long-lived (device-owned) log.
+
+    Thread safety: a device-owned log is shared by every worker a
+    service runs against the device, so :meth:`record` and the
+    :meth:`mark`/:meth:`since` slicers synchronize on an internal lock —
+    concurrent recorders interleave whole events, never corrupt the
+    list.  Marks taken by one worker only delimit *its own* region when
+    callers serialize their device work (the solver service does).
     """
 
     events: list[RecoveryEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, action: str, *, site: str = "", attempt: int = 1,
                detail: str = "") -> RecoveryEvent:
         """Append one event and return it."""
         ev = RecoveryEvent(action=action, site=site, attempt=attempt,
                            detail=detail)
-        self.events.append(ev)
+        with self._lock:
+            self.events.append(ev)
         return ev
 
     # -- slicing -----------------------------------------------------------
     def mark(self) -> int:
         """Current position; pass to :meth:`since` to scope a region."""
-        return len(self.events)
+        with self._lock:
+            return len(self.events)
 
     def since(self, mark: int) -> "RecoveryLog":
         """New log holding the events recorded after ``mark``."""
-        return RecoveryLog(events=list(self.events[mark:]))
+        with self._lock:
+            return RecoveryLog(events=list(self.events[mark:]))
 
     # -- inspection --------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,341 @@
+"""Admission queue and coalescing policy for the solver service.
+
+The scheduler answers one question: *which pending requests may share a
+single batched launch group without changing anyone's bits?*  Grouping is
+by a compatibility key computed at admission:
+
+* **Dense factorizations** group by ``(dtype, LU-policy kwargs)`` — any
+  mix of sizes — as long as every matrix stays in the *fused-panel
+  regime* (``panel_shared_bytes(m, 0, nb, itemsize)`` within the
+  device's per-block shared memory).  In that regime the blocked driver's
+  panel grid and per-matrix kernels are independent of the batch's
+  required dimensions, so the coalesced factors are bitwise-identical to
+  a one-request batch.  A matrix too tall for the fused panel would pull
+  the whole batch into the recursive panel split, whose blocking depends
+  on ``max_m`` across the batch — those requests get singleton keys and
+  dispatch alone.
+* **Dense solves** group by ``(dtype, exact order)``: the irrTRSM
+  recursion splits the *required* order, so mixing orders would change
+  the blocking (and the accumulation order) of every member.  Same-order
+  systems share the recursion exactly and stay bitwise-identical.
+* **Sparse solves** are singleton by default — stacking right-hand sides
+  changes the BLAS accumulation width and the refinement's global
+  residual norm, neither bitwise-safe.  ``coalesce_sparse_rhs=True``
+  opts a session into same-session RHS stacking (results then match to
+  rounding, not bitwise).
+
+The queue is bounded (admission raises
+:class:`~repro.errors.ServiceOverloaded` when full), FIFO per key, and
+deadline/cancellation aware: expired and cancelled requests are resolved
+and dropped during collection, never dispatched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..batched.getrf import DEFAULT_PANEL_WIDTH
+from ..batched.panel import panel_shared_bytes
+from ..batched.trsm import TRSM_BASE_NB
+from ..errors import DeadlineExceeded, RequestCancelled, ServiceOverloaded
+
+__all__ = ["CoalescingPolicy", "ServiceFuture", "Request", "AdmissionQueue"]
+
+#: Future/request states.
+_PENDING, _DISPATCHED, _DONE = "pending", "dispatched", "done"
+
+
+@dataclass(frozen=True)
+class CoalescingPolicy:
+    """Batching knobs of the service (a pure value; safe to share).
+
+    Attributes
+    ----------
+    max_batch:
+        Largest number of requests fused into one launch group.
+        ``max_batch=1`` disables coalescing — every request dispatches
+        alone (the sequential reference the benchmarks compare against).
+    max_wait:
+        Longest time (host seconds) the oldest request of a group may
+        sit in the queue while the scheduler waits for more compatible
+        arrivals.  ``0.0`` dispatches whatever is present immediately.
+    max_queue:
+        Admission bound; a full queue rejects with
+        :class:`~repro.errors.ServiceOverloaded`.
+    dispatch_retries:
+        Whole-batch retries (from pristine host inputs) on a transient
+        device fault before the group falls back to per-request
+        isolation runs.
+    coalesce_sparse_rhs:
+        Allow same-session sparse solves to stack their right-hand
+        sides into one multi-column sweep.  Off by default: stacked
+        solves match to rounding, not bitwise.
+    """
+
+    max_batch: int = 32
+    max_wait: float = 2e-3
+    max_queue: int = 256
+    dispatch_retries: int = 2
+    coalesce_sparse_rhs: bool = False
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.dispatch_retries < 0:
+            raise ValueError(f"dispatch_retries must be >= 0, "
+                             f"got {self.dispatch_retries}")
+
+
+class ServiceFuture:
+    """Handle to one submitted request (thread-safe).
+
+    ``result()`` blocks until the dispatcher resolves the request and
+    returns the value or re-raises the request's own typed error —
+    failures are *per-request*: a pivot breakdown or injected fault on
+    one request of a coalesced batch surfaces here and nowhere else.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._state = _PENDING
+        self._value = None
+        self._error: BaseException | None = None
+
+    # -- caller side ---------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def cancelled(self) -> bool:
+        with self._lock:
+            return isinstance(self._error, RequestCancelled)
+
+    def cancel(self) -> bool:
+        """Cancel iff still queued; returns whether cancellation won.
+
+        A request the dispatcher already collected cannot be cancelled —
+        its launches may be in flight — and resolves normally.
+        """
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _DONE
+            self._error = RequestCancelled(
+                f"{self.kind} request cancelled while queued")
+        self._event.set()
+        return True
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"{self.kind} request not resolved within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"{self.kind} request not resolved within {timeout}s")
+        return self._error
+
+    # -- dispatcher side -----------------------------------------------
+    def _claim(self) -> bool:
+        """Move pending → dispatched; False if cancelled/resolved first."""
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _DISPATCHED
+            return True
+
+    def _resolve(self, value=None, error: BaseException | None = None
+                 ) -> bool:
+        with self._lock:
+            if self._state == _DONE:
+                return False
+            self._state = _DONE
+            self._value = value
+            self._error = error
+        self._event.set()
+        return True
+
+
+class Request:
+    """One queued unit of work (internal to the service)."""
+
+    __slots__ = ("kind", "key", "payload", "future", "t_submit",
+                 "deadline", "t_deadline")
+
+    def __init__(self, kind: str, key: tuple, payload: dict,
+                 deadline: float | None):
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline}")
+        self.kind = kind
+        self.key = key
+        self.payload = payload
+        self.future = ServiceFuture(kind)
+        self.t_submit = time.monotonic()
+        self.deadline = deadline
+        self.t_deadline = None if deadline is None else \
+            self.t_submit + deadline
+
+    def waited(self, now: float | None = None) -> float:
+        return (time.monotonic() if now is None else now) - self.t_submit
+
+    def expired(self, now: float) -> bool:
+        return self.t_deadline is not None and now > self.t_deadline
+
+
+# ----------------------------------------------------------------------
+# compatibility keys
+# ----------------------------------------------------------------------
+def getrf_key(m: int, n: int, dtype: np.dtype, lu_kwargs: dict,
+              spec, serial: int) -> tuple:
+    """Group key for a dense factorization (and the factor step of
+    ``factor_solve``): dtype + LU policy + fused-regime membership.
+
+    Matrices outside the fused-panel regime get a singleton key (the
+    ``serial`` discriminator) so they never drag a batch into the
+    recursive panel split, whose blocking depends on the batch's
+    ``max_m`` and is therefore not bitwise-stable under coalescing.
+    """
+    nb = lu_kwargs.get("nb", DEFAULT_PANEL_WIDTH)
+    if nb == "auto":
+        nb = DEFAULT_PANEL_WIDTH
+    itemsize = np.dtype(dtype).itemsize
+    fused = panel_shared_bytes(max(m, n), 0, nb, itemsize) <= \
+        spec.max_shared_per_block
+    policy = tuple(sorted(lu_kwargs.items()))
+    if fused:
+        return ("getrf", np.dtype(dtype).str, policy)
+    return ("getrf", np.dtype(dtype).str, policy, "solo", serial)
+
+
+def getrs_key(order: int, dtype: np.dtype) -> tuple:
+    """Group key for a dense solve: dtype + order *class* (shape-bucket
+    affinity).  The irrTRSM recursion splits the required order — the
+    group's max — so two orders share a launch group bitwise-safely only
+    when they produce identical blocking.  Orders above the base width
+    get their own recursion tree (exact-order keys); every order at or
+    below ``TRSM_BASE_NB`` hits the single base-case kernel, whose
+    numerics run per matrix over local dims, so they all share one
+    class."""
+    cls = int(order) if order > TRSM_BASE_NB else 0
+    return ("getrs", np.dtype(dtype).str, cls)
+
+
+def sparse_key(session_id: int, solve_kwargs: tuple, *,
+               coalesce: bool, serial: int) -> tuple:
+    """Group key for a sparse solve: singleton unless the policy opts
+    the session into RHS stacking (same session + same solve kwargs)."""
+    if coalesce:
+        return ("sparse-solve", session_id, solve_kwargs)
+    return ("sparse-solve", session_id, solve_kwargs, "solo", serial)
+
+
+# ----------------------------------------------------------------------
+class AdmissionQueue:
+    """Bounded FIFO with compatibility-key group collection."""
+
+    def __init__(self, stats):
+        self._q: list[Request] = []
+        self._cond = threading.Condition()
+        self._stopped = False
+        self._stats = stats
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._q)
+
+    # -- submit side ---------------------------------------------------
+    def push(self, req: Request, max_queue: int) -> None:
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError("service is closed")
+            if len(self._q) >= max_queue:
+                self._stats.on_reject()
+                raise ServiceOverloaded(len(self._q), max_queue)
+            self._q.append(req)
+            self._stats.on_submit(len(self._q))
+            self._cond.notify_all()
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+
+    # -- dispatcher side -----------------------------------------------
+    def _purge_locked(self, now: float) -> None:
+        """Resolve and drop cancelled/expired requests (lock held)."""
+        keep = []
+        for req in self._q:
+            if req.future.done():           # cancelled by the caller
+                self._stats.on_cancel()
+                continue
+            if req.expired(now):
+                if req.future._resolve(error=DeadlineExceeded(
+                        req.deadline, req.waited(now))):
+                    self._stats.on_expire()
+                continue
+            keep.append(req)
+        self._q = keep
+
+    def collect(self, policy: CoalescingPolicy, *, block: bool = True
+                ) -> list[Request] | None:
+        """Remove and return the next dispatchable group, FIFO by oldest.
+
+        Blocks (when ``block``) until work arrives or :meth:`stop`.
+        Holds the oldest compatible request at most ``policy.max_wait``
+        seconds while waiting for the group to fill to
+        ``policy.max_batch``.  Returns ``None`` when stopped (or, with
+        ``block=False``, when the queue is empty).
+        """
+        with self._cond:
+            while True:
+                self._purge_locked(time.monotonic())
+                if self._q:
+                    break
+                if self._stopped or not block:
+                    self._stats.on_depth(0)
+                    return None
+                self._cond.wait()
+
+            head = self._q[0]
+            while True:
+                now = time.monotonic()
+                group = [r for r in self._q if r.key == head.key]
+                if len(group) >= policy.max_batch:
+                    break
+                remaining = policy.max_wait - (now - head.t_submit)
+                if remaining <= 0 or self._stopped or not block:
+                    break
+                self._cond.wait(timeout=remaining)
+                self._purge_locked(time.monotonic())
+                if not self._q:
+                    # everything expired/cancelled while we waited
+                    return self.collect(policy, block=block)
+                if self._q[0] is not head:
+                    head = self._q[0]
+
+            group = group[:policy.max_batch]
+            taken = []
+            for r in group:
+                if r.future._claim():
+                    taken.append(r)
+                else:                       # lost a cancellation race
+                    self._stats.on_cancel()
+            ids = {id(r) for r in group}
+            self._q = [r for r in self._q if id(r) not in ids]
+            self._stats.on_depth(len(self._q))
+            if not taken:    # every member lost a cancellation race
+                return self.collect(policy, block=block)
+            return taken

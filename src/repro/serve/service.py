@@ -1,0 +1,666 @@
+"""SolverService — concurrent factor/solve serving with batch coalescing.
+
+The paper's batched kernels amortize launch overhead across a batch; a
+service receiving *independent* small factorizations one at a time
+forfeits exactly that amortization.  :class:`SolverService` wins it
+back: concurrent ``factor(A)`` / ``solve(handle, b)`` /
+``factor_solve(A, b)`` submissions land in an admission queue, a single
+dispatcher thread groups compatible requests (see
+:mod:`repro.serve.scheduler` for the bitwise-safety rules), and each
+group runs as **one** irregular-batch launch sequence through
+:func:`~repro.batched.getrf.irr_getrf` /
+:func:`~repro.batched.getrs.irr_getrs` — N requests, one launch group,
+results sliced back per request.
+
+Threading model
+---------------
+Submission (``submit_*``, the sync wrappers, ``cancel``) is safe from
+any thread.  All device work runs on the dispatcher thread — the
+simulated :class:`~repro.device.simulator.Device` requires a single
+launch owner (its docstring states the contract) — so the service
+funnels every kernel through one thread while callers block on
+futures.  Construct with ``start=False`` and drive :meth:`run_once`
+for deterministic single-threaded tests.
+
+Isolation
+---------
+Failures are per-request.  A pivot breakdown poisons only its own
+future (:class:`~repro.errors.FactorizationError`); an injected device
+fault first triggers whole-batch retries from pristine host inputs
+(launch faults fire before numerics, so retries are bitwise-safe), and
+if the fault persists the group re-runs one request at a time so only
+the genuinely faulted requests fail
+(:class:`~repro.errors.ResourceExhausted`, transfer/launch errors).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..batched.engine import BatchEngine
+from ..batched.getrf import irr_getrf
+from ..batched.getrs import irr_getrs
+from ..batched.interface import IrrBatch
+from ..batched.trsm import TRSM_BASE_NB
+from ..device.memory import DeviceOutOfMemory
+from ..device.simulator import Device
+from ..errors import FactorizationError, KernelLaunchError, \
+    ResourceExhausted, TransferError
+from ..sparse.solver import SparseLU
+from .scheduler import AdmissionQueue, CoalescingPolicy, Request, \
+    ServiceFuture, getrf_key, getrs_key, sparse_key
+from .session import MemoryArbiter, ServeSession
+from .stats import DispatchRecord, ServiceStats
+
+__all__ = ["SolverService", "FactorHandle"]
+
+#: Device-side failures the dispatch ladder retries / isolates.
+_SYSTEM_ERRORS = (KernelLaunchError, TransferError, DeviceOutOfMemory,
+                  ResourceExhausted)
+
+#: LU policy keywords a dense factor request may carry (all pass through
+#: to :func:`~repro.batched.getrf.irr_getrf` and are part of the
+#: compatibility key — requests with different policies never coalesce).
+_LU_KWARGS = frozenset({"nb", "panel", "laswp_variant", "concurrent_swaps",
+                        "pivot_tol", "static_pivot", "replace_scale"})
+
+#: Solve keywords a sparse solve request may carry.
+_SPARSE_SOLVE_KWARGS = frozenset({"refine_steps", "rhs_block"})
+
+#: Keywords a sparse factor request may carry (``SparseLU`` constructor
+#: + factor backend + breakdown policy).
+_SPARSE_FACTOR_KWARGS = frozenset({"use_mc64", "leaf_size", "backend",
+                                   "pivot_tol", "static_pivot",
+                                   "replace_scale", "breakdown"})
+
+
+def _pick_dtype(a: np.ndarray) -> np.dtype:
+    """The device precision a host matrix factors in (mirrors
+    :meth:`IrrBatch.from_host`): float32/complex stay, rest promote."""
+    d = np.asarray(a).dtype
+    if d in (np.float32, np.complex64, np.complex128):
+        return np.dtype(d)
+    return np.dtype(np.float64)
+
+
+class _PivotView:
+    """Adapter giving :func:`irr_getrs` the pivot surface it needs
+    (``ipiv`` + ``info``) for factors rehydrated from host handles."""
+
+    def __init__(self, ipiv: list, info: np.ndarray):
+        self.ipiv = ipiv
+        self.info = info
+
+
+class FactorHandle:
+    """A served dense factorization: host-resident packed LU + pivots.
+
+    Returned by ``factor``/``factor_solve`` on dense inputs; pass it to
+    ``solve`` for coalesced repeated solves.  Holds the *host* copy of
+    the factors (the service re-uploads per solve group), so a handle
+    survives device resets and its solves can coalesce with systems
+    from entirely different factor batches.
+
+    Per-request diagnostics sliced from the batch factorization:
+    ``info`` (LAPACK semantics), ``n_replaced`` / ``min_pivot`` /
+    ``growth`` (static-pivot recovery and stability measures).
+    """
+
+    __slots__ = ("lu", "ipiv", "m", "n", "dtype", "info", "n_replaced",
+                 "min_pivot", "growth")
+
+    def __init__(self, lu: np.ndarray, ipiv: np.ndarray, info: int,
+                 n_replaced: int, min_pivot: float, growth: float):
+        self.lu = lu
+        self.ipiv = ipiv
+        self.m, self.n = lu.shape
+        self.dtype = lu.dtype
+        self.info = info
+        self.n_replaced = n_replaced
+        self.min_pivot = min_pivot
+        self.growth = growth
+
+    @property
+    def ok(self) -> bool:
+        """True when the factors carry no unrecovered breakdown."""
+        return self.info == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FactorHandle({self.m}x{self.n}, {self.dtype}, "
+                f"info={self.info}, n_replaced={self.n_replaced})")
+
+
+class SolverService:
+    """Thread-safe serving front-end over one simulated device.
+
+    Parameters
+    ----------
+    device:
+        The :class:`~repro.device.simulator.Device` all dispatches run
+        on.  The service's dispatcher thread is the device's single
+        launch owner; don't launch kernels on it from other threads
+        while the service is live.
+    policy:
+        The :class:`~repro.serve.scheduler.CoalescingPolicy` batching
+        knobs.  ``CoalescingPolicy(max_batch=1)`` is the
+        one-request-per-launch reference configuration.
+    sparse_memory_budget:
+        One shared device-byte budget split evenly across open sparse
+        sessions by the :class:`~repro.serve.session.MemoryArbiter`
+        (``None`` = unbudgeted residency).
+    start:
+        Start the dispatcher thread immediately.  ``start=False`` +
+        :meth:`run_once` gives deterministic inline dispatch for tests.
+    """
+
+    def __init__(self, device: Device, *,
+                 policy: CoalescingPolicy | None = None,
+                 sparse_memory_budget: int | None = None,
+                 start: bool = True):
+        self.device = device
+        self.policy = policy if policy is not None else CoalescingPolicy()
+        self.stats = ServiceStats()
+        self.arbiter = MemoryArbiter(sparse_memory_budget,
+                                     stats=self.stats)
+        self._queue = AdmissionQueue(self.stats)
+        # One engine for the service's lifetime: every dispatch reuses
+        # the same DCWI plan cache, so recurring shapes re-plan nothing.
+        self._engine = BatchEngine("bucketed")
+        self._serial = 0
+        self._serial_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SolverService":
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self._thread = threading.Thread(target=self._run,
+                                        name="solver-service", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Drain the queue, dispatch everything pending, stop the
+        dispatcher.  Idempotent; no future is left unresolved."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.stop()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        else:
+            self._drain_inline()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def run_once(self) -> int:
+        """Dispatch every group currently admissible; return the number
+        of groups dispatched.  Only valid with ``start=False`` (the
+        dispatcher thread otherwise owns the queue)."""
+        if self._thread is not None:
+            raise RuntimeError("run_once() requires start=False")
+        return self._drain_inline()
+
+    def _drain_inline(self) -> int:
+        n = 0
+        while True:
+            group = self._queue.collect(self.policy, block=False)
+            if group is None:
+                return n
+            self._safe_dispatch(group)
+            n += 1
+
+    def _run(self) -> None:
+        while True:
+            group = self._queue.collect(self.policy)
+            if group is None:
+                return
+            self._safe_dispatch(group)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _next_serial(self) -> int:
+        with self._serial_lock:
+            self._serial += 1
+            return self._serial
+
+    def _admit(self, req: Request) -> ServiceFuture:
+        self._queue.push(req, self.policy.max_queue)
+        return req.future
+
+    @staticmethod
+    def _check_kwargs(kwargs: dict, allowed: frozenset, what: str) -> None:
+        bad = set(kwargs) - allowed
+        if bad:
+            raise TypeError(f"unknown {what} keyword(s) {sorted(bad)}; "
+                            f"allowed: {sorted(allowed)}")
+
+    def _dense_payload(self, a, need_square: bool) -> tuple[np.ndarray,
+                                                            np.dtype]:
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got ndim={a.ndim}")
+        if need_square and a.shape[0] != a.shape[1]:
+            raise ValueError(f"matrix must be square to solve, "
+                             f"got {a.shape}")
+        dtype = _pick_dtype(a)
+        return np.array(a, dtype=dtype, copy=True), dtype
+
+    @staticmethod
+    def _rhs_payload(b, n: int, dtype: np.dtype) -> tuple[np.ndarray, int]:
+        b = np.asarray(b)
+        if b.ndim not in (1, 2) or b.shape[0] != n:
+            raise ValueError(
+                f"rhs must have {n} rows (1-D or 2-D), got {b.shape}")
+        rt = np.result_type(dtype, b.dtype)
+        if rt != dtype:
+            raise TypeError(
+                f"rhs dtype {b.dtype} does not fit the factor dtype "
+                f"{dtype} (result type {rt}); factor in the wider type")
+        ndim = b.ndim
+        b2 = np.array(b if b.ndim == 2 else b[:, None], dtype=dtype,
+                      copy=True)
+        return b2, ndim
+
+    def submit_factor(self, a, *, deadline: float | None = None,
+                      **kwargs) -> ServiceFuture:
+        """Queue a factorization.  Dense ``a`` resolves to a
+        :class:`FactorHandle`; sparse ``a`` to an open
+        :class:`~repro.serve.session.ServeSession`.  ``deadline`` is
+        seconds in the queue before the request expires with
+        :class:`~repro.errors.DeadlineExceeded`."""
+        if sp.issparse(a):
+            self._check_kwargs(kwargs, _SPARSE_FACTOR_KWARGS,
+                               "sparse factor")
+            key = ("sparse-open", "solo", self._next_serial())
+            return self._admit(Request("sparse-factor", key,
+                                       {"a": a.copy(), "kwargs": kwargs},
+                                       deadline))
+        self._check_kwargs(kwargs, _LU_KWARGS, "LU")
+        host, dtype = self._dense_payload(a, need_square=False)
+        key = getrf_key(host.shape[0], host.shape[1], dtype, kwargs,
+                        self.device.spec, self._next_serial())
+        return self._admit(Request("factor", key,
+                                   {"a": host, "lu_kwargs": kwargs},
+                                   deadline))
+
+    def submit_solve(self, handle, b, *, deadline: float | None = None,
+                     **kwargs) -> ServiceFuture:
+        """Queue a solve against a served factorization.
+
+        Dense ``handle`` (:class:`FactorHandle`) resolves to ``x``;
+        sparse ``handle`` (:class:`ServeSession`) resolves to
+        ``(x, SolveInfo)``.  Broken dense factors are refused here,
+        synchronously — they can never produce a solution.
+        """
+        if isinstance(handle, ServeSession):
+            self._check_kwargs(kwargs, _SPARSE_SOLVE_KWARGS,
+                               "sparse solve")
+            if handle.closed:
+                raise RuntimeError(f"session {handle.sid} is closed")
+            key = sparse_key(handle.sid, tuple(sorted(kwargs.items())),
+                             coalesce=self.policy.coalesce_sparse_rhs,
+                             serial=self._next_serial())
+            b = np.asarray(b)
+            return self._admit(Request(
+                "sparse-solve", key,
+                {"session": handle, "b": np.array(b, copy=True),
+                 "kwargs": kwargs}, deadline))
+        if not isinstance(handle, FactorHandle):
+            raise TypeError(f"expected FactorHandle or ServeSession, "
+                            f"got {type(handle).__name__}")
+        if kwargs:
+            raise TypeError(f"dense solve takes no keywords, "
+                            f"got {sorted(kwargs)}")
+        if handle.m != handle.n:
+            raise ValueError(
+                f"cannot solve from a rectangular factorization "
+                f"({handle.m}x{handle.n})")
+        if not handle.ok:
+            raise FactorizationError(
+                f"cannot solve from broken-down LU factors (info="
+                f"{handle.info}); re-factor with static_pivot=True")
+        b2, ndim = self._rhs_payload(b, handle.n, handle.dtype)
+        key = getrs_key(handle.n, handle.dtype)
+        return self._admit(Request("solve", key,
+                                   {"handle": handle, "b2": b2,
+                                    "ndim": ndim}, deadline))
+
+    def submit_factor_solve(self, a, b, *,
+                            deadline: float | None = None,
+                            **kwargs) -> ServiceFuture:
+        """Queue factor+solve as one request.  Dense resolves to
+        ``(x, FactorHandle)``; sparse to ``(x, SolveInfo)`` (one-shot:
+        the session is closed after the solve).  The factor step
+        coalesces with pending ``factor`` requests; the solve step
+        sub-batches by exact order within the dispatch."""
+        if sp.issparse(a):
+            self._check_kwargs(kwargs, _SPARSE_FACTOR_KWARGS |
+                               _SPARSE_SOLVE_KWARGS, "sparse factor_solve")
+            key = ("sparse-open", "solo", self._next_serial())
+            return self._admit(Request(
+                "sparse-factor-solve", key,
+                {"a": a.copy(), "b": np.array(np.asarray(b), copy=True),
+                 "kwargs": kwargs}, deadline))
+        self._check_kwargs(kwargs, _LU_KWARGS, "LU")
+        host, dtype = self._dense_payload(a, need_square=True)
+        b2, ndim = self._rhs_payload(b, host.shape[0], dtype)
+        key = getrf_key(host.shape[0], host.shape[1], dtype, kwargs,
+                        self.device.spec, self._next_serial())
+        return self._admit(Request("factor_solve", key,
+                                   {"a": host, "b2": b2, "ndim": ndim,
+                                    "lu_kwargs": kwargs}, deadline))
+
+    # -- sync convenience ----------------------------------------------
+    def _await(self, fut, timeout):
+        """Wait for ``fut``; on an unstarted service, drain the queue on
+        the calling thread first (there is no dispatcher to do it)."""
+        if self._thread is None:
+            self._drain_inline()
+        return fut.result(timeout)
+
+    def factor(self, a, *, timeout: float | None = None, **kwargs):
+        """Synchronous :meth:`submit_factor` (submit + wait)."""
+        return self._await(self.submit_factor(a, **kwargs), timeout)
+
+    def solve(self, handle, b, *, timeout: float | None = None, **kwargs):
+        """Synchronous :meth:`submit_solve`."""
+        return self._await(self.submit_solve(handle, b, **kwargs), timeout)
+
+    def factor_solve(self, a, b, *, timeout: float | None = None,
+                     **kwargs):
+        """Synchronous :meth:`submit_factor_solve`."""
+        return self._await(self.submit_factor_solve(a, b, **kwargs),
+                           timeout)
+
+    # ------------------------------------------------------------------
+    # dispatch (single dispatcher thread)
+    # ------------------------------------------------------------------
+    def _safe_dispatch(self, group: list[Request]) -> None:
+        """Dispatch one group; guarantee every member's future resolves."""
+        waits = [r.waited() for r in group]
+        t0 = time.perf_counter()
+        try:
+            kind = group[0].key[0]
+            if kind == "getrf":
+                record = self._dispatch_dense(group, self._run_getrf_group)
+            elif kind == "getrs":
+                record = self._dispatch_dense(group, self._run_getrs_group)
+            elif kind == "sparse-open":
+                record = self._dispatch_sparse_open(group)
+            else:
+                record = self._dispatch_sparse_solve(group)
+        except BaseException as exc:  # noqa: BLE001 - resolve, re-raise
+            elapsed = time.perf_counter() - t0
+            for r in group:
+                self._fail(r, RuntimeError(
+                    f"internal dispatch failure: {type(exc).__name__}: "
+                    f"{exc}"))
+                self.stats.on_done(False, elapsed)
+            raise
+        self.stats.on_dispatch(record, waits)
+        elapsed = time.perf_counter() - t0
+        for r in group:
+            if not r.future.done():
+                self._fail(r, RuntimeError(
+                    "dispatch completed without resolving this request"))
+            self.stats.on_done(r.future.exception() is None, elapsed)
+
+    @staticmethod
+    def _fail(req: Request, error: BaseException) -> None:
+        req.future._resolve(error=error)
+
+    def _dispatch_dense(self, group: list[Request], runner
+                        ) -> DispatchRecord:
+        """Retry-then-isolate ladder around one dense batch runner.
+
+        Launch faults fire *before* kernel numerics and every attempt
+        re-uploads from the pristine host payloads, so whole-batch
+        retries are bitwise-safe.  When retries are spent the group
+        degrades to per-request runs: only the requests whose own runs
+        keep faulting fail.
+        """
+        kind = group[0].key[0]
+        for attempt in range(self.policy.dispatch_retries + 1):
+            try:
+                launches, occupancy = runner(group)
+                return DispatchRecord(kind, len(group), launches,
+                                      occupancy, attempt, False)
+            except _SYSTEM_ERRORS:
+                continue
+        launches = 0
+        occs = []
+        for req in group:
+            done = False
+            for attempt in range(self.policy.dispatch_retries + 1):
+                try:
+                    solo_launches, occ = runner([req])
+                    launches += solo_launches
+                    occs.append(occ)
+                    done = True
+                    break
+                except _SYSTEM_ERRORS as exc:
+                    last = exc
+            if not done:
+                self._fail(req, last)
+        occupancy = sum(occs) / len(occs) if occs else 0.0
+        return DispatchRecord(kind, len(group), launches, occupancy,
+                              self.policy.dispatch_retries + 1, True)
+
+    # -- dense runners ---------------------------------------------------
+    def _run_getrf_group(self, group: list[Request]
+                         ) -> tuple[int, float]:
+        """One coalesced getrf (+ embedded getrs for factor_solve).
+
+        Resolves every member future on success.  On a device fault the
+        partial device state is freed and *no* future is touched — the
+        caller's ladder retries from the pristine host payloads.
+        """
+        device = self.device
+        lu_kwargs = dict(group[0].payload["lu_kwargs"])
+        dtype = np.dtype(group[0].key[1])
+        launch0 = device.profiler.launch_count
+        batch = IrrBatch.from_host_packed(device,
+                                   [r.payload["a"] for r in group],
+                                   dtype=dtype)
+        try:
+            occupancy = self._occupancy(batch)
+            pivots = irr_getrf(device, batch, engine=self._engine,
+                               **lu_kwargs)
+            # factor_solve members with clean factors: sub-batch the
+            # solve step by order class (bitwise getrs affinity: one
+            # shared base-case class at <= TRSM_BASE_NB, exact order
+            # above) and reuse the still-resident factored arrays — no
+            # re-upload.
+            by_order: dict[int, list[int]] = {}
+            for i, r in enumerate(group):
+                if r.kind == "factor_solve" and pivots.info[i] == 0:
+                    order = int(batch.m_vec[i])
+                    ocls = order if order > TRSM_BASE_NB else 0
+                    by_order.setdefault(ocls, []).append(i)
+            xs: dict[int, np.ndarray] = {}
+            pending: list[tuple[list[int], IrrBatch]] = []
+            try:
+                # issue every order class's solve before the single
+                # synchronize — one sync covers all sub-groups
+                for order in sorted(by_order):
+                    idxs = by_order[order]
+                    fsub = IrrBatch(device,
+                                    [batch.arrays[i] for i in idxs],
+                                    batch.m_vec[idxs], batch.n_vec[idxs])
+                    rhs = IrrBatch.from_host_packed(
+                        device, [group[i].payload["b2"] for i in idxs],
+                        dtype=dtype)
+                    pending.append((idxs, rhs))
+                    view = _PivotView([pivots.ipiv[i] for i in idxs],
+                                      pivots.info[idxs])
+                    irr_getrs(device, fsub, view, rhs,
+                              engine=self._engine)
+                device.synchronize()
+                for idxs, rhs in pending:
+                    sols = rhs.to_host()
+                    for j, i in enumerate(idxs):
+                        xs[i] = sols[j]
+            finally:
+                for _, rhs in pending:
+                    rhs.free()
+            lu_host = batch.to_host()
+        finally:
+            batch.free()
+        launches = device.profiler.launch_count - launch0
+
+        for i, req in enumerate(group):
+            handle = FactorHandle(
+                lu_host[i], pivots.ipiv[i].copy(),
+                int(pivots.info[i]), int(pivots.n_replaced[i]),
+                float(pivots.min_pivot[i]), float(pivots.growth[i]))
+            if handle.info != 0:
+                self._fail(req, FactorizationError(
+                    f"pivot breakdown at elimination step {handle.info} "
+                    f"(min |pivot| = {handle.min_pivot:.3e}); re-factor "
+                    f"with static_pivot=True or a looser pivot_tol"))
+            elif req.kind == "factor":
+                req.future._resolve(value=handle)
+            else:
+                x = xs[i]
+                if req.payload["ndim"] == 1:
+                    x = x[:, 0]
+                req.future._resolve(value=(x, handle))
+        return launches, occupancy
+
+    def _run_getrs_group(self, group: list[Request]
+                         ) -> tuple[int, float]:
+        """One coalesced getrs over same-order handles (re-uploaded)."""
+        device = self.device
+        dtype = np.dtype(group[0].key[1])
+        launch0 = device.profiler.launch_count
+        handles = [r.payload["handle"] for r in group]
+        factored = IrrBatch.from_host_packed(device,
+                                            [h.lu for h in handles],
+                                      dtype=dtype)
+        try:
+            rhs = IrrBatch.from_host_packed(device,
+                                     [r.payload["b2"] for r in group],
+                                     dtype=dtype)
+            try:
+                occupancy = self._occupancy(rhs)
+                view = _PivotView([h.ipiv for h in handles],
+                                  np.zeros(len(handles), dtype=np.int64))
+                irr_getrs(device, factored, view, rhs,
+                          engine=self._engine)
+                device.synchronize()
+                sols = rhs.to_host()
+            finally:
+                rhs.free()
+        finally:
+            factored.free()
+        launches = device.profiler.launch_count - launch0
+        for req, x in zip(group, sols):
+            if req.payload["ndim"] == 1:
+                x = x[:, 0]
+            req.future._resolve(value=x)
+        return launches, occupancy
+
+    @staticmethod
+    def _occupancy(batch: IrrBatch) -> float:
+        denom = len(batch) * batch.max_m * batch.max_n
+        return float(batch.total_elements()) / denom if denom else 1.0
+
+    # -- sparse runners --------------------------------------------------
+    def _open_session(self, a, kwargs: dict) -> ServeSession:
+        factor_kw = dict(kwargs)
+        backend = factor_kw.pop("backend", "batched")
+        ctor_kw = {k: factor_kw.pop(k) for k in ("use_mc64", "leaf_size")
+                   if k in factor_kw}
+        solver = SparseLU(a, **ctor_kw).analyze()
+        device = None if backend == "cpu" else self.device
+        solver.factor(backend=backend, device=device, **factor_kw)
+        return ServeSession(solver, self.device, self.arbiter)
+
+    def _dispatch_sparse_open(self, group: list[Request]
+                              ) -> DispatchRecord:
+        device = self.device
+        launch0 = device.profiler.launch_count
+        for req in group:     # singleton keys: len(group) == 1
+            try:
+                if req.kind == "sparse-factor":
+                    session = self._open_session(req.payload["a"],
+                                                 req.payload["kwargs"])
+                    req.future._resolve(value=session)
+                else:  # sparse-factor-solve: one-shot
+                    kw = dict(req.payload["kwargs"])
+                    solve_kw = {k: kw.pop(k) for k in
+                                _SPARSE_SOLVE_KWARGS if k in kw}
+                    session = self._open_session(req.payload["a"], kw)
+                    try:
+                        x, info = session.solve_on_device(
+                            req.payload["b"], **solve_kw)
+                    finally:
+                        session.close()
+                    req.future._resolve(value=(x, info))
+            except (*_SYSTEM_ERRORS, FactorizationError,
+                    ValueError) as exc:
+                self._fail(req, exc)
+        device.synchronize()
+        return DispatchRecord("sparse-open", len(group),
+                              device.profiler.launch_count - launch0,
+                              1.0, 0, False)
+
+    def _dispatch_sparse_solve(self, group: list[Request]
+                               ) -> DispatchRecord:
+        """Sparse solves: per-request by default; same-session RHS
+        stacking when the policy opts in (rounding-level identity)."""
+        device = self.device
+        launch0 = device.profiler.launch_count
+        session = group[0].payload["session"]
+        kwargs = dict(group[0].payload["kwargs"])
+        if len(group) == 1 or not self.policy.coalesce_sparse_rhs:
+            for req in group:
+                try:
+                    x, info = req.payload["session"].solve_on_device(
+                        req.payload["b"], **req.payload["kwargs"])
+                    req.future._resolve(value=(x, info))
+                except (*_SYSTEM_ERRORS, FactorizationError,
+                        RuntimeError) as exc:
+                    self._fail(req, exc)
+        else:
+            cols = []
+            spans = []
+            for req in group:
+                b = req.payload["b"]
+                b2 = b if b.ndim == 2 else b[:, None]
+                spans.append((len(cols), len(cols) + b2.shape[1],
+                              b.ndim))
+                cols.extend(b2.T)
+            stacked = np.array(cols).T
+            try:
+                x, info = session.solve_on_device(stacked, **kwargs)
+                for req, (lo, hi, ndim) in zip(group, spans):
+                    xi = x[:, lo:hi]
+                    req.future._resolve(
+                        value=(xi[:, 0] if ndim == 1 else xi, info))
+            except (*_SYSTEM_ERRORS, FactorizationError,
+                    RuntimeError) as exc:
+                for req in group:
+                    self._fail(req, exc)
+        device.synchronize()
+        return DispatchRecord("sparse-solve", len(group),
+                              device.profiler.launch_count - launch0,
+                              1.0, 0, False)

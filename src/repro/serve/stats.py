@@ -1,0 +1,207 @@
+"""Service observability: latency histograms, dispatch records, counters.
+
+Everything here is updated from two kinds of threads — submitters (admission
+counters) and the dispatcher (dispatch records, latencies) — so every
+mutator takes the stats lock.  Reads return snapshots; nothing hands out
+internal mutable state.
+
+The numbers the acceptance tests key on:
+
+* *coalescing ratio* — requests dispatched per batched dispatch.  A ratio
+  of ``k`` means ``k`` requests shared one launch group; 1.0 means the
+  service degenerated to one-request-per-launch.
+* *batch occupancy* — ``Σ mᵢ·nᵢ / (batch · m_req · n_req)``: how full the
+  irregular batch was relative to the uniform batch the vendor interface
+  would have padded to.  This is the paper's irregularity measure applied
+  to the admission mix.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyHistogram", "DispatchRecord", "ServiceStats"]
+
+
+class LatencyHistogram:
+    """Log-bucketed latency accumulator (1 µs … ~17 min, ×4 per bin).
+
+    Cheap enough to update under the stats lock on every request, precise
+    enough for the "is wait time exploding" question a service dashboard
+    answers.  Quantiles are bin-resolution estimates (upper bin edge).
+    """
+
+    BASE = 1e-6          # smallest resolvable latency: 1 µs
+    FACTOR = 4.0         # geometric bin width
+    NBINS = 16           # last edge = 1e-6 * 4**15 ≈ 1074 s
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.NBINS
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        if seconds <= 0.0:
+            b = 0
+        else:
+            b = int(math.log(seconds / self.BASE, self.FACTOR)) + 1 \
+                if seconds > self.BASE else 0
+            b = min(max(b, 0), self.NBINS - 1)
+        self.counts[b] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q`` quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for b, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.BASE * self.FACTOR ** b
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {"count": self.count, "mean": self.mean, "max": self.max,
+                "p50": self.quantile(0.5), "p95": self.quantile(0.95)}
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One batched dispatch as the scheduler executed it.
+
+    ``launches`` is the device launch-count delta of the whole dispatch —
+    for a coalesced group of N compatible requests it must match the
+    launch count of a *single* request through the same kernel path (the
+    paper's batch-size-independent launch structure), which is exactly
+    what the acceptance test checks.
+    """
+
+    kind: str           #: "getrf" | "getrs" | "sparse-open" | "sparse-solve"
+    batch_size: int     #: requests fused into this dispatch
+    launches: int       #: device launch-count delta
+    occupancy: float    #: Σ mᵢ·nᵢ / (batch · m_req · n_req); 1.0 = uniform
+    retries: int        #: whole-batch retries consumed before success
+    isolated: bool      #: True when the group fell back to per-request runs
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated service counters; every mutator is thread-safe."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0          #: futures resolved with an exception
+    rejected: int = 0        #: ServiceOverloaded at admission
+    expired: int = 0         #: DeadlineExceeded before dispatch
+    cancelled: int = 0
+    queue_depth: int = 0
+    queue_peak: int = 0
+    rebudgets: int = 0       #: sparse memory-arbiter budget recomputations
+    wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    exec: LatencyHistogram = field(default_factory=LatencyHistogram)
+    dispatches: list = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    # -- admission -----------------------------------------------------
+    def on_submit(self, depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth = depth
+            if depth > self.queue_peak:
+                self.queue_peak = depth
+
+    def on_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def on_expire(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def on_cancel(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    def on_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+
+    # -- dispatch ------------------------------------------------------
+    def on_dispatch(self, record: DispatchRecord,
+                    waits: list[float]) -> None:
+        with self._lock:
+            self.dispatches.append(record)
+            for w in waits:
+                self.wait.record(w)
+
+    def on_done(self, ok: bool, exec_seconds: float) -> None:
+        with self._lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+            self.exec.record(exec_seconds)
+
+    def on_rebudget(self) -> None:
+        with self._lock:
+            self.rebudgets += 1
+
+    # -- derived -------------------------------------------------------
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean requests per batched dispatch (1.0 = no coalescing)."""
+        with self._lock:
+            if not self.dispatches:
+                return 0.0
+            return sum(d.batch_size for d in self.dispatches) / \
+                len(self.dispatches)
+
+    @property
+    def mean_occupancy(self) -> float:
+        with self._lock:
+            if not self.dispatches:
+                return 0.0
+            return sum(d.occupancy for d in self.dispatches) / \
+                len(self.dispatches)
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (safe to serialize)."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "cancelled": self.cancelled,
+                "queue_depth": self.queue_depth,
+                "queue_peak": self.queue_peak,
+                "rebudgets": self.rebudgets,
+                "dispatches": len(self.dispatches),
+                "coalesced_requests": sum(d.batch_size
+                                          for d in self.dispatches),
+                "coalescing_ratio": (
+                    sum(d.batch_size for d in self.dispatches) /
+                    len(self.dispatches) if self.dispatches else 0.0),
+                "mean_occupancy": (
+                    sum(d.occupancy for d in self.dispatches) /
+                    len(self.dispatches) if self.dispatches else 0.0),
+                "wait": self.wait.snapshot(),
+                "exec": self.exec.snapshot(),
+            }

@@ -45,6 +45,8 @@ per-front reference in :mod:`repro.sparse.numeric.gpu_solve`:
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -290,6 +292,17 @@ class DeviceFactorCache:
     so nothing is lost) and the upload retried; each eviction is
     recorded as a ``cache-evict`` in ``device.recovery_log``.  Evicted
     levels drop back to streaming for later acquires.
+
+    Ownership: the cache is a *shared* resource — one
+    :class:`~repro.sparse.solver.SparseLU` handle may be solved from
+    several threads (a serving layer multiplexes many sessions onto one
+    device).  Every mutating entry point (:meth:`acquire`,
+    :meth:`evict_lru`, :meth:`free`) takes the cache's re-entrant lock,
+    and a whole solve brackets itself with :meth:`exclusive` so a
+    concurrent solve on the same handle cannot interleave its uploads
+    with this solve's evictions (the interleaving that used to corrupt
+    residency bookkeeping).  The lock serializes solves per handle;
+    distinct handles (distinct caches) proceed independently.
     """
 
     def __init__(self, device: Device, factors: MultifrontalFactors,
@@ -307,7 +320,18 @@ class DeviceFactorCache:
         self._resident: dict[int, LevelFactorBlocks] = {}
         self._tick = 0
         self._last_use: dict[int, int] = {}
+        self._lock = threading.RLock()
         self._resident_set = self._choose_resident()
+
+    @contextmanager
+    def exclusive(self):
+        """Hold the cache for one logical operation (e.g. a full solve).
+
+        Re-entrant: the per-call locking inside :meth:`acquire` /
+        :meth:`evict_lru` / :meth:`free` nests freely under it.
+        """
+        with self._lock:
+            yield self
 
     # ------------------------------------------------------------------
     def _choose_resident(self) -> set[int]:
@@ -333,14 +357,15 @@ class DeviceFactorCache:
         later acquires stream it.  Returns ``None`` when nothing is
         uploaded to evict.
         """
-        candidates = [li for li in self._resident if li != exclude]
-        if not candidates:
-            return None
-        li = min(candidates, key=lambda li: self._last_use.get(li, -1))
-        self._resident.pop(li).free()
-        self._resident_set.discard(li)
-        self._last_use.pop(li, None)
-        self.evictions += 1
+        with self._lock:
+            candidates = [li for li in self._resident if li != exclude]
+            if not candidates:
+                return None
+            li = min(candidates, key=lambda li: self._last_use.get(li, -1))
+            self._resident.pop(li).free()
+            self._resident_set.discard(li)
+            self._last_use.pop(li, None)
+            self.evictions += 1
         self.device.recovery_log.record(
             "cache-evict", site="DeviceFactorCache",
             detail=f"level {li} "
@@ -431,19 +456,21 @@ class DeviceFactorCache:
         """
         if part not in ("fwd", "bwd"):
             raise ValueError(f"invalid part {part!r}")
-        while True:
-            try:
-                return self._acquire_once(li, part)
-            except DeviceOutOfMemory:
-                if self.evict_lru(exclude=li) is None:
-                    raise
+        with self._lock:
+            while True:
+                try:
+                    return self._acquire_once(li, part)
+                except DeviceOutOfMemory:
+                    if self.evict_lru(exclude=li) is None:
+                        raise
 
     def free(self) -> None:
         """Release all resident device memory (the cache stays usable)."""
-        for blocks in self._resident.values():
-            blocks.free()
-        self._resident.clear()
-        self._last_use.clear()
+        with self._lock:
+            for blocks in self._resident.values():
+                blocks.free()
+            self._resident.clear()
+            self._last_use.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"DeviceFactorCache(levels={len(self.plan.levels)}, "

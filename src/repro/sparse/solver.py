@@ -23,6 +23,8 @@ Example
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -103,6 +105,13 @@ class SparseLU:
         self.factor_result: GpuFactorResult | None = None
         self.factor_report: FactorReport | None = None
         self._solve_state: tuple | None = None
+        # Serializes device solves on this handle: two concurrent
+        # solve() calls share one SolvePlan/DeviceFactorCache, and an
+        # unsynchronized pair could interleave one call's cache eviction
+        # with the other's upload (or free the cache out from under a
+        # running sweep when budgets differ).  Host-only solves are
+        # read-only and do not take the lock.
+        self._solve_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # phase 1
@@ -150,10 +159,13 @@ class SparseLU:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {_BACKENDS}")
         # Invalidate eagerly: a failed re-factorization must not leave a
-        # stale plan/cache (or stale factors) serving solves.
-        if self._solve_state is not None:
-            self._solve_state[3].free()
-            self._solve_state = None
+        # stale plan/cache (or stale factors) serving solves.  Taken
+        # under the solve lock so a concurrent device solve finishes its
+        # sweep before the cache is freed out from under it.
+        with self._solve_lock:
+            if self._solve_state is not None:
+                self._solve_state[3].free()
+                self._solve_state = None
         self._factored = False
         self.factor_report = None
         try:
@@ -306,70 +318,78 @@ class SparseLU:
         perturbed = report is not None and report.total_replaced > 0
         b = np.asarray(b)
         b = b.astype(np.result_type(self.a.dtype, b.dtype), copy=False)
-        plan = cache = None
-        eng = resolve_engine(engine)
-        mark = device.recovery_log.mark() if device is not None else 0
-        if device is not None and eng is not None:
-            plan, cache = self._device_solve_state(device, memory_budget,
-                                                   eng)
-        # The device is dropped for the rest of this call (all remaining
-        # substitution passes included) the first time its recovery
-        # options run dry — the host path is the ladder's last rung.
-        state = {"device": device}
+        # Device solves serialize on the handle (see ``_solve_lock``):
+        # the shared plan / factor cache admit one logical solve at a
+        # time, so a concurrent solve cannot interleave its cache
+        # eviction with this one's upload.  Host-only solves are
+        # read-only over the factors and run lock-free.
+        with self._solve_lock if device is not None else nullcontext():
+            plan = cache = None
+            eng = resolve_engine(engine)
+            mark = device.recovery_log.mark() if device is not None else 0
+            if device is not None and eng is not None:
+                plan, cache = self._device_solve_state(device,
+                                                       memory_budget, eng)
+            # The device is dropped for the rest of this call (all
+            # remaining substitution passes included) the first time its
+            # recovery options run dry — the host path is the ladder's
+            # last rung.
+            state = {"device": device}
 
-        def substitute(rhs):
-            dev = state["device"]
-            if dev is not None:
-                try:
-                    y = self._solve_once(rhs, dev, engine=engine,
-                                         rhs_block=rhs_block, plan=plan,
-                                         cache=cache)
-                except (ResourceExhausted, DeviceOutOfMemory,
-                        TransferError, KernelLaunchError) as exc:
-                    state["device"] = None
-                    dev.recovery_log.record(
-                        "host-fallback", site="SparseLU.solve",
-                        detail=f"{type(exc).__name__}: {exc}")
+            def substitute(rhs):
+                dev = state["device"]
+                if dev is not None:
+                    try:
+                        y = self._solve_once(rhs, dev, engine=engine,
+                                             rhs_block=rhs_block, plan=plan,
+                                             cache=cache)
+                    except (ResourceExhausted, DeviceOutOfMemory,
+                            TransferError, KernelLaunchError) as exc:
+                        state["device"] = None
+                        dev.recovery_log.record(
+                            "host-fallback", site="SparseLU.solve",
+                            detail=f"{type(exc).__name__}: {exc}")
+                        y = self._solve_once(rhs, None, engine=engine,
+                                             rhs_block=rhs_block)
+                else:
                     y = self._solve_once(rhs, None, engine=engine,
                                          rhs_block=rhs_block)
-            else:
-                y = self._solve_once(rhs, None, engine=engine,
-                                     rhs_block=rhs_block)
-            if not np.all(np.isfinite(y)):
-                raise FactorizationError(
-                    "substitution produced non-finite values — the "
-                    "factors are numerically unusable; re-factor with "
-                    "static_pivot=True (or MC64 scaling)", report)
-            return y
+                if not np.all(np.isfinite(y)):
+                    raise FactorizationError(
+                        "substitution produced non-finite values — the "
+                        "factors are numerically unusable; re-factor with "
+                        "static_pivot=True (or MC64 scaling)", report)
+                return y
 
-        x = substitute(b)
-        info = SolveInfo(report=report)
-        norm_b = float(np.linalg.norm(b))
-        denom = norm_b if norm_b else 1.0
+            x = substitute(b)
+            info = SolveInfo(report=report)
+            norm_b = float(np.linalg.norm(b))
+            denom = norm_b if norm_b else 1.0
 
-        def resid(xv):
-            return float(np.linalg.norm(b - self.a @ xv) / denom)
+            def resid(xv):
+                return float(np.linalg.norm(b - self.a @ xv) / denom)
 
-        info.residuals.append(resid(x))
-        max_steps = max(refine_steps, ESCALATED_REFINE_STEPS) \
-            if perturbed else refine_steps
-        for step in range(max_steps):
-            if step >= refine_steps and \
-                    info.residuals[-1] <= REFINE_TARGET:
-                break
-            if step >= refine_steps:
-                info.escalated = True
-            r = b - self.a @ x
-            x = x + substitute(r)
             info.residuals.append(resid(x))
-        if perturbed and info.residuals[-1] > REFINE_TARGET:
-            raise FactorizationError(
-                f"iterative refinement stagnated at backward error "
-                f"{info.residuals[-1]:.3e} (target {REFINE_TARGET:g}) "
-                f"after {len(info.residuals) - 1} step(s) on a "
-                f"factorization with {report.total_replaced} statically "
-                f"replaced pivot(s) — the matrix is singular or too "
-                f"ill-conditioned for static-pivot recovery", report)
-        if device is not None:
-            info.recovery = device.recovery_log.since(mark)
-        return x, info
+            max_steps = max(refine_steps, ESCALATED_REFINE_STEPS) \
+                if perturbed else refine_steps
+            for step in range(max_steps):
+                if step >= refine_steps and \
+                        info.residuals[-1] <= REFINE_TARGET:
+                    break
+                if step >= refine_steps:
+                    info.escalated = True
+                r = b - self.a @ x
+                x = x + substitute(r)
+                info.residuals.append(resid(x))
+            if perturbed and info.residuals[-1] > REFINE_TARGET:
+                raise FactorizationError(
+                    f"iterative refinement stagnated at backward error "
+                    f"{info.residuals[-1]:.3e} (target {REFINE_TARGET:g}) "
+                    f"after {len(info.residuals) - 1} step(s) on a "
+                    f"factorization with {report.total_replaced} "
+                    f"statically replaced pivot(s) — the matrix is "
+                    f"singular or too ill-conditioned for static-pivot "
+                    f"recovery", report)
+            if device is not None:
+                info.recovery = device.recovery_log.since(mark)
+            return x, info

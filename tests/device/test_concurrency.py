@@ -1,0 +1,178 @@
+"""Thread-safety of device memory accounting and the recovery log.
+
+Concurrent service workers share one :class:`Device` (allocations,
+frees) and one device-owned :class:`RecoveryLog` (resilience events).
+Before the serving layer these counters were mutated without locks; a
+lost update would either leak simulated memory forever or, worse, let
+two workers over-commit the device past its capacity.  These tests
+hammer the shared structures from many threads and assert the
+accounting stays exact.
+"""
+
+import dataclasses
+import threading
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device, DeviceOutOfMemory
+from repro.recovery import RecoveryLog
+
+pytestmark = pytest.mark.serve
+
+N_THREADS = 8
+N_ITERS = 150
+
+
+def _run_threads(fn, n=N_THREADS):
+    """Start n threads on fn(tid), propagate the first worker exception."""
+    errors = []
+
+    def wrap(tid):
+        try:
+            fn(tid)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(t,))
+               for t in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestMemoryAccountingConcurrency:
+    def test_alloc_free_storm_returns_to_baseline(self):
+        dev = Device(A100())
+        baseline = dev.allocated_bytes
+
+        def worker(tid):
+            rng = np.random.default_rng(1000 + tid)
+            for _ in range(N_ITERS):
+                n = int(rng.integers(1, 64))
+                arr = dev.empty((n, n))
+                assert arr.nbytes_owned == n * n * 8
+                arr.free()
+
+        _run_threads(worker)
+        assert dev.allocated_bytes == baseline
+        assert dev.peak_allocated_bytes <= dev.spec.memory_capacity
+
+    def test_capacity_is_never_overcommitted(self):
+        # A tiny device: threads loop claim/release of just over a
+        # quarter of the capacity, so at most three claims may legally
+        # coexist.  An unsynchronized check-then-claim would let racing
+        # threads pass the capacity test together and over-commit —
+        # which the (locked) peak counter would record.
+        small = dataclasses.replace(A100(), memory_capacity=1 << 20)
+        dev = Device(small)
+        chunk = small.memory_capacity // 4 + 1
+
+        def worker(tid):
+            for _ in range(N_ITERS):
+                try:
+                    dev._claim(chunk, site="stress")
+                except DeviceOutOfMemory:
+                    continue
+                assert dev.allocated_bytes <= small.memory_capacity
+                dev._release(chunk)
+
+        _run_threads(worker)
+        assert dev.allocated_bytes == 0
+        assert dev.peak_allocated_bytes <= small.memory_capacity
+
+    def test_held_claim_rejects_every_contender(self):
+        # Main holds half+1 bytes; no worker claim of half+1 can ever
+        # succeed, whatever the interleaving — the capacity check and
+        # the increment are atomic.
+        small = dataclasses.replace(A100(), memory_capacity=1 << 20)
+        dev = Device(small)
+        half = small.memory_capacity // 2 + 1
+        dev._claim(half, site="holder")
+
+        def worker(tid):
+            for _ in range(N_ITERS):
+                try:
+                    dev._claim(half, site="stress")
+                except DeviceOutOfMemory:
+                    continue
+                raise AssertionError("over-committed past capacity")
+
+        _run_threads(worker)
+        assert dev.allocated_bytes == half
+        dev._release(half)
+        assert dev.allocated_bytes == 0
+
+    def test_racing_free_releases_exactly_once(self):
+        dev = Device(A100())
+        for _ in range(50):
+            arr = dev.empty((32, 32))
+            before = dev.allocated_bytes
+            barrier = threading.Barrier(N_THREADS)
+
+            def worker(tid, arr=arr, barrier=barrier):
+                barrier.wait()
+                arr.free()    # must not raise "double release"
+
+            _run_threads(worker)
+            assert dev.allocated_bytes == before - 32 * 32 * 8
+
+    def test_view_free_is_noop_under_concurrency(self):
+        dev = Device(A100())
+        arr = dev.empty((64, 64))
+        views = [arr[0:8, 0:8] for _ in range(N_THREADS)]
+
+        def worker(tid):
+            for _ in range(N_ITERS):
+                views[tid].free()
+
+        _run_threads(worker)
+        assert dev.allocated_bytes == arr.nbytes_owned
+        arr.free()
+        assert dev.allocated_bytes == 0
+
+
+class TestRecoveryLogConcurrency:
+    def test_concurrent_records_are_all_kept(self):
+        log = RecoveryLog()
+
+        def worker(tid):
+            for i in range(N_ITERS):
+                log.record("transfer-retry", site=f"w{tid}", attempt=i + 1)
+
+        _run_threads(worker)
+        assert len(log) == N_THREADS * N_ITERS
+        counts = log.counts()
+        assert counts == {"transfer-retry": N_THREADS * N_ITERS}
+        # every worker's events survived, in a per-worker total of N_ITERS
+        for tid in range(N_THREADS):
+            assert sum(1 for ev in log if ev.site == f"w{tid}") == N_ITERS
+
+    def test_mark_since_is_consistent_under_writers(self):
+        log = RecoveryLog()
+        stop = threading.Event()
+
+        def writer(tid):
+            while not stop.is_set():
+                log.record("cache-evict", site=f"bg{tid}")
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(100):
+                mark = log.mark()
+                log.record("host-fallback", site="me")
+                sl = log.since(mark)
+                # my event is visible in my slice; the slice is a
+                # consistent snapshot (no partial events, no crash).
+                assert any(ev.action == "host-fallback" and ev.site == "me"
+                           for ev in sl)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()

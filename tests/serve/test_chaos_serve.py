@@ -1,0 +1,202 @@
+"""Chaos suite for the serving layer (``-m "chaos and serve"``).
+
+The service contract under injected faults mirrors the pipeline-level
+chaos contract, sharpened to *per-request* granularity:
+
+- every submitted future resolves — with a result or a typed error
+  (never a hang, never an untyped exception);
+- a request that resolves successfully is **bitwise identical** to the
+  same request run sequentially on a fault-free device (launch faults
+  fire before numerics and transfer corruption is checksum-repaired, so
+  survival implies exactness);
+- a fault pinned to one kernel family fails only the requests that use
+  that kernel — their batch neighbours and other request kinds are
+  untouched; and
+- device memory accounting returns to baseline, success or failure.
+
+Schedules are pure functions of ``(seed, rules)``: a failing seed
+reproduces exactly.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device, FaultPlan, FaultRule
+from repro.device.faults import PERSISTENT
+from repro.errors import (KernelLaunchError, ResourceExhausted,
+                          TransferError)
+from repro.serve import CoalescingPolicy, SolverService
+
+pytestmark = [pytest.mark.chaos, pytest.mark.serve,
+              pytest.mark.filterwarnings("error::RuntimeWarning")]
+
+TYPED_FAILURES = (TransferError, ResourceExhausted, KernelLaunchError)
+SEEDS = [3, 17, 101, 2024]
+SIZES = [8, 20, 12, 8, 24, 16, 12, 5]
+
+
+def storm(seed, p=0.02):
+    """A transient-fault storm: every fault site misbehaves sometimes."""
+    return FaultPlan([FaultRule("alloc", probability=p),
+                      FaultRule("h2d", probability=p),
+                      FaultRule("d2h", probability=p),
+                      FaultRule("launch", probability=p),
+                      FaultRule("stall", probability=p, stall=1e-4)],
+                     seed=seed)
+
+
+def dense(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a += n * np.eye(n)
+    return a
+
+
+def traffic():
+    mats = [dense(n, seed=i) for i, n in enumerate(SIZES)]
+    rhss = [np.random.default_rng(100 + i).standard_normal(n)
+            for i, n in enumerate(SIZES)]
+    return mats, rhss
+
+
+def fault_free_reference(mats, rhss):
+    """Each request solo through the identical service code path."""
+    svc = SolverService(Device(A100()),
+                        policy=CoalescingPolicy(max_batch=1),
+                        start=False)
+    futs = [svc.submit_factor_solve(a, b) for a, b in zip(mats, rhss)]
+    svc.run_once()
+    out = [f.result(0) for f in futs]
+    svc.close()
+    return out
+
+
+class TestServeStorm:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_inline_storm_isolates_per_request(self, seed):
+        mats, rhss = traffic()
+        ref = fault_free_reference(mats, rhss)
+
+        dev = Device(A100())
+        svc = SolverService(dev, policy=CoalescingPolicy(max_batch=4),
+                            start=False)
+        futs = [svc.submit_factor_solve(a, b)
+                for a, b in zip(mats, rhss)]
+        with dev.fault_scope(storm(seed)):
+            svc.run_once()
+        for fut, (x_ref, h_ref) in zip(futs, ref):
+            err = fut.exception(0)
+            if err is not None:
+                assert isinstance(err, TYPED_FAILURES)
+                continue
+            x, h = fut.result(0)
+            assert np.array_equal(x, x_ref)
+            assert np.array_equal(h.lu, h_ref.lu)
+        svc.close()
+        assert dev.allocated_bytes == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_live_concurrent_storm(self, seed):
+        mats, rhss = traffic()
+        ref = fault_free_reference(mats, rhss)
+
+        dev = Device(A100())
+        svc = SolverService(dev, policy=CoalescingPolicy(max_batch=8,
+                                                         max_wait=5e-3))
+        results = {}
+        lock = threading.Lock()
+
+        def client(i):
+            fut = svc.submit_factor_solve(mats[i], rhss[i])
+            try:
+                got = fut.result(30.0)
+            except TYPED_FAILURES as exc:
+                got = exc
+            with lock:
+                results[i] = got
+
+        with dev.fault_scope(storm(seed)):
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(len(mats))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        svc.close()
+
+        assert sorted(results) == list(range(len(mats)))
+        for i, (x_ref, h_ref) in enumerate(ref):
+            got = results[i]
+            if isinstance(got, TYPED_FAILURES):
+                continue                      # typed failure: in contract
+            x, h = got
+            assert np.array_equal(x, x_ref)
+            assert np.array_equal(h.lu, h_ref.lu)
+        snap = svc.stats.snapshot()
+        assert snap["completed"] + snap["failed"] == len(mats)
+        assert dev.allocated_bytes == 0
+
+
+class TestFaultKindIsolation:
+    def test_persistent_solve_fault_spares_factors(self):
+        """A launch fault pinned to the ``irrgetrs`` kernel kills solve
+        requests with a typed error while factor requests — dispatched
+        through different kernels on the same device — keep succeeding
+        bitwise."""
+        mats, _ = traffic()
+        ref = fault_free_reference(mats, [np.zeros(n) for n in SIZES])
+
+        dev = Device(A100())
+        svc = SolverService(dev, policy=CoalescingPolicy(max_batch=8),
+                            start=False)
+        handles = [svc.submit_factor(a) for a in mats[:3]]
+        svc.run_once()
+        handles = [f.result(0) for f in handles]
+
+        plan = FaultPlan([FaultRule("launch", at=0, times=PERSISTENT,
+                                    match="irrgetrs")], seed=0)
+        with dev.fault_scope(plan):
+            solves = [svc.submit_solve(h, np.ones(h.n))
+                      for h in handles]
+            factors = [svc.submit_factor(a) for a in mats[3:]]
+            svc.run_once()
+
+        for fut in solves:
+            assert isinstance(fut.exception(0), KernelLaunchError)
+        for fut, a, (_, h_ref) in zip(factors, mats[3:], ref[3:]):
+            h = fut.result(0)
+            assert np.array_equal(h.lu, h_ref.lu)
+        # the poisoned kernel family left no residue: the same solves
+        # succeed once the scope lifts
+        x = svc.solve(handles[0], np.ones(handles[0].n))
+        assert np.all(np.isfinite(x))
+        svc.close()
+        assert dev.allocated_bytes == 0
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_transient_faults_recover_invisibly(self, seed):
+        """A handful of positional transient faults (one retry each) are
+        absorbed by the dispatch ladder: every request succeeds and the
+        results are bitwise identical to the fault-free reference."""
+        mats, rhss = traffic()
+        ref = fault_free_reference(mats, rhss)
+
+        dev = Device(A100())
+        svc = SolverService(dev, policy=CoalescingPolicy(max_batch=4),
+                            start=False)
+        plan = FaultPlan([FaultRule("launch", at=1),
+                          FaultRule("h2d", at=2),
+                          FaultRule("d2h", at=0)], seed=seed)
+        futs = [svc.submit_factor_solve(a, b)
+                for a, b in zip(mats, rhss)]
+        with dev.fault_scope(plan):
+            svc.run_once()
+        for fut, (x_ref, h_ref) in zip(futs, ref):
+            x, h = fut.result(0)
+            assert np.array_equal(x, x_ref)
+            assert np.array_equal(h.lu, h_ref.lu)
+        assert svc.stats.snapshot()["failed"] == 0
+        svc.close()
+        assert dev.allocated_bytes == 0

@@ -1,0 +1,63 @@
+"""Compiled factor+solve replay on the Maxwell mesh.
+
+A time-stepping or parameter-sweep loop re-factors the same sparsity
+structure with new values on every step.  ``engine="compiled"`` pays
+the planning cost (DCWI inference, bucketing, permutation rehearsal,
+buffer allocation) exactly once: the first ``factor`` compiles the
+multifrontal level schedule into a ``FactorProgram``, and every
+``update_values`` + ``factor`` after that replays it — no re-planning,
+no new device allocations, bitwise-identical results.
+
+Run:  python examples/compiled_pipeline.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.device import A100, Device
+from repro.sparse import SparseLU
+from repro.workloads import build_maxwell_workload
+
+# --- build the Maxwell system (Ω = 16, the paper's parameters) -----------
+wl = build_maxwell_workload(6, leaf_size=16)
+A, b = wl.matrix, wl.rhs
+print(f"system: {A.shape[0]} dofs, {A.nnz} nonzeros, "
+      f"{len(wl.symb.fronts)} fronts\n")
+
+device = Device(A100())
+solver = SparseLU(A, use_mc64=False)   # MC64 is value-dependent: off
+
+# --- first factor: compiles the level schedule ---------------------------
+t0 = time.perf_counter()
+solver.factor(backend="batched", device=device, engine="compiled")
+compile_s = time.perf_counter() - t0
+prog = solver._factor_program
+print(f"compile + first factor: {compile_s * 1e3:8.1f} ms "
+      f"({len(prog._steps)} recorded steps)")
+
+x, info = solver.solve(b, device=device)
+print(f"initial solve residual: {info.final_residual:.3e}\n")
+
+# --- sweep: new values, same structure -> pure replay --------------------
+rng = np.random.default_rng(0)
+for step in range(1, 6):
+    a_step = A.copy()
+    a_step.data = A.data * (1.0 + 0.01 * step
+                            * rng.standard_normal(A.data.shape))
+    solver.update_values(a_step)
+
+    alloc0 = device.alloc_count
+    t0 = time.perf_counter()
+    solver.factor(backend="batched", device=device, engine="compiled")
+    replay_s = time.perf_counter() - t0
+    assert device.alloc_count == alloc0, "replay must not allocate"
+
+    x, info = solver.solve(b, device=device)
+    assert solver.factor_result.counters.get("compiled_replay") == 1
+    print(f"step {step}: replay {replay_s * 1e3:8.1f} ms "
+          f"(x{compile_s / replay_s:5.1f} vs compile), "
+          f"residual {info.final_residual:.3e}")
+
+print(f"\n{prog.runs} replays, zero new device allocations per replay — "
+      "the schedule was planned once and replayed.")

@@ -25,12 +25,14 @@ from .getrf import DEFAULT_PANEL_WIDTH, irr_getrf, lu_reconstruct, \
     lu_solve_factored
 from .getrs import irr_getrs
 from .interface import IrrBatch, Offsets
-from .interleaved import INTERLEAVED_MAX_N, deinterleave, interleave, \
-    interleaved_getrf
+from .interleaved import INTERLEAVED_MAX_N, InterleaveError, deinterleave, \
+    interleave, interleaved_getrf
 from .laswp import irr_laswp, looped_laswp, rehearsed_laswp
 from .panel import PanelPivots, columnwise_getf2, factor_panel_block, \
     fused_getf2, panel_shared_bytes
 from .potrf import NotPositiveDefiniteError, irr_potrf, potrf_flops
+from .program import CompileError, GuardTripped, PayloadMismatch, \
+    ProgramResult, WorkloadProgram, compile_workload, fuse_costs
 from .qr import DEFAULT_QR_PANEL, QrTaus, apply_q, geqrf_flops, irr_geqrf, \
     qr_least_squares, qr_reconstruct
 from .streamed import streamed_getrf
@@ -56,6 +58,9 @@ __all__ = [
     "qr_least_squares", "geqrf_flops", "DEFAULT_QR_PANEL",
     "autotune_getrf", "TuningResult", "size_distribution_summary",
     "interleave", "deinterleave", "interleaved_getrf", "INTERLEAVED_MAX_N",
+    "InterleaveError",
     "irr_getrs", "irr_potrf", "potrf_flops", "NotPositiveDefiniteError",
     "gemm_vbatched", "trsm_vbatched", "getrf_vbatched",
+    "compile_workload", "WorkloadProgram", "ProgramResult", "fuse_costs",
+    "CompileError", "GuardTripped", "PayloadMismatch",
 ]

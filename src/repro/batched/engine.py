@@ -47,6 +47,8 @@ Bitwise-identity contract
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..device.kernel import KernelCost, gemm_compute_ramp
@@ -101,29 +103,58 @@ class PlanCache:
     :class:`BatchEngine`.  ``hits``/``misses`` expose the reuse rate (a
     blocked factorization should miss once per distinct offset signature
     and hit every later panel iteration).
+
+    The cache is bounded: with ``capacity=k`` it keeps the ``k`` most
+    recently used plans and evicts least-recently-used entries beyond
+    that (``evictions`` counts them), so a long-lived service facing
+    unbounded shape diversity cannot grow plans without limit.
+    ``capacity=None`` disables the bound.  All operations are
+    thread-safe; concurrent ``get_or_build`` calls for the same key may
+    both build, but they return equal plans (builds are pure functions
+    of the key) and the counters stay coherent.
     """
 
-    def __init__(self) -> None:
-        self._plans: dict = {}
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, "
+                             f"got {capacity}")
+        from collections import OrderedDict
+        self.capacity = capacity
+        self._plans: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def get_or_build(self, key, build):
-        plan = self._plans.get(key)
-        if plan is None:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
             self.misses += 1
-            plan = build()
+        # Build outside the lock: plans are pure functions of the key,
+        # so a racing duplicate build is wasted work, never wrong.
+        plan = build()
+        with self._lock:
             self._plans[key] = plan
-        else:
-            self.hits += 1
+            self._plans.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._plans) > self.capacity:
+                    self._plans.popitem(last=False)
+                    self.evictions += 1
         return plan
 
 
@@ -131,16 +162,20 @@ def resolve_engine(engine) -> "BatchEngine | None":
     """Normalize an ``engine=`` argument to a :class:`BatchEngine` or None.
 
     ``None`` / ``"naive"`` → None (per-matrix reference path);
-    ``"bucketed"`` → a fresh engine; a :class:`BatchEngine` instance is
-    passed through (or mapped to None when its mode is ``"naive"``), so
-    drivers can share one plan cache across many kernel calls.
+    ``"bucketed"`` / ``"compiled"`` → a fresh engine in that mode; a
+    :class:`BatchEngine` instance is passed through (or mapped to None
+    when its mode is ``"naive"``), so drivers can share one plan cache
+    across many kernel calls.  A ``"compiled"`` engine executes kernels
+    exactly like a bucketed one — the mode marks it as eligible for
+    ahead-of-time :mod:`repro.batched.program` compilation by drivers
+    that replay recurring workloads.
     """
     if engine is None or engine == "naive":
         return None
     if isinstance(engine, BatchEngine):
         return engine if engine.bucketed else None
-    if engine == "bucketed":
-        return BatchEngine()
+    if engine in ("bucketed", "compiled"):
+        return BatchEngine(engine)
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -183,7 +218,7 @@ class BatchEngine:
                  min_bucket: int = MIN_BUCKET,
                  pad_bytes_limit: int = PAD_BYTES_LIMIT,
                  cache: PlanCache | None = None) -> None:
-        if mode not in ("bucketed", "naive"):
+        if mode not in ("bucketed", "naive", "compiled"):
             raise ValueError(f"unknown engine mode {mode!r}")
         self.mode = mode
         self.min_bucket = int(min_bucket)
@@ -218,7 +253,9 @@ class BatchEngine:
 
     @property
     def bucketed(self) -> bool:
-        return self.mode == "bucketed"
+        # "compiled" engines execute single calls exactly like bucketed
+        # ones; the mode only opts drivers into program compilation.
+        return self.mode != "naive"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"BatchEngine(mode={self.mode!r}, plans={len(self.cache)}, "

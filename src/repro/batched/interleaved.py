@@ -25,30 +25,76 @@ from ..device.memory import DeviceArray
 from ..device.simulator import Device
 
 __all__ = ["interleaved_getrf", "interleave", "deinterleave",
-            "interleaved_lu_core", "INTERLEAVED_MAX_N"]
+            "interleaved_lu_core", "InterleaveError", "INTERLEAVED_MAX_N"]
 
 #: the small-matrix regime the layout targets (STRUMPACK's naive batch
 #: kernels and the Kokkos/MKL interleaved kernels live below this, §II).
 INTERLEAVED_MAX_N = 32
 
 
-def interleave(matrices: list[np.ndarray]) -> np.ndarray:
-    """Pack equal-shape matrices into the interleaved ``(n, n, batch)``
-    layout (batch index contiguous: unit-stride SIMD over the batch)."""
+class InterleaveError(ValueError):
+    """A batch cannot be packed into (or out of) the interleaved layout.
+
+    Subclasses :class:`ValueError` so callers that guarded the old
+    untyped errors keep working.
+    """
+
+
+def interleave(matrices: list[np.ndarray],
+               dtype=None) -> np.ndarray:
+    """Pack equal-shape matrices into the interleaved ``(m, n, batch)``
+    layout (batch index contiguous: unit-stride SIMD over the batch).
+
+    Every member must be a 2-D array of the same shape and dtype —
+    non-square and zero-size shapes included — or an
+    :class:`InterleaveError` is raised.  The members' dtype (complex
+    included) is preserved through the packed layout; for an empty batch
+    ``dtype`` selects the dtype of the ``(0, 0, 0)`` result (default
+    ``float64``).
+    """
     if not matrices:
-        return np.empty((0, 0, 0))
-    shape = matrices[0].shape
-    for m in matrices:
+        return np.empty((0, 0, 0),
+                        dtype=np.float64 if dtype is None else dtype)
+    mats = [np.asarray(m) for m in matrices]
+    shape, dt = mats[0].shape, mats[0].dtype
+    for m in mats:
+        if m.ndim != 2:
+            raise InterleaveError(
+                f"interleaved layout requires 2-D matrices "
+                f"(got a {m.ndim}-D array)")
         if m.shape != shape:
-            raise ValueError(
+            raise InterleaveError(
                 "interleaved layout requires equal shapes "
                 f"(got {m.shape} vs {shape}) — use IrrBatch for irregular "
                 "batches")
-    return np.ascontiguousarray(np.stack(matrices, axis=-1))
+        if m.dtype != dt:
+            raise InterleaveError(
+                f"interleaved layout requires a single dtype "
+                f"(got {m.dtype} vs {dt})")
+    if dtype is not None and np.dtype(dtype) != dt:
+        raise InterleaveError(
+            f"requested dtype {np.dtype(dtype)} does not match the "
+            f"members' dtype {dt}")
+    if mats[0].size == 0:
+        # np.stack handles zero-size members, but keep the exact shape
+        # and dtype explicit.
+        return np.empty(shape + (len(mats),), dtype=dt)
+    return np.ascontiguousarray(np.stack(mats, axis=-1))
 
 
 def deinterleave(packed: np.ndarray) -> list[np.ndarray]:
-    """Unpack the interleaved layout back to a list of matrices."""
+    """Unpack the interleaved layout back to a list of matrices.
+
+    Inverse of :func:`interleave` for any uniform batch (non-square and
+    zero-size shapes round-trip, dtype preserved).  Raises
+    :class:`InterleaveError` unless ``packed`` is a 3-D
+    ``(m, n, batch)`` array.
+    """
+    packed = np.asarray(packed)
+    if packed.ndim != 3:
+        raise InterleaveError(
+            f"expected an interleaved (m, n, batch) array, got shape "
+            f"{packed.shape}")
     return [np.ascontiguousarray(packed[..., b])
             for b in range(packed.shape[-1])]
 

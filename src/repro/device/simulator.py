@@ -66,6 +66,10 @@ class Device:
         self.device_time = 0.0            # makespan of resolved kernels
         self.allocated_bytes = 0
         self.peak_allocated_bytes = 0
+        #: monotone count of successful capacity claims — compiled
+        #: workload programs assert replays perform zero new allocations
+        #: by differencing this counter across runs.
+        self.alloc_count = 0
         # Guards the capacity check-and-claim and the release so
         # concurrent workers can never over-commit the device or corrupt
         # the byte counters (re-entrant: DeviceArray.free() holds it
@@ -169,6 +173,7 @@ class Device:
                     f"capacity ({self.allocated_bytes} of "
                     f"{self.spec.memory_capacity} in use)")
             self.allocated_bytes += nbytes
+            self.alloc_count += 1
             self.peak_allocated_bytes = max(self.peak_allocated_bytes,
                                             self.allocated_bytes)
 

@@ -74,6 +74,25 @@ class CoalescingPolicy:
         Allow same-session sparse solves to stack their right-hand
         sides into one multi-column sweep.  Off by default: stacked
         solves match to rounding, not bitwise.
+    compile_hot:
+        Compile recurring dense dispatch signatures into
+        :class:`~repro.batched.program.WorkloadProgram` replays.  A
+        signature seen ``hot_threshold`` times gets a compiled program;
+        later identical groups replay it (payload copies only — no
+        planning, no allocation).  Results stay bitwise identical to
+        the bucketed dispatch path; a replay whose payload trips a
+        breakdown guard falls back to the ordinary runner for that
+        group.
+    hot_threshold:
+        Dispatches of one signature before it is considered hot and
+        compiled (``compile_hot=True`` only).
+    max_programs:
+        Bound on live compiled programs; least-recently-replayed
+        programs are freed when the store overflows.
+    plan_cache_capacity:
+        LRU bound for the service engine's DCWI plan cache (``None`` =
+        unbounded, the historical behavior).  Long-lived services with
+        unbounded shape diversity should set this.
     """
 
     max_batch: int = 32
@@ -81,6 +100,10 @@ class CoalescingPolicy:
     max_queue: int = 256
     dispatch_retries: int = 2
     coalesce_sparse_rhs: bool = False
+    compile_hot: bool = False
+    hot_threshold: int = 3
+    max_programs: int = 32
+    plan_cache_capacity: int | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -92,6 +115,16 @@ class CoalescingPolicy:
         if self.dispatch_retries < 0:
             raise ValueError(f"dispatch_retries must be >= 0, "
                              f"got {self.dispatch_retries}")
+        if self.hot_threshold < 1:
+            raise ValueError(f"hot_threshold must be >= 1, "
+                             f"got {self.hot_threshold}")
+        if self.max_programs < 1:
+            raise ValueError(f"max_programs must be >= 1, "
+                             f"got {self.max_programs}")
+        if self.plan_cache_capacity is not None \
+                and self.plan_cache_capacity < 1:
+            raise ValueError(f"plan_cache_capacity must be >= 1 or None, "
+                             f"got {self.plan_cache_capacity}")
 
 
 class ServiceFuture:

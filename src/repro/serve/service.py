@@ -37,14 +37,17 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 
 import numpy as np
 import scipy.sparse as sp
 
-from ..batched.engine import BatchEngine
+from ..batched.engine import BatchEngine, PlanCache
 from ..batched.getrf import irr_getrf
 from ..batched.getrs import irr_getrs
 from ..batched.interface import IrrBatch
+from ..batched.program import CompileError, GuardTripped, PayloadMismatch, \
+    compile_workload
 from ..batched.trsm import TRSM_BASE_NB
 from ..device.memory import DeviceOutOfMemory
 from ..device.simulator import Device
@@ -169,7 +172,17 @@ class SolverService:
         self._queue = AdmissionQueue(self.stats)
         # One engine for the service's lifetime: every dispatch reuses
         # the same DCWI plan cache, so recurring shapes re-plan nothing.
-        self._engine = BatchEngine("bucketed")
+        # The cache is LRU-bounded by policy.plan_cache_capacity and its
+        # hit/miss/eviction counters surface through stats.snapshot().
+        self._engine = BatchEngine(
+            "bucketed",
+            cache=PlanCache(capacity=self.policy.plan_cache_capacity))
+        self.stats.attach_plan_cache(self._engine.cache)
+        # Hot-signature workload programs (policy.compile_hot): dispatch
+        # signature -> compiled program, LRU by last replay.
+        self._programs: OrderedDict[tuple, object] = OrderedDict()
+        self._sig_seen: dict[tuple, int] = {}
+        self._uncompilable: set[tuple] = set()
         self._serial = 0
         self._serial_lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -202,6 +215,9 @@ class SolverService:
             self._thread = None
         else:
             self._drain_inline()
+        for prog in self._programs.values():
+            prog.free()
+        self._programs.clear()
 
     def __enter__(self) -> "SolverService":
         return self
@@ -473,6 +489,10 @@ class SolverService:
         partial device state is freed and *no* future is touched — the
         caller's ladder retries from the pristine host payloads.
         """
+        if self.policy.compile_hot:
+            compiled = self._run_getrf_compiled(group)
+            if compiled is not None:
+                return compiled
         device = self.device
         lu_kwargs = dict(group[0].payload["lu_kwargs"])
         dtype = np.dtype(group[0].key[1])
@@ -531,18 +551,132 @@ class SolverService:
                 lu_host[i], pivots.ipiv[i].copy(),
                 int(pivots.info[i]), int(pivots.n_replaced[i]),
                 float(pivots.min_pivot[i]), float(pivots.growth[i]))
-            if handle.info != 0:
-                self._fail(req, FactorizationError(
-                    f"pivot breakdown at elimination step {handle.info} "
-                    f"(min |pivot| = {handle.min_pivot:.3e}); re-factor "
-                    f"with static_pivot=True or a looser pivot_tol"))
-            elif req.kind == "factor":
-                req.future._resolve(value=handle)
+            self._resolve_getrf_member(req, handle, xs.get(i))
+        return launches, occupancy
+
+    def _resolve_getrf_member(self, req: Request, handle: FactorHandle,
+                              x: np.ndarray | None) -> None:
+        """Resolve one factor/factor_solve member from its handle (+
+        solution, for clean factor_solve members)."""
+        if handle.info != 0:
+            self._fail(req, FactorizationError(
+                f"pivot breakdown at elimination step {handle.info} "
+                f"(min |pivot| = {handle.min_pivot:.3e}); re-factor "
+                f"with static_pivot=True or a looser pivot_tol"))
+        elif req.kind == "factor":
+            req.future._resolve(value=handle)
+        else:
+            if req.payload["ndim"] == 1:
+                x = x[:, 0]
+            req.future._resolve(value=(x, handle))
+
+    # -- compiled hot-signature dispatch --------------------------------
+    @staticmethod
+    def _group_signature(group: list[Request]) -> tuple:
+        """Replayable identity of one getrf dispatch group: the
+        compatibility key (minus the solo serial) plus the ordered
+        member kinds/shapes.  Two groups with equal signatures run the
+        identical launch schedule, so one compiled program serves both.
+        """
+        base = tuple(x for x in group[0].key if not isinstance(x, int))
+        members = tuple(
+            (r.kind, r.payload["a"].shape,
+             r.payload["b2"].shape if r.kind == "factor_solve" else None)
+            for r in group)
+        return base + (members,)
+
+    def _compiled_program_for(self, group: list[Request]):
+        """The hot-signature program for this group, compiling it when
+        the signature crosses ``policy.hot_threshold``; ``None`` while
+        cold or when the signature cannot be compiled."""
+        sig = self._group_signature(group)
+        if sig in self._uncompilable:
+            return None
+        prog = self._programs.get(sig)
+        if prog is not None:
+            self._programs.move_to_end(sig)
+            return prog
+        seen = self._sig_seen.pop(sig, 0) + 1
+        self._sig_seen[sig] = seen    # re-insert: newest position
+        if seen < self.policy.hot_threshold:
+            # bound the cold-signature tracker like the program store:
+            # high-diversity traffic must not grow state without limit
+            while len(self._sig_seen) > 32 * self.policy.max_programs:
+                self._sig_seen.pop(next(iter(self._sig_seen)))
+            return None
+        dtype = np.dtype(group[0].key[1])
+        lu_kwargs = dict(group[0].payload["lu_kwargs"])
+        shapes = [r.payload["a"].shape for r in group]
+        try:
+            if any(r.kind == "factor_solve" for r in group):
+                prog = compile_workload(
+                    self.device, "factor_solve", shapes, dtype=dtype,
+                    rhs_shapes=[r.payload["b2"].shape
+                                if r.kind == "factor_solve" else None
+                                for r in group],
+                    lu_kwargs=lu_kwargs, engine=self._engine,
+                    solve_grouping="order_class")
             else:
-                x = xs[i]
-                if req.payload["ndim"] == 1:
-                    x = x[:, 0]
-                req.future._resolve(value=(x, handle))
+                prog = compile_workload(self.device, "getrf", shapes,
+                                        dtype=dtype, lu_kwargs=lu_kwargs,
+                                        engine=self._engine)
+        except CompileError:
+            self._uncompilable.add(sig)
+            while len(self._uncompilable) > 32 * self.policy.max_programs:
+                self._uncompilable.pop()
+            return None
+        self._programs[sig] = prog
+        self._sig_seen.pop(sig, None)
+        self.stats.on_program_compiled()
+        while len(self._programs) > self.policy.max_programs:
+            _, old = self._programs.popitem(last=False)
+            old.free()
+        return prog
+
+    def _run_getrf_compiled(self, group: list[Request]
+                            ) -> tuple[int, float] | None:
+        """Serve one getrf group by program replay; ``None`` hands the
+        group to the ordinary bucketed runner (signature cold or
+        uncompilable, or the replay guard tripped on this payload)."""
+        prog = self._compiled_program_for(group)
+        if prog is None:
+            return None
+        device = self.device
+        launch0 = device.profiler.launch_count
+        payloads = {"a": [r.payload["a"] for r in group]}
+        if prog.op == "factor_solve":
+            payloads["b"] = [r.payload["b2"]
+                             if r.kind == "factor_solve" else None
+                             for r in group]
+        try:
+            res = prog.run(**payloads)
+        except GuardTripped:
+            # a pivot breakdown invalidates the recorded solve schedule
+            # for THIS payload only — the bucketed runner isolates the
+            # broken member and still solves the rest
+            self.stats.on_compiled_fallback()
+            return None
+        except PayloadMismatch:
+            # stale program (should not happen: programs are keyed by
+            # signature) — drop it and fall back
+            self.stats.on_compiled_fallback()
+            stale = [s for s, p in self._programs.items() if p is prog]
+            for s in stale:
+                self._programs.pop(s).free()
+            return None
+        self.stats.on_compiled_dispatch()
+        launches = device.profiler.launch_count - launch0
+        ms = np.array([r.payload["a"].shape[0] for r in group])
+        ns = np.array([r.payload["a"].shape[1] for r in group])
+        denom = len(group) * int(ms.max()) * int(ns.max())
+        occupancy = float((ms * ns).sum()) / denom if denom else 1.0
+        for i, req in enumerate(group):
+            handle = FactorHandle(
+                res.factors[i], res.ipiv[i],
+                int(res.info[i]), int(res.n_replaced[i]),
+                float(res.min_pivot[i]), float(res.growth[i]))
+            x = None if res.solutions is None else res.solutions[i]
+            self._resolve_getrf_member(req, handle, x)
         return launches, occupancy
 
     def _run_getrs_group(self, group: list[Request]

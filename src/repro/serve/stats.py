@@ -112,9 +112,13 @@ class ServiceStats:
     queue_depth: int = 0
     queue_peak: int = 0
     rebudgets: int = 0       #: sparse memory-arbiter budget recomputations
+    programs_compiled: int = 0    #: hot signatures compiled to programs
+    compiled_dispatches: int = 0  #: groups served by a program replay
+    compiled_fallbacks: int = 0   #: replays that fell back to bucketed
     wait: LatencyHistogram = field(default_factory=LatencyHistogram)
     exec: LatencyHistogram = field(default_factory=LatencyHistogram)
     dispatches: list = field(default_factory=list)
+    _plan_cache: object = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -162,6 +166,26 @@ class ServiceStats:
         with self._lock:
             self.rebudgets += 1
 
+    # -- compiled workload programs --------------------------------------
+    def attach_plan_cache(self, cache) -> None:
+        """Surface a :class:`~repro.batched.engine.PlanCache`'s
+        hit/miss/eviction counters through :meth:`snapshot` (the cache
+        keeps its own lock; stats only read it)."""
+        with self._lock:
+            self._plan_cache = cache
+
+    def on_program_compiled(self) -> None:
+        with self._lock:
+            self.programs_compiled += 1
+
+    def on_compiled_dispatch(self) -> None:
+        with self._lock:
+            self.compiled_dispatches += 1
+
+    def on_compiled_fallback(self) -> None:
+        with self._lock:
+            self.compiled_fallbacks += 1
+
     # -- derived -------------------------------------------------------
     @property
     def coalescing_ratio(self) -> float:
@@ -202,6 +226,16 @@ class ServiceStats:
                 "mean_occupancy": (
                     sum(d.occupancy for d in self.dispatches) /
                     len(self.dispatches) if self.dispatches else 0.0),
+                "programs_compiled": self.programs_compiled,
+                "compiled_dispatches": self.compiled_dispatches,
+                "compiled_fallbacks": self.compiled_fallbacks,
+                "plan_cache": (None if self._plan_cache is None else {
+                    "size": len(self._plan_cache),
+                    "capacity": self._plan_cache.capacity,
+                    "hits": self._plan_cache.hits,
+                    "misses": self._plan_cache.misses,
+                    "evictions": self._plan_cache.evictions,
+                }),
                 "wait": self.wait.snapshot(),
                 "exec": self.exec.snapshot(),
             }

@@ -648,8 +648,6 @@ def _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
                    replace_scale=None) -> None:
     s_vec, u_vec, f11, f12, f21, f22 = _make_block_batches(
         device, symb, fids, buffers)
-    smax = int(s_vec.max()) if len(s_vec) else 0
-    umax = int(u_vec.max()) if len(u_vec) else 0
 
     piv = irr_getrf(device, f11, nb=nb, laswp_variant=laswp_variant,
                     pivot_tol=pivot_tol, static_pivot=static_pivot,
@@ -657,6 +655,18 @@ def _level_batched(device, symb, fids, buffers, pivots_of, gemm_mode,
     for fid, ip in zip(fids, piv.ipiv):
         pivots_of[fid] = ip
     _record_level_diag(diag_of, fids, piv)
+    _level_offdiag(device, symb, fids, s_vec, u_vec, f11, f12, f21, f22,
+                   piv, gemm_mode, hybrid_cutoff, engine=engine)
+
+
+def _level_offdiag(device, symb, fids, s_vec, u_vec, f11, f12, f21, f22,
+                   piv, gemm_mode, hybrid_cutoff, *, engine=None) -> None:
+    """The off-diagonal updates of one batched level (everything after
+    the pivot-block LU): breakdown gating, pivot application to F12, the
+    two TRSMs and the Schur GEMM.  Split out of :func:`_level_batched`
+    so the compiled-workload path can record it as its own step run."""
+    smax = int(s_vec.max()) if len(s_vec) else 0
+    umax = int(u_vec.max()) if len(u_vec) else 0
     if umax == 0 or smax == 0:
         return
 

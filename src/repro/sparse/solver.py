@@ -105,6 +105,9 @@ class SparseLU:
         self.factor_result: GpuFactorResult | None = None
         self.factor_report: FactorReport | None = None
         self._solve_state: tuple | None = None
+        # compiled level schedule (backend="batched", engine="compiled"):
+        # survives re-factors of same-structure matrices.
+        self._factor_program = None
         # Serializes device solves on this handle: two concurrent
         # solve() calls share one SolvePlan/DeviceFactorCache, and an
         # unsynchronized pair could interleave one call's cache eviction
@@ -177,9 +180,13 @@ class SparseLU:
                 if device is None:
                     raise ValueError(f"backend {backend!r} needs a device")
                 if backend == "batched":
-                    res = multifrontal_factor_gpu(device, self.a_perm,
-                                                  self.symb,
-                                                  strategy="batched", **kw)
+                    if kw.get("engine") == "compiled":
+                        res = self._factor_compiled_gpu(device, **kw)
+                    else:
+                        res = multifrontal_factor_gpu(device, self.a_perm,
+                                                      self.symb,
+                                                      strategy="batched",
+                                                      **kw)
                 elif backend == "looped":
                     res = naive_loop_factor(device, self.a_perm, self.symb,
                                             **kw)
@@ -196,6 +203,106 @@ class SparseLU:
             raise
         self.factor_report = getattr(self.factors, "report", None)
         self._factored = True
+        return self
+
+    def _factor_compiled_gpu(self, device: Device, **kw) -> GpuFactorResult:
+        """``backend="batched", engine="compiled"``: compile the level
+        schedule on the first factorization, replay it on re-factors of
+        same-structure matrices (see :meth:`update_values`).
+
+        Fallbacks keep the compiled mode safe to leave on: out-of-core
+        budgets and payloads whose replay trips a breakdown guard run
+        the ordinary bucketed path instead (recorded in the device's
+        recovery log as ``compiled-fallback``); a rehearsal that breaks
+        down yields no program, and the next factor() re-attempts
+        compilation.
+        """
+        from ..batched.program import GuardTripped, PayloadMismatch
+        from .numeric.program import compile_factor_program
+        # Canonical index order: the compiled program's assemble closures
+        # copy payload data positionally, so compile and every replay
+        # must see the same per-row column order.  (The numerics are
+        # order-independent — assembly densifies — so this is safe.)
+        self.a_perm.sort_indices()
+        kw = dict(kw)
+        kw.pop("engine", None)
+        if kw.pop("strategy", "batched") != "batched":
+            raise ValueError("compiled factorization is batched-only")
+        if kw.get("memory_budget") is not None:
+            # out-of-core traversals re-plan chunks per run: not compiled
+            return multifrontal_factor_gpu(device, self.a_perm, self.symb,
+                                           strategy="batched",
+                                           engine="bucketed", **kw)
+        kw.pop("memory_budget", None)
+        host_fallback = kw.pop("host_fallback", True)
+        policy = (kw.get("gemm_mode", "hybrid"),
+                  int(kw.get("hybrid_cutoff", 256)),
+                  kw.get("laswp_variant", "rehearsed"),
+                  int(kw.get("nb", 32)),
+                  float(kw.get("pivot_tol", 0.0)),
+                  bool(kw.get("static_pivot", False)),
+                  None if kw.get("replace_scale") is None
+                  else float(kw["replace_scale"]))
+
+        prog = self._factor_program
+        if prog is not None and (prog.device is not device
+                                 or not prog.matches(self.a_perm, policy)):
+            prog.free()
+            prog = self._factor_program = None
+        if prog is not None:
+            try:
+                return prog.run(
+                    self.a_perm, pivot_tol=policy[4],
+                    static_pivot=policy[5], replace_scale=policy[6],
+                    breakdown=kw.get("breakdown", "raise"))
+            except (GuardTripped, PayloadMismatch) as exc:
+                device.recovery_log.record(
+                    "compiled-fallback", site="SparseLU.factor",
+                    detail=f"{type(exc).__name__}: {exc}")
+                return multifrontal_factor_gpu(
+                    device, self.a_perm, self.symb, strategy="batched",
+                    engine="bucketed", host_fallback=host_fallback, **kw)
+        program, res = compile_factor_program(device, self.a_perm,
+                                              self.symb, **kw)
+        self._factor_program = program
+        return res
+
+    def update_values(self, a_new: sp.spmatrix) -> "SparseLU":
+        """Install new numeric values on the same sparsity structure.
+
+        The orderings and symbolic analysis are value-independent, so
+        they are kept; the solver drops back to un-factored and the next
+        :meth:`factor` call — with ``engine="compiled"`` — replays the
+        compiled level schedule instead of re-planning it.  Raises
+        :class:`ValueError` when the structure differs or MC64 scaling
+        is enabled (its permutation/scalings are value-dependent).
+        """
+        if self.use_mc64:
+            raise ValueError(
+                "update_values requires use_mc64=False: the MC64 "
+                "permutation and scalings depend on the matrix values")
+        a = sp.csr_matrix(a_new)
+        a = a.astype(np.complex128 if np.iscomplexobj(a.data)
+                     else np.float64)
+        a.sort_indices()
+        self.a.sort_indices()
+        if a.shape != self.a.shape or a.dtype != self.a.dtype \
+                or not np.array_equal(a.indptr, self.a.indptr) \
+                or not np.array_equal(a.indices, self.a.indices):
+            raise ValueError(
+                "update_values requires the same shape, dtype and "
+                "sparsity structure as the original matrix")
+        self.a = a
+        if self._analyzed:
+            self.a_pre = a
+            self.a_perm = self.a_pre[self.nd.perm][:, self.nd.perm].tocsr()
+        with self._solve_lock:
+            if self._solve_state is not None:
+                self._solve_state[3].free()
+                self._solve_state = None
+        self._factored = False
+        self.factor_result = None
+        self.factor_report = None
         return self
 
     # ------------------------------------------------------------------

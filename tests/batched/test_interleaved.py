@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.batched import INTERLEAVED_MAX_N, IrrBatch, deinterleave, \
-    interleave, interleaved_getrf, irr_getrf, lu_reconstruct
+from repro.batched import INTERLEAVED_MAX_N, InterleaveError, IrrBatch, \
+    deinterleave, interleave, interleaved_getrf, irr_getrf, lu_reconstruct
 from repro.device import A100, Device
 
 
@@ -15,14 +15,61 @@ class TestLayout:
         for a, b in zip(mats, out):
             np.testing.assert_array_equal(a, b)
 
+    @pytest.mark.parametrize("shape", [(9, 3), (3, 9), (1, 7), (7, 1)])
+    def test_roundtrip_non_square(self, rng, shape):
+        mats = [rng.standard_normal(shape) for _ in range(5)]
+        packed = interleave(mats)
+        assert packed.shape == shape + (5,)
+        for a, b in zip(mats, deinterleave(packed)):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("shape", [(0, 0), (0, 4), (4, 0)])
+    def test_roundtrip_zero_size(self, shape):
+        mats = [np.empty(shape) for _ in range(3)]
+        packed = interleave(mats)
+        assert packed.shape == shape + (3,)
+        out = deinterleave(packed)
+        assert len(out) == 3
+        for b in out:
+            assert b.shape == shape
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64,
+                                       np.complex64, np.complex128])
+    def test_dtype_preserved(self, rng, dtype):
+        mats = [rng.standard_normal((4, 6)).astype(dtype) for _ in range(4)]
+        if np.issubdtype(dtype, np.complexfloating):
+            mats = [m + 1j * np.asarray(rng.standard_normal((4, 6)),
+                                        dtype=m.real.dtype) for m in mats]
+        packed = interleave(mats)
+        assert packed.dtype == np.dtype(dtype)
+        for a, b in zip(mats, deinterleave(packed)):
+            assert b.dtype == np.dtype(dtype)
+            np.testing.assert_array_equal(a, b)
+
     def test_batch_axis_contiguous(self, rng):
         packed = interleave([rng.standard_normal((4, 4))] * 3)
         assert packed.strides[-1] == packed.itemsize
 
     def test_unequal_shapes_rejected(self, rng):
-        with pytest.raises(ValueError, match="equal shapes"):
+        with pytest.raises(InterleaveError, match="equal shapes"):
             interleave([rng.standard_normal((3, 3)),
                         rng.standard_normal((4, 4))])
+
+    def test_mixed_dtypes_rejected(self, rng):
+        with pytest.raises(InterleaveError, match="dtype"):
+            interleave([rng.standard_normal((3, 3)),
+                        rng.standard_normal((3, 3)).astype(np.float32)])
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(InterleaveError, match="2-D"):
+            interleave([rng.standard_normal(4)])
+
+    def test_typed_error_is_value_error(self):
+        assert issubclass(InterleaveError, ValueError)
+
+    def test_deinterleave_rejects_wrong_rank(self, rng):
+        with pytest.raises(InterleaveError, match="interleaved"):
+            deinterleave(rng.standard_normal((4, 4)))
 
     def test_empty(self):
         assert interleave([]).size == 0

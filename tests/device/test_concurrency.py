@@ -15,6 +15,8 @@ import threading
 import numpy as np
 import pytest
 
+from repro.batched import BatchEngine, PlanCache, irr_getrf
+from repro.batched.interface import IrrBatch
 from repro.device import A100, Device, DeviceOutOfMemory
 from repro.recovery import RecoveryLog
 
@@ -133,6 +135,90 @@ class TestMemoryAccountingConcurrency:
         assert dev.allocated_bytes == arr.nbytes_owned
         arr.free()
         assert dev.allocated_bytes == 0
+
+
+class TestPlanCacheConcurrency:
+    """Satellite of the compiled-workload PR: the service shares one
+    :class:`BatchEngine` (one :class:`PlanCache`) across submitters and
+    the dispatcher, and compiled programs assert *zero* misses on
+    replay — so the cache's counters must stay exact under racing
+    ``get_or_build`` calls, and its LRU bound must hold."""
+
+    def test_get_or_build_coherent_across_threads(self):
+        cache = PlanCache()
+        builds = []
+
+        def worker(tid):
+            rng = np.random.default_rng(300 + tid)
+            for _ in range(N_ITERS):
+                key = ("plan", int(rng.integers(0, 10)))
+
+                def build(key=key):
+                    builds.append(key)
+                    return ("built", key)
+
+                assert cache.get_or_build(key, build) == ("built", key)
+
+        _run_threads(worker)
+        # every call either hit or missed; every miss ran one build
+        assert cache.hits + cache.misses == N_THREADS * N_ITERS
+        assert len(builds) == cache.misses
+        assert len(cache) == 10
+        assert cache.evictions == 0
+
+    def test_lru_bound_holds_under_racing_inserts(self):
+        cache = PlanCache(capacity=4)
+
+        def worker(tid):
+            rng = np.random.default_rng(700 + tid)
+            for _ in range(N_ITERS):
+                key = ("plan", int(rng.integers(0, 16)))
+                cache.get_or_build(key, lambda key=key: ("built", key))
+                assert len(cache) <= 4
+
+        _run_threads(worker)
+        assert len(cache) <= 4
+        assert cache.evictions > 0
+        assert cache.hits + cache.misses == N_THREADS * N_ITERS
+
+    def test_shared_cache_identical_factors_across_threads(self):
+        # Many workers, one PlanCache: each drives its own device and
+        # engine (the device wants a single launch owner and the
+        # engine's scratch buffers are single-thread state — the
+        # service's dispatcher funnel), but all route planning through
+        # the shared cache.  Racing plan builds must never change the
+        # numerics — every thread's factors must equal the
+        # single-threaded reference bitwise.
+        rng = np.random.default_rng(42)
+        mats = [rng.standard_normal((m, m)) + 2.0 * m * np.eye(m)
+                for m in (8, 13, 21, 16)]
+
+        def factor_once(engine):
+            dev = Device(A100())
+            batch = IrrBatch.from_host(dev, [a.copy() for a in mats])
+            piv = irr_getrf(dev, batch, engine=engine)
+            out = batch.to_host()
+            batch.free()
+            return out, [ip.copy() for ip in piv.ipiv]
+
+        ref_lu, ref_ipiv = factor_once(BatchEngine("bucketed"))
+
+        shared_cache = PlanCache()
+        results = [None] * N_THREADS
+
+        def worker(tid):
+            engine = BatchEngine("bucketed", cache=shared_cache)
+            results[tid] = factor_once(engine)
+
+        _run_threads(worker)
+        for lu, ipiv in results:
+            for a, b in zip(lu, ref_lu):
+                np.testing.assert_array_equal(a, b)
+            for a, b in zip(ipiv, ref_ipiv):
+                np.testing.assert_array_equal(a, b)
+        # the recurring signature hit the shared cache across threads
+        assert shared_cache.hits > 0
+        assert shared_cache.hits + shared_cache.misses > 0
 
 
 class TestRecoveryLogConcurrency:

@@ -20,15 +20,17 @@ Quick start::
 
 from . import analysis, batched, device, fem, serve, sparse, workloads
 from .errors import (DeadlineExceeded, FactorizationError,
-                     KernelLaunchError, RequestCancelled,
-                     ResourceExhausted, ServiceOverloaded, TransferError)
+                     KernelLaunchError, PrecisionFallback,
+                     RequestCancelled, ResourceExhausted,
+                     ServiceOverloaded, TransferError)
 from .recovery import RecoveryEvent, RecoveryLog
 
 __version__ = "1.0.0"
 
 __all__ = ["device", "batched", "sparse", "fem", "workloads", "analysis",
            "serve",
-           "FactorizationError", "TransferError", "KernelLaunchError",
+           "FactorizationError", "PrecisionFallback", "TransferError",
+           "KernelLaunchError",
            "ResourceExhausted", "ServiceOverloaded", "DeadlineExceeded",
            "RequestCancelled", "RecoveryLog", "RecoveryEvent",
            "__version__"]

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..device.kernel import peak_scale_for
 from ..device.memory import DeviceArray
 from ..device.simulator import Device
 
@@ -184,16 +185,9 @@ class IrrBatch:
 
     @property
     def peak_scale(self) -> float:
-        """Arithmetic-peak multiplier of this precision relative to FP64.
-
-        FP32 doubles the peak; complex arithmetic costs ~4 real
-        operations per counted flop, so complex128 runs at a quarter of
-        the FP64 rate and complex64 at half.
-        """
-        return {np.dtype(np.float32): 2.0,
-                np.dtype(np.float64): 1.0,
-                np.dtype(np.complex64): 0.5,
-                np.dtype(np.complex128): 0.25}[self.dtype]
+        """Arithmetic-peak multiplier of this precision relative to FP64
+        (the shared :data:`~repro.device.kernel.PEAK_SCALE` table)."""
+        return peak_scale_for(self.dtype)
 
     @property
     def dims_key(self) -> tuple[bytes, bytes]:

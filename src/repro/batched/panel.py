@@ -36,15 +36,25 @@ from .interface import IrrBatch
 
 __all__ = ["fused_getf2", "columnwise_getf2", "panel_shared_bytes",
            "PanelPivots", "PivotControl", "factor_panel_block",
-           "DEFAULT_REPLACE_SCALE"]
+           "DEFAULT_REPLACE_SCALE", "default_replace_scale"]
 
 _ITEM = 8
 
 #: default static-pivot replacement magnitude, as a multiple of
 #: ``max|A_i|``: ``sqrt(eps)`` keeps ``1/pivot`` bounded by
 #: ``eps^{-1/2}/‖A‖`` so iterative refinement can absorb the
-#: ``O(sqrt(eps)·‖A‖)`` perturbation (the STRUMPACK recipe).
+#: ``O(sqrt(eps)·‖A‖)`` perturbation (the STRUMPACK recipe).  This is
+#: the FP64 value; ``PivotControl`` resolves the default against the
+#: *working* precision's eps, so FP32/complex64 factorizations replace
+#: pivots at ``sqrt(eps32) ≈ 3.5e-4`` instead of an FP64-sized value
+#: their arithmetic could never distinguish from zero.
 DEFAULT_REPLACE_SCALE = float(np.sqrt(np.finfo(np.float64).eps))
+
+
+def default_replace_scale(dtype=np.float64) -> float:
+    """``sqrt(eps)`` of the working precision (eps of the real kind for
+    complex dtypes — ``np.finfo(complex64).eps`` is the float32 eps)."""
+    return float(np.sqrt(np.finfo(np.dtype(dtype)).eps))
 
 
 class PivotControl:
@@ -71,7 +81,7 @@ class PivotControl:
         if pivot_tol < 0.0:
             raise ValueError("pivot_tol must be >= 0")
         if replace_scale is None:
-            replace_scale = DEFAULT_REPLACE_SCALE
+            replace_scale = default_replace_scale(dtype)
         if replace_scale <= 0.0:
             raise ValueError("replace_scale must be > 0")
         real = np.finfo(np.dtype(dtype))

@@ -58,7 +58,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..device.kernel import KernelCost
+from ..device.kernel import KernelCost, peak_scale_for
 from ..device.memory import DeviceArray
 from ..device.simulator import Device
 from ..errors import FactorizationError
@@ -435,11 +435,6 @@ class _PackedBuffer:
         self.batch.free()
 
 
-#: arithmetic-peak multiplier per dtype (mirrors ``IrrBatch.peak_scale``).
-_PEAK_SCALE = {np.dtype(np.float32): 2.0, np.dtype(np.float64): 1.0,
-               np.dtype(np.complex64): 0.5, np.dtype(np.complex128): 0.25}
-
-
 class _InterleavedBuffer:
     """Persistent struct-of-arrays ``(m, n, batch)`` storage for a
     lowered uniform bucket (batch axis unit-stride)."""
@@ -604,6 +599,14 @@ class WorkloadProgram:
         self._buffers = buffers
         self._arena = arena
         self._freed = False
+        #: Device-resident factored batch after a :meth:`run` — set for
+        #: getrf / factor_solve programs, whose factors live in the
+        #: arena as an :class:`IrrBatch` (``None`` for other ops).
+        #: Contents are only meaningful until the next ``run``;
+        #: the serving layer's mixed-precision finisher reads it to run
+        #: correction solves against the resident factors without
+        #: re-uploading them.
+        self.factor_batch: IrrBatch | None = None
 
     # -- inspection ----------------------------------------------------
     @property
@@ -841,10 +844,12 @@ def _compile_getrf(device, shapes, dt, lu_kwargs, eng, fuse, fuse_window,
             min_pivot=ctrl.min_pivot.copy(),
             growth=ctrl.growth.copy())
 
-    return WorkloadProgram(device, "getrf", signature, steps,
+    prog = WorkloadProgram(device, "getrf", signature, steps,
                            inputs={"a": buf.stage}, optional=set(),
                            collect=collect, buffers=[arena], engine=eng,
                            arena=arena)
+    prog.factor_batch = buf.batch
+    return prog
 
 
 def _compile_getrf_interleaved(device, shapes, dt, lu_kwargs, eng,
@@ -859,7 +864,7 @@ def _compile_getrf_interleaved(device, shapes, dt, lu_kwargs, eng,
     ib = min(nb, n)          # == n: single panel
     npiv = n
     smem = panel_shared_bytes(m, 0, ib, dt.itemsize)
-    peak_scale = _PEAK_SCALE[dt]
+    peak_scale = peak_scale_for(dt)
     itemsize = dt.itemsize
 
     arena = _Arena(device, dt, m * n * bs)
@@ -917,10 +922,13 @@ def _compile_getrf_interleaved(device, shapes, dt, lu_kwargs, eng,
             min_pivot=ctrl.min_pivot.copy(),
             growth=ctrl.growth.copy())
 
-    return WorkloadProgram(device, "getrf", signature, steps,
+    prog = WorkloadProgram(device, "getrf", signature, steps,
                            inputs={"a": buf.stage}, optional=set(),
                            collect=collect, buffers=[arena], engine=eng,
                            arena=arena)
+    # the interleaved struct-of-arrays lowering has no IrrBatch view
+    prog.factor_batch = getattr(buf, "batch", None)
+    return prog
 
 
 # -- getrs -------------------------------------------------------------
@@ -1148,9 +1156,11 @@ def _compile_factor_solve(device, shapes, rhs_shapes, dt, lu_kwargs, eng,
             growth=ctrl.growth.copy(),
             solutions=solutions)
 
-    return WorkloadProgram(device, "factor_solve", signature, steps,
+    prog = WorkloadProgram(device, "factor_solve", signature, steps,
                            inputs=inputs, optional=set(), collect=collect,
                            buffers=[arena], engine=eng, arena=arena)
+    prog.factor_batch = a_buf.batch
+    return prog
 
 
 # -- trsm / gemm -------------------------------------------------------

@@ -23,10 +23,37 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .spec import DeviceSpec
 
 __all__ = ["KernelCost", "LaunchRecord", "intrinsic_duration", "sm_demand",
-           "gemm_compute_ramp"]
+           "gemm_compute_ramp", "PEAK_SCALE", "peak_scale_for"]
+
+#: Arithmetic-peak multiplier per data type relative to FP64 (the single
+#: source of truth — the bucketed engine's ``IrrBatch.peak_scale`` and
+#: the compiled programs' cost lowering both read this table, so a new
+#: dtype cannot drift between the two cost paths).  FP32 doubles the
+#: peak on A100/MI100-class hardware; complex arithmetic costs ~4 real
+#: operations per counted flop, so complex128 runs at a quarter of the
+#: FP64 rate and complex64 at half.
+PEAK_SCALE = {
+    "f4": 2.0,      # float32
+    "f8": 1.0,      # float64
+    "c8": 0.5,      # complex64
+    "c16": 0.25,    # complex128
+}
+
+
+def peak_scale_for(dtype) -> float:
+    """The :data:`PEAK_SCALE` entry for a numpy dtype.
+
+    Raises :class:`KeyError` for dtypes outside the supported set —
+    callers validate their dtypes first (``IrrBatch`` rejects anything
+    but float32/float64/complex64/complex128 at construction).
+    """
+    dt = np.dtype(dtype)
+    return PEAK_SCALE[f"{dt.kind}{dt.itemsize}"]
 
 
 @dataclass

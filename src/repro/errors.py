@@ -11,6 +11,13 @@ so existing ``except LinAlgError`` call sites keep working, and carries
 the per-front :class:`~repro.sparse.numeric.report.FactorReport` (when
 one exists) so callers can see *which* fronts failed and why.
 
+:class:`PrecisionFallback` is the mixed-precision specialization: a
+reduced-precision (FP32/complex64) factorization could not deliver the
+FP64 refinement target and the automatic re-factorization in full
+precision was disabled.  It subclasses :class:`FactorizationError` and
+records the backward error actually achieved next to the target, so a
+caller can decide whether the cheap answer was good enough after all.
+
 System failures
 ---------------
 The device pipeline can also fail for non-numerical reasons — a transfer
@@ -39,9 +46,9 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FactorizationError", "TransferError", "KernelLaunchError",
-           "ResourceExhausted", "ServiceOverloaded", "DeadlineExceeded",
-           "RequestCancelled"]
+__all__ = ["FactorizationError", "PrecisionFallback", "TransferError",
+           "KernelLaunchError", "ResourceExhausted", "ServiceOverloaded",
+           "DeadlineExceeded", "RequestCancelled"]
 
 
 class FactorizationError(np.linalg.LinAlgError):
@@ -58,6 +65,34 @@ class FactorizationError(np.linalg.LinAlgError):
     def __init__(self, message: str, report=None):
         super().__init__(message)
         self.report = report
+
+
+class PrecisionFallback(FactorizationError):
+    """A reduced-precision factorization could not reach the FP64 target.
+
+    Raised only when the automatic FP64 re-factorization is disabled
+    (``precision_fallback=False``); with the default behavior the solver
+    re-factors in full precision instead and records a
+    ``precision-fallback`` action in the
+    :class:`~repro.recovery.RecoveryLog`.
+
+    Attributes
+    ----------
+    achieved:
+        Backward error the reduced-precision path reached (after
+        refinement and the GMRES-IR escalation), ``nan`` when the
+        factorization itself failed before any solve.
+    target:
+        The backward-error target that was missed
+        (:data:`~repro.sparse.solver.REFINE_TARGET` for solves).
+    """
+
+    def __init__(self, message: str, report=None, *,
+                 achieved: float = float("nan"),
+                 target: float = float("nan")):
+        super().__init__(message, report)
+        self.achieved = achieved
+        self.target = target
 
 
 class TransferError(RuntimeError):

@@ -32,6 +32,9 @@ Actions (the closed vocabulary used across the stack):
 ``cache-evict``           a device-resident factor level was spilled (freed;
                           the host copy is authoritative) to make room
 ``host-fallback``         the device path was abandoned for the host path
+``precision-fallback``    a reduced-precision (FP32/complex64)
+                          factorization was redone in FP64 because
+                          refinement could not reach the FP64 target
 ========================  ====================================================
 """
 

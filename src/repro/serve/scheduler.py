@@ -232,7 +232,7 @@ class Request:
 # compatibility keys
 # ----------------------------------------------------------------------
 def getrf_key(m: int, n: int, dtype: np.dtype, lu_kwargs: dict,
-              spec, serial: int) -> tuple:
+              spec, serial: int, *, mixed: bool = False) -> tuple:
     """Group key for a dense factorization (and the factor step of
     ``factor_solve``): dtype + LU policy + fused-regime membership.
 
@@ -240,6 +240,12 @@ def getrf_key(m: int, n: int, dtype: np.dtype, lu_kwargs: dict,
     ``serial`` discriminator) so they never drag a batch into the
     recursive panel split, whose blocking depends on the batch's
     ``max_m`` and is therefore not bitwise-stable under coalescing.
+
+    ``mixed`` marks a reduced-precision (``precision="fp32"``) request:
+    its dispatch carries an FP64 refinement finisher, so it must never
+    coalesce with natively single-precision requests of the same device
+    dtype (the discriminator also keeps compiled hot-signature programs
+    separate).
     """
     nb = lu_kwargs.get("nb", DEFAULT_PANEL_WIDTH)
     if nb == "auto":
@@ -248,12 +254,15 @@ def getrf_key(m: int, n: int, dtype: np.dtype, lu_kwargs: dict,
     fused = panel_shared_bytes(max(m, n), 0, nb, itemsize) <= \
         spec.max_shared_per_block
     policy = tuple(sorted(lu_kwargs.items()))
-    if fused:
-        return ("getrf", np.dtype(dtype).str, policy)
-    return ("getrf", np.dtype(dtype).str, policy, "solo", serial)
+    key = ("getrf", np.dtype(dtype).str, policy)
+    if mixed:
+        key += ("mixed",)
+    if not fused:
+        key += ("solo", serial)
+    return key
 
 
-def getrs_key(order: int, dtype: np.dtype) -> tuple:
+def getrs_key(order: int, dtype: np.dtype, *, mixed: bool = False) -> tuple:
     """Group key for a dense solve: dtype + order *class* (shape-bucket
     affinity).  The irrTRSM recursion splits the required order — the
     group's max — so two orders share a launch group bitwise-safely only
@@ -261,9 +270,14 @@ def getrs_key(order: int, dtype: np.dtype) -> tuple:
     get their own recursion tree (exact-order keys); every order at or
     below ``TRSM_BASE_NB`` hits the single base-case kernel, whose
     numerics run per matrix over local dims, so they all share one
-    class."""
+    class.  ``mixed`` separates solves against reduced-precision
+    (``precision="fp32"``) handles — they run the FP64 refinement
+    finisher after the batched sweep."""
     cls = int(order) if order > TRSM_BASE_NB else 0
-    return ("getrs", np.dtype(dtype).str, cls)
+    key = ("getrs", np.dtype(dtype).str, cls)
+    if mixed:
+        key += ("mixed",)
+    return key
 
 
 def sparse_key(session_id: int, solve_kwargs: tuple, *,

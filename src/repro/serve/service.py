@@ -53,7 +53,8 @@ from ..device.memory import DeviceOutOfMemory
 from ..device.simulator import Device
 from ..errors import FactorizationError, KernelLaunchError, \
     ResourceExhausted, TransferError
-from ..sparse.solver import SparseLU
+from ..sparse.solver import ESCALATED_REFINE_STEPS, REFINE_TARGET, \
+    SparseLU, _REDUCED_OF
 from .scheduler import AdmissionQueue, CoalescingPolicy, Request, \
     ServiceFuture, getrf_key, getrs_key, sparse_key
 from .session import MemoryArbiter, ServeSession
@@ -75,16 +76,25 @@ _LU_KWARGS = frozenset({"nb", "panel", "laswp_variant", "concurrent_swaps",
 _SPARSE_SOLVE_KWARGS = frozenset({"refine_steps", "rhs_block"})
 
 #: Keywords a sparse factor request may carry (``SparseLU`` constructor
-#: + factor backend + breakdown policy).
+#: + factor backend + breakdown policy + working precision).
 _SPARSE_FACTOR_KWARGS = frozenset({"use_mc64", "leaf_size", "backend",
                                    "pivot_tol", "static_pivot",
-                                   "replace_scale", "breakdown"})
+                                   "replace_scale", "breakdown",
+                                   "precision", "precision_fallback"})
+
+#: Working precisions a dense/sparse request may ask for.
+_PRECISIONS = (None, "fp64", "fp32")
 
 
 def _pick_dtype(a: np.ndarray) -> np.dtype:
     """The device precision a host matrix factors in (mirrors
-    :meth:`IrrBatch.from_host`): float32/complex stay, rest promote."""
+    :meth:`IrrBatch.from_host`): float32/complex stay, other floats
+    promote to float64.  Integer/bool/object payloads are rejected with
+    the same typed error :class:`IrrBatch` raises — never silently
+    promoted to a precision the caller did not ask for."""
     d = np.asarray(a).dtype
+    if d.kind not in "fc":
+        raise ValueError(f"unsupported data type {d}")
     if d in (np.float32, np.complex64, np.complex128):
         return np.dtype(d)
     return np.dtype(np.float64)
@@ -111,13 +121,22 @@ class FactorHandle:
     Per-request diagnostics sliced from the batch factorization:
     ``info`` (LAPACK semantics), ``n_replaced`` / ``min_pivot`` /
     ``growth`` (static-pivot recovery and stability measures).
+
+    Mixed precision: a handle factored with ``precision="fp32"`` keeps
+    the original FP64 matrix in ``a_ref`` — solves against it run the
+    batched sweep in the reduced dtype and refine the solution back to
+    FP64 accuracy against ``a_ref``.  When refinement cannot reach the
+    target the service re-factors ``a_ref`` in FP64 and *heals the
+    handle in place* (``precision`` flips to ``"fp64"``), so later
+    solves skip the doomed reduced path.
     """
 
     __slots__ = ("lu", "ipiv", "m", "n", "dtype", "info", "n_replaced",
-                 "min_pivot", "growth")
+                 "min_pivot", "growth", "precision", "a_ref")
 
     def __init__(self, lu: np.ndarray, ipiv: np.ndarray, info: int,
-                 n_replaced: int, min_pivot: float, growth: float):
+                 n_replaced: int, min_pivot: float, growth: float,
+                 precision: str = "fp64", a_ref: np.ndarray | None = None):
         self.lu = lu
         self.ipiv = ipiv
         self.m, self.n = lu.shape
@@ -126,6 +145,8 @@ class FactorHandle:
         self.n_replaced = n_replaced
         self.min_pivot = min_pivot
         self.growth = growth
+        self.precision = precision
+        self.a_ref = a_ref
 
     @property
     def ok(self) -> bool:
@@ -295,26 +316,60 @@ class SolverService:
                       copy=True)
         return b2, ndim
 
+    @staticmethod
+    def _check_precision(precision) -> None:
+        if precision not in _PRECISIONS:
+            raise ValueError(f"unknown precision {precision!r}; "
+                             f"choose 'fp32', 'fp64' or None")
+
+    @staticmethod
+    def _reduce_payload(host: np.ndarray, dtype: np.dtype,
+                        precision) -> tuple[np.ndarray, np.dtype,
+                                            np.ndarray | None]:
+        """Cast a dense factor payload to the requested working
+        precision: ``(device payload, device dtype, FP64 reference)``.
+        The reference is ``None`` unless the request is mixed (natively
+        single-precision inputs have no FP64 truth to refine against)."""
+        if precision != "fp32" or np.dtype(dtype) not in _REDUCED_OF:
+            return host, dtype, None
+        work = _REDUCED_OF[np.dtype(dtype)]
+        return host.astype(work), work, host
+
     def submit_factor(self, a, *, deadline: float | None = None,
+                      precision: str | None = None,
                       **kwargs) -> ServiceFuture:
         """Queue a factorization.  Dense ``a`` resolves to a
         :class:`FactorHandle`; sparse ``a`` to an open
         :class:`~repro.serve.session.ServeSession`.  ``deadline`` is
         seconds in the queue before the request expires with
-        :class:`~repro.errors.DeadlineExceeded`."""
+        :class:`~repro.errors.DeadlineExceeded`.
+
+        ``precision="fp32"`` factors in the reduced working precision
+        (float32 / complex64): dense handles keep the FP64 matrix for
+        refinement at solve time; sparse sessions delegate to
+        ``SparseLU.factor(precision=...)``.  The working precision is
+        part of the coalescing key — requests of different precisions
+        never share a launch group.
+        """
+        self._check_precision(precision)
         if sp.issparse(a):
             self._check_kwargs(kwargs, _SPARSE_FACTOR_KWARGS,
                                "sparse factor")
+            if precision is not None:
+                kwargs["precision"] = precision
             key = ("sparse-open", "solo", self._next_serial())
             return self._admit(Request("sparse-factor", key,
                                        {"a": a.copy(), "kwargs": kwargs},
                                        deadline))
         self._check_kwargs(kwargs, _LU_KWARGS, "LU")
         host, dtype = self._dense_payload(a, need_square=False)
+        host, dtype, a_ref = self._reduce_payload(host, dtype, precision)
         key = getrf_key(host.shape[0], host.shape[1], dtype, kwargs,
-                        self.device.spec, self._next_serial())
+                        self.device.spec, self._next_serial(),
+                        mixed=a_ref is not None)
         return self._admit(Request("factor", key,
-                                   {"a": host, "lu_kwargs": kwargs},
+                                   {"a": host, "a_ref": a_ref,
+                                    "lu_kwargs": kwargs},
                                    deadline))
 
     def submit_solve(self, handle, b, *, deadline: float | None = None,
@@ -353,6 +408,16 @@ class SolverService:
             raise FactorizationError(
                 f"cannot solve from broken-down LU factors (info="
                 f"{handle.info}); re-factor with static_pivot=True")
+        if handle.precision == "fp32":
+            # mixed handle: the rhs is validated (and refined) against
+            # the FP64 reference; the sweep runs in the reduced dtype
+            b_ref, ndim = self._rhs_payload(b, handle.n,
+                                            handle.a_ref.dtype)
+            key = getrs_key(handle.n, handle.dtype, mixed=True)
+            return self._admit(Request(
+                "solve", key,
+                {"handle": handle, "b2": b_ref.astype(handle.dtype),
+                 "b_ref": b_ref, "ndim": ndim}, deadline))
         b2, ndim = self._rhs_payload(b, handle.n, handle.dtype)
         key = getrs_key(handle.n, handle.dtype)
         return self._admit(Request("solve", key,
@@ -361,15 +426,21 @@ class SolverService:
 
     def submit_factor_solve(self, a, b, *,
                             deadline: float | None = None,
+                            precision: str | None = None,
                             **kwargs) -> ServiceFuture:
         """Queue factor+solve as one request.  Dense resolves to
         ``(x, FactorHandle)``; sparse to ``(x, SolveInfo)`` (one-shot:
         the session is closed after the solve).  The factor step
         coalesces with pending ``factor`` requests; the solve step
-        sub-batches by exact order within the dispatch."""
+        sub-batches by exact order within the dispatch.
+        ``precision="fp32"`` behaves as in :meth:`submit_factor`; the
+        returned solution is always refined to FP64 accuracy."""
+        self._check_precision(precision)
         if sp.issparse(a):
             self._check_kwargs(kwargs, _SPARSE_FACTOR_KWARGS |
                                _SPARSE_SOLVE_KWARGS, "sparse factor_solve")
+            if precision is not None:
+                kwargs["precision"] = precision
             key = ("sparse-open", "solo", self._next_serial())
             return self._admit(Request(
                 "sparse-factor-solve", key,
@@ -377,11 +448,16 @@ class SolverService:
                  "kwargs": kwargs}, deadline))
         self._check_kwargs(kwargs, _LU_KWARGS, "LU")
         host, dtype = self._dense_payload(a, need_square=True)
-        b2, ndim = self._rhs_payload(b, host.shape[0], dtype)
+        b_ref, ndim = self._rhs_payload(b, host.shape[0], dtype)
+        host, dtype, a_ref = self._reduce_payload(host, dtype, precision)
+        b2 = b_ref if a_ref is None else b_ref.astype(dtype)
         key = getrf_key(host.shape[0], host.shape[1], dtype, kwargs,
-                        self.device.spec, self._next_serial())
+                        self.device.spec, self._next_serial(),
+                        mixed=a_ref is not None)
         return self._admit(Request("factor_solve", key,
-                                   {"a": host, "b2": b2, "ndim": ndim,
+                                   {"a": host, "a_ref": a_ref, "b2": b2,
+                                    "b_ref": b_ref if a_ref is not None
+                                    else None, "ndim": ndim,
                                     "lu_kwargs": kwargs}, deadline))
 
     # -- sync convenience ----------------------------------------------
@@ -496,6 +572,7 @@ class SolverService:
         device = self.device
         lu_kwargs = dict(group[0].payload["lu_kwargs"])
         dtype = np.dtype(group[0].key[1])
+        mixed = "mixed" in group[0].key
         launch0 = device.profiler.launch_count
         batch = IrrBatch.from_host_packed(device,
                                    [r.payload["a"] for r in group],
@@ -541,17 +618,39 @@ class SolverService:
             finally:
                 for _, rhs in pending:
                     rhs.free()
+            bad: list[int] = []
+            if mixed and xs:
+                # FP64 finisher over the still-resident reduced factors
+                items = [(i, group[i].payload["a_ref"],
+                          group[i].payload["b_ref"], xs[i]) for i in xs]
+                xs, bad = self._refine_members(batch, pivots.ipiv, items)
             lu_host = batch.to_host()
         finally:
             batch.free()
+
+        handles = [FactorHandle(
+            lu_host[i], pivots.ipiv[i].copy(),
+            int(pivots.info[i]), int(pivots.n_replaced[i]),
+            float(pivots.min_pivot[i]), float(pivots.growth[i]),
+            precision="fp32" if mixed else "fp64",
+            a_ref=group[i].payload.get("a_ref"))
+            for i in range(len(group))]
+        failures: dict[int, BaseException] = {}
+        if mixed:
+            for i, (req, h) in enumerate(zip(group, handles)):
+                if h.info != 0 or i in bad:
+                    try:
+                        xs[i] = self._dense_precision_fallback(
+                            h, req.payload.get("b_ref"), lu_kwargs)
+                    except FactorizationError as exc:
+                        failures[i] = exc
         launches = device.profiler.launch_count - launch0
 
         for i, req in enumerate(group):
-            handle = FactorHandle(
-                lu_host[i], pivots.ipiv[i].copy(),
-                int(pivots.info[i]), int(pivots.n_replaced[i]),
-                float(pivots.min_pivot[i]), float(pivots.growth[i]))
-            self._resolve_getrf_member(req, handle, xs.get(i))
+            if i in failures:
+                self._fail(req, failures[i])
+            else:
+                self._resolve_getrf_member(req, handles[i], xs.get(i))
         return launches, occupancy
 
     def _resolve_getrf_member(self, req: Request, handle: FactorHandle,
@@ -665,30 +764,79 @@ class SolverService:
                 self._programs.pop(s).free()
             return None
         self.stats.on_compiled_dispatch()
+        mixed = "mixed" in group[0].key
+        handles = [FactorHandle(
+            res.factors[i], res.ipiv[i],
+            int(res.info[i]), int(res.n_replaced[i]),
+            float(res.min_pivot[i]), float(res.growth[i]),
+            precision="fp32" if mixed else "fp64",
+            a_ref=group[i].payload.get("a_ref"))
+            for i in range(len(group))]
+        xs = {} if res.solutions is None else \
+            {i: x for i, x in enumerate(res.solutions) if x is not None}
+        failures: dict[int, BaseException] = {}
+        if mixed:
+            # same finisher as the bucketed path; the program's arena
+            # still holds the reduced factors device-resident, so the
+            # correction solves run against them with zero factor
+            # re-upload (the fallback re-uploads only when a program
+            # variant does not expose its batch)
+            items = [(i, group[i].payload["a_ref"],
+                      group[i].payload["b_ref"], xs[i])
+                     for i in xs if handles[i].info == 0]
+            bad: list[int] = []
+            if items:
+                fbatch = prog.factor_batch
+                owned = fbatch is None
+                if owned:
+                    fbatch = IrrBatch.from_host_packed(
+                        device, [h.lu for h in handles],
+                        dtype=np.dtype(group[0].key[1]))
+                try:
+                    refined, bad = self._refine_members(
+                        fbatch, [h.ipiv for h in handles], items)
+                    xs.update(refined)
+                finally:
+                    if owned:
+                        fbatch.free()
+            lu_kwargs = dict(group[0].payload["lu_kwargs"])
+            for i, (req, h) in enumerate(zip(group, handles)):
+                if h.info != 0 or i in bad:
+                    try:
+                        xs[i] = self._dense_precision_fallback(
+                            h, req.payload.get("b_ref"), lu_kwargs)
+                    except FactorizationError as exc:
+                        failures[i] = exc
         launches = device.profiler.launch_count - launch0
         ms = np.array([r.payload["a"].shape[0] for r in group])
         ns = np.array([r.payload["a"].shape[1] for r in group])
         denom = len(group) * int(ms.max()) * int(ns.max())
         occupancy = float((ms * ns).sum()) / denom if denom else 1.0
         for i, req in enumerate(group):
-            handle = FactorHandle(
-                res.factors[i], res.ipiv[i],
-                int(res.info[i]), int(res.n_replaced[i]),
-                float(res.min_pivot[i]), float(res.growth[i]))
-            x = None if res.solutions is None else res.solutions[i]
-            self._resolve_getrf_member(req, handle, x)
+            if i in failures:
+                self._fail(req, failures[i])
+            else:
+                self._resolve_getrf_member(req, handles[i], xs.get(i))
         return launches, occupancy
 
     def _run_getrs_group(self, group: list[Request]
                          ) -> tuple[int, float]:
-        """One coalesced getrs over same-order handles (re-uploaded)."""
+        """One coalesced getrs over same-order handles (re-uploaded).
+
+        Mixed (``precision="fp32"``) groups run the same batched sweep
+        in the reduced dtype, then the shared FP64 refinement finisher
+        against each handle's reference matrix; members whose
+        refinement stagnates take the solo FP64 fallback (which heals
+        their handles for later solves)."""
         device = self.device
         dtype = np.dtype(group[0].key[1])
+        mixed = "mixed" in group[0].key
         launch0 = device.profiler.launch_count
         handles = [r.payload["handle"] for r in group]
         factored = IrrBatch.from_host_packed(device,
                                             [h.lu for h in handles],
                                       dtype=dtype)
+        bad: list[int] = []
         try:
             rhs = IrrBatch.from_host_packed(device,
                                      [r.payload["b2"] for r in group],
@@ -703,10 +851,27 @@ class SolverService:
                 sols = rhs.to_host()
             finally:
                 rhs.free()
+            if mixed:
+                items = [(i, handles[i].a_ref,
+                          group[i].payload["b_ref"], sols[i])
+                         for i in range(len(group))]
+                xs, bad = self._refine_members(
+                    factored, [h.ipiv for h in handles], items)
+                sols = [xs[i] for i in range(len(group))]
         finally:
             factored.free()
+        failures: dict[int, BaseException] = {}
+        for i in bad:
+            try:
+                sols[i] = self._dense_precision_fallback(
+                    handles[i], group[i].payload["b_ref"])
+            except FactorizationError as exc:
+                failures[i] = exc
         launches = device.profiler.launch_count - launch0
-        for req, x in zip(group, sols):
+        for i, (req, x) in enumerate(zip(group, sols)):
+            if i in failures:
+                self._fail(req, failures[i])
+                continue
             if req.payload["ndim"] == 1:
                 x = x[:, 0]
             req.future._resolve(value=x)
@@ -717,7 +882,128 @@ class SolverService:
         denom = len(batch) * batch.max_m * batch.max_n
         return float(batch.total_elements()) / denom if denom else 1.0
 
+    # -- mixed-precision finisher ----------------------------------------
+    def _refine_members(self, batch: IrrBatch, ipiv,
+                        items: list[tuple]) -> tuple[dict, list[int]]:
+        """FP64 iterative-refinement finisher shared by every dense
+        dispatch path (bucketed getrf, compiled replay, getrs groups).
+
+        ``batch`` holds the reduced-precision factored arrays
+        (device-resident, indexed like the dispatch group); ``items``
+        is ``(index, a_ref, b_ref, x_work)`` per mixed member.  Each
+        pass computes FP64 residuals on the host against the members'
+        reference matrices and runs **one irregular batched correction
+        solve** over every active member in the working precision —
+        N members of mixed orders refine for the launch cost of one
+        sweep (the irregular kernels exist precisely so mixed sizes
+        share a launch).  Unlike the primary solves, corrections are
+        *not* order-class-grouped: a refined solution is bounded by
+        the FP64 backward-error target, not promised bitwise-stable
+        across coalescing compositions (native-precision requests keep
+        the bitwise contract).  Members that reach
+        :data:`~repro.sparse.solver.REFINE_TARGET` drop out; the ones
+        still above it after :data:`ESCALATED_REFINE_STEPS` passes are
+        returned as stagnated (the caller runs the FP64 fallback).
+        """
+        device = batch.device
+        work = batch.dtype
+        xs, arefs, brefs, denoms = {}, {}, {}, {}
+        for i, a_ref, b_ref, x0 in items:
+            arefs[i], brefs[i] = a_ref, b_ref
+            xs[i] = np.asarray(x0, dtype=b_ref.dtype)
+            nb = float(np.linalg.norm(b_ref))
+            denoms[i] = nb if nb else 1.0
+
+        def err(i):
+            return float(np.linalg.norm(brefs[i] - arefs[i] @ xs[i])) \
+                / denoms[i]
+
+        active = [i for i, *_ in items]
+        for _ in range(ESCALATED_REFINE_STEPS):
+            active = [i for i in active if err(i) > REFINE_TARGET]
+            if not active:
+                break
+            self.stats.on_refine_pass(len(active))
+            idxs = np.asarray(active)
+            fsub = IrrBatch(device, [batch.arrays[i] for i in active],
+                            batch.m_vec[idxs], batch.n_vec[idxs])
+            rs = [(brefs[i] - arefs[i] @ xs[i]).astype(work)
+                  for i in active]
+            rhs = IrrBatch.from_host_packed(device, rs, dtype=work)
+            try:
+                view = _PivotView([ipiv[i] for i in active],
+                                  np.zeros(len(active), dtype=np.int64))
+                irr_getrs(device, fsub, view, rhs, engine=self._engine)
+                device.synchronize()
+                cs = rhs.to_host()
+                for j, i in enumerate(active):
+                    xs[i] = xs[i] + np.asarray(cs[j], dtype=xs[i].dtype)
+            finally:
+                rhs.free()
+        bad = [i for i in active if err(i) > REFINE_TARGET]
+        return xs, bad
+
+    def _dense_precision_fallback(self, handle: FactorHandle,
+                                  b_ref: np.ndarray | None,
+                                  lu_kwargs: dict | None = None
+                                  ) -> np.ndarray | None:
+        """Solo FP64 re-factorization of a mixed handle whose reduced
+        factors broke down or whose refinement stagnated.
+
+        Heals the handle in place — its factors, pivots and
+        ``precision`` flip to FP64, so later solves against it skip the
+        doomed reduced path — records a ``precision-fallback`` in the
+        device's recovery log, and returns the FP64 solution when a
+        right-hand side is given."""
+        device = self.device
+        a64 = handle.a_ref
+        batch = IrrBatch.from_host_packed(device, [a64], dtype=a64.dtype)
+        x = None
+        try:
+            pivots = irr_getrf(device, batch, engine=self._engine,
+                               **(lu_kwargs or {}))
+            if b_ref is not None and pivots.info[0] == 0:
+                rhs = IrrBatch.from_host_packed(device, [b_ref],
+                                                dtype=a64.dtype)
+                try:
+                    view = _PivotView([pivots.ipiv[0]], pivots.info[:1])
+                    irr_getrs(device, batch, view, rhs,
+                              engine=self._engine)
+                    device.synchronize()
+                    x = rhs.to_host()[0]
+                finally:
+                    rhs.free()
+            lu_host = batch.to_host()[0]
+        finally:
+            batch.free()
+        handle.lu = lu_host
+        handle.ipiv = pivots.ipiv[0].copy()
+        handle.dtype = lu_host.dtype
+        handle.info = int(pivots.info[0])
+        handle.n_replaced = int(pivots.n_replaced[0])
+        handle.min_pivot = float(pivots.min_pivot[0])
+        handle.growth = float(pivots.growth[0])
+        handle.precision = "fp64"
+        device.recovery_log.record(
+            "precision-fallback", site="SolverService",
+            detail=f"{handle.m}x{handle.n} {a64.dtype} re-factored in "
+                   f"full precision")
+        self.stats.on_precision_fallback()
+        if handle.info != 0:
+            raise FactorizationError(
+                f"pivot breakdown at elimination step {handle.info} even "
+                f"after the FP64 re-factorization (min |pivot| = "
+                f"{handle.min_pivot:.3e}); re-factor with "
+                f"static_pivot=True or a looser pivot_tol")
+        return x
+
     # -- sparse runners --------------------------------------------------
+    def _note_sparse_info(self, info) -> None:
+        """Fold one sparse ``SolveInfo`` into the service counters."""
+        self.stats.on_refine_pass(max(0, len(info.residuals) - 1))
+        if getattr(info, "fallback", False):
+            self.stats.on_precision_fallback()
+
     def _open_session(self, a, kwargs: dict) -> ServeSession:
         factor_kw = dict(kwargs)
         backend = factor_kw.pop("backend", "batched")
@@ -748,6 +1034,7 @@ class SolverService:
                             req.payload["b"], **solve_kw)
                     finally:
                         session.close()
+                    self._note_sparse_info(info)
                     req.future._resolve(value=(x, info))
             except (*_SYSTEM_ERRORS, FactorizationError,
                     ValueError) as exc:
@@ -770,6 +1057,7 @@ class SolverService:
                 try:
                     x, info = req.payload["session"].solve_on_device(
                         req.payload["b"], **req.payload["kwargs"])
+                    self._note_sparse_info(info)
                     req.future._resolve(value=(x, info))
                 except (*_SYSTEM_ERRORS, FactorizationError,
                         RuntimeError) as exc:
@@ -786,6 +1074,7 @@ class SolverService:
             stacked = np.array(cols).T
             try:
                 x, info = session.solve_on_device(stacked, **kwargs)
+                self._note_sparse_info(info)
                 for req, (lo, hi, ndim) in zip(group, spans):
                     xi = x[:, lo:hi]
                     req.future._resolve(

@@ -100,6 +100,12 @@ class ServeSession:
         return self.solver.factor_report
 
     @property
+    def precision(self) -> str:
+        """Working precision of the session's factors (``"fp64"`` or
+        ``"fp32"``; solves always refine back to FP64 accuracy)."""
+        return self.solver.precision
+
+    @property
     def closed(self) -> bool:
         return self._closed
 

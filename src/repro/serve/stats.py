@@ -115,6 +115,8 @@ class ServiceStats:
     programs_compiled: int = 0    #: hot signatures compiled to programs
     compiled_dispatches: int = 0  #: groups served by a program replay
     compiled_fallbacks: int = 0   #: replays that fell back to bucketed
+    precision_fallbacks: int = 0  #: reduced-precision work redone in FP64
+    refine_passes: int = 0        #: iterative-refinement correction sweeps
     wait: LatencyHistogram = field(default_factory=LatencyHistogram)
     exec: LatencyHistogram = field(default_factory=LatencyHistogram)
     dispatches: list = field(default_factory=list)
@@ -186,6 +188,16 @@ class ServiceStats:
         with self._lock:
             self.compiled_fallbacks += 1
 
+    # -- mixed precision -------------------------------------------------
+    def on_precision_fallback(self) -> None:
+        with self._lock:
+            self.precision_fallbacks += 1
+
+    def on_refine_pass(self, n: int = 1) -> None:
+        """``n`` members received one refinement correction sweep."""
+        with self._lock:
+            self.refine_passes += n
+
     # -- derived -------------------------------------------------------
     @property
     def coalescing_ratio(self) -> float:
@@ -229,6 +241,8 @@ class ServiceStats:
                 "programs_compiled": self.programs_compiled,
                 "compiled_dispatches": self.compiled_dispatches,
                 "compiled_fallbacks": self.compiled_fallbacks,
+                "precision_fallbacks": self.precision_fallbacks,
+                "refine_passes": self.refine_passes,
                 "plan_cache": (None if self._plan_cache is None else {
                     "size": len(self._plan_cache),
                     "capacity": self._plan_cache.capacity,

@@ -51,7 +51,6 @@ from .report import FactorReport
 __all__ = ["multifrontal_factor_gpu", "GpuFactorResult", "plan_traversals",
            "HYBRID_GEMM_CUTOFF", "STRUMPACK_BATCH_LIMIT"]
 
-_ITEM = 8
 HYBRID_GEMM_CUTOFF = 256   # Fig 14: irrGEMM below, vendor loop above
 STRUMPACK_BATCH_LIMIT = 32
 
@@ -163,8 +162,9 @@ def multifrontal_factor_gpu(device: Device, a_perm: sp.spmatrix,
     # violation of the requested budget: it raises eagerly, before any
     # recovery is attempted.  The ladder below only shrinks the budget
     # down to the largest-front floor, so the static raise cannot recur.
-    plan_traversals(symb, memory_budget)
-    floor = max((_ITEM * f.order ** 2 for f in symb.fronts), default=0)
+    itemsize = a_perm.dtype.itemsize
+    plan_traversals(symb, memory_budget, itemsize=itemsize)
+    floor = max((itemsize * f.order ** 2 for f in symb.fronts), default=0)
 
     budget = memory_budget
     host_factors = region = failure = None
@@ -237,7 +237,8 @@ def _attempt_factorization(device, a_perm, symb, memory_budget,
     uploaded A, live front buffers) before propagating, so a failed
     attempt leaves ``device.allocated_bytes`` exactly where it started.
     """
-    chunks = plan_traversals(symb, memory_budget)
+    chunks = plan_traversals(symb, memory_budget,
+                             itemsize=a_perm.dtype.itemsize)
     streaming = len(chunks) > 1
 
     buffers: dict[int, DeviceArray] = {}
@@ -319,19 +320,22 @@ def _host_fallback_result(device, a_perm, symb, mark, *, pivot_tol,
 
 
 def plan_traversals(symb: SymbolicFactorization,
-                    memory_budget: int | None) -> list[list[int]]:
+                    memory_budget: int | None, *,
+                    itemsize: int = 8) -> list[list[int]]:
     """Split the postorder front sequence into device-sized traversals.
 
     Greedy: accumulate fronts (postorder, so children precede parents)
     while the chunk working set — its front buffers plus the
     cross-traversal child Schur blocks it must re-upload — fits the
     budget.  With ``memory_budget=None`` everything is one traversal.
+    ``itemsize`` is the working precision's bytes per element (8 for
+    FP64; FP32 factorizations fit twice the fronts per traversal).
     """
     n = len(symb.fronts)
     if memory_budget is None or n == 0:
         return [list(range(n))]
 
-    front_bytes = [_ITEM * f.order ** 2 for f in symb.fronts]
+    front_bytes = [itemsize * f.order ** 2 for f in symb.fronts]
     biggest = max(front_bytes)
     if biggest > memory_budget:
         from ...device.memory import DeviceOutOfMemory
@@ -349,12 +353,12 @@ def plan_traversals(symb: SymbolicFactorization,
         # come back through the budget during assembly
         for c in symb.fronts[fid].children:
             if c not in current_set:
-                need += _ITEM * symb.fronts[c].upd_size ** 2
+                need += itemsize * symb.fronts[c].upd_size ** 2
         if current and current_bytes + need > memory_budget:
             chunks.append(current)
             current, current_set, current_bytes = [], set(), 0
             need = front_bytes[fid] + sum(
-                _ITEM * symb.fronts[c].upd_size ** 2
+                itemsize * symb.fronts[c].upd_size ** 2
                 for c in symb.fronts[fid].children)
         current.append(fid)
         current_set.add(fid)
@@ -592,7 +596,7 @@ def _apply_pivots_to_f12(device, f12: IrrBatch, pivots: list[np.ndarray],
                 p = int(pivots[i][r])
                 if p != r:
                     b[[r, p], :] = b[[p, r], :]
-            nbytes += 2 * s * u * _ITEM
+            nbytes += 2 * s * u * f12.itemsize
             blocks += 1
         return KernelCost(bytes_read=nbytes / 2, bytes_written=nbytes / 2,
                           blocks=max(blocks, 1), kernel_class="swap",

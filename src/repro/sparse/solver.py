@@ -34,7 +34,7 @@ from ..batched.engine import resolve_engine
 from ..device.memory import DeviceOutOfMemory, validate_memory_budget
 from ..device.simulator import Device
 from ..errors import FactorizationError, KernelLaunchError, \
-    ResourceExhausted, TransferError
+    PrecisionFallback, ResourceExhausted, TransferError
 from ..recovery import RecoveryLog
 from .baselines import naive_loop_factor, strumpack_like_factor, \
     superlu_like_factor
@@ -57,6 +57,22 @@ _BACKENDS = ("cpu", "batched", "looped", "strumpack", "superlu")
 ESCALATED_REFINE_STEPS = 8
 REFINE_TARGET = 1e-12
 
+#: GMRES-IR escalation bounds: Krylov dimension per cycle and bounded
+#: restarts before a stagnating reduced-precision solve takes the FP64
+#: fallback.  Flexible right-preconditioned GMRES with the cheap factors
+#: as the preconditioner recovers systems whose condition number defeats
+#: plain FP32-corrected refinement (κ ≳ 1/eps32) but not FP64 itself.
+GMRES_RESTART = 16
+GMRES_MAX_RESTARTS = 3
+
+#: Plain refinement is declared stagnant (and GMRES-IR takes over) when
+#: one step shrinks the backward error by less than this factor.
+_STAGNATION_RATIO = 0.25
+
+#: Reduced working precision of each native dtype (``precision="fp32"``).
+_REDUCED_OF = {np.dtype(np.float64): np.dtype(np.float32),
+               np.dtype(np.complex128): np.dtype(np.complex64)}
+
 
 @dataclass
 class SolveInfo:
@@ -71,13 +87,24 @@ class SolveInfo:
     :class:`~repro.recovery.RecoveryLog` slice of resilience actions
     taken during this solve (transfer retries, cache evictions, a
     ``host-fallback`` when the device path was abandoned); empty for a
-    clean device solve, ``None`` for host-only solves.
+    clean device solve, ``None`` for host-only solves (unless a
+    host-side ``precision-fallback`` had to be recorded).
+
+    Mixed precision: ``precision`` is the working precision the
+    substitutions actually ran in (``"fp32"`` covers complex64),
+    ``gmres_cycles`` counts GMRES-IR restart cycles the escalation
+    spent, and ``fallback`` is set when the reduced-precision factors
+    could not reach :data:`REFINE_TARGET` and the solve transparently
+    re-factored in FP64.
     """
 
     residuals: list[float] = field(default_factory=list)
     escalated: bool = False
     report: FactorReport | None = None
     recovery: RecoveryLog | None = None
+    precision: str = "fp64"
+    fallback: bool = False
+    gmres_cycles: int = 0
 
     @property
     def final_residual(self) -> float:
@@ -105,6 +132,11 @@ class SparseLU:
         self.factor_result: GpuFactorResult | None = None
         self.factor_report: FactorReport | None = None
         self._solve_state: tuple | None = None
+        #: Working precision of the current factors ("fp64" or "fp32").
+        self.precision = "fp64"
+        self._work_dtype = self.a.dtype
+        self._precision_fallback = True
+        self._factor_call: tuple | None = None
         # compiled level schedule (backend="batched", engine="compiled"):
         # survives re-factors of same-structure matrices.
         self._factor_program = None
@@ -139,13 +171,34 @@ class SparseLU:
     # phase 2
     # ------------------------------------------------------------------
     def factor(self, *, backend: str = "cpu",
-               device: Device | None = None, **kw) -> "SparseLU":
+               device: Device | None = None,
+               precision: str | None = None,
+               precision_fallback: bool = True, **kw) -> "SparseLU":
         """Numerical factorization.
 
         ``backend="cpu"`` runs the reference path; the other backends
         (``"batched"``, ``"looped"``, ``"strumpack"``, ``"superlu"``)
         require a simulated ``device`` and record simulated timings in
         :attr:`factor_result`.
+
+        ``precision="fp32"`` factors in the reduced working precision
+        (float32, or complex64 for complex matrices): the permuted
+        matrix is cast **once** and every assembly, panel, TRSM, GEMM
+        and extend-add kernel of every backend runs in the working
+        dtype — half the device bytes and twice the arithmetic peak of
+        the FP64 path, and half-sized factors in the solve-phase
+        :class:`DeviceFactorCache` (double the resident levels under a
+        fixed ``memory_budget``).  :meth:`solve` then restores FP64
+        accuracy by iterative refinement against the original
+        double-precision matrix.  Pivot breakdown thresholds scale with
+        the working precision's eps automatically (see
+        ``PivotControl``).  If the reduced-precision factorization
+        itself breaks down, the solver re-factors in FP64 — recording a
+        ``precision-fallback`` in the recovery log — unless
+        ``precision_fallback=False``, in which case a typed
+        :class:`~repro.errors.PrecisionFallback` is raised.
+        ``precision=None`` (default) or ``"fp64"`` keeps the native
+        double-precision path, bit for bit.
 
         Breakdown policy keywords (``pivot_tol``, ``static_pivot``,
         ``replace_scale``, ``breakdown``) pass through to every backend.
@@ -161,6 +214,11 @@ class SparseLU:
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {_BACKENDS}")
+        if precision not in (None, "fp64", "fp32"):
+            raise ValueError(f"unknown precision {precision!r}; "
+                             f"choose 'fp32', 'fp64' or None")
+        native = self.a_perm.dtype
+        work = _REDUCED_OF[native] if precision == "fp32" else native
         # Invalidate eagerly: a failed re-factorization must not leave a
         # stale plan/cache (or stale factors) serving solves.  Taken
         # under the solve lock so a concurrent device solve finishes its
@@ -171,41 +229,82 @@ class SparseLU:
                 self._solve_state = None
         self._factored = False
         self.factor_report = None
+        self.precision = "fp32" if work != native else "fp64"
+        self._work_dtype = work
+        self._precision_fallback = bool(precision_fallback)
+        self._factor_call = (backend, device, dict(kw))
+        a_num = self.a_perm if work == native \
+            else self.a_perm.astype(work)
         try:
-            if backend == "cpu":
-                self.factors = multifrontal_factor_cpu(self.a_perm,
-                                                       self.symb, **kw)
-                self.factor_result = None
-            else:
-                if device is None:
-                    raise ValueError(f"backend {backend!r} needs a device")
-                if backend == "batched":
-                    if kw.get("engine") == "compiled":
-                        res = self._factor_compiled_gpu(device, **kw)
-                    else:
-                        res = multifrontal_factor_gpu(device, self.a_perm,
-                                                      self.symb,
-                                                      strategy="batched",
-                                                      **kw)
-                elif backend == "looped":
-                    res = naive_loop_factor(device, self.a_perm, self.symb,
-                                            **kw)
-                elif backend == "strumpack":
-                    res = strumpack_like_factor(device, self.a_perm,
-                                                self.symb, **kw)
-                else:
-                    res = superlu_like_factor(device, self.a_perm,
-                                              self.symb, **kw)
-                self.factors = res.factors
-                self.factor_result = res
+            self._run_factor_backend(backend, device, a_num, **kw)
         except FactorizationError as exc:
-            self.factor_report = exc.report
-            raise
+            if work == native:
+                self.factor_report = exc.report
+                raise
+            if not self._precision_fallback:
+                self.factor_report = exc.report
+                raise PrecisionFallback(
+                    f"reduced-precision ({work}) factorization failed — "
+                    f"{exc} — and precision_fallback=False forbids the "
+                    f"FP64 re-factorization", exc.report) from exc
+            hlog = self._log_precision_fallback(
+                device, "SparseLU.factor",
+                f"{type(exc).__name__}: {exc}")
+            self.precision = "fp64"
+            self._work_dtype = native
+            try:
+                self._run_factor_backend(backend, device, self.a_perm,
+                                         **kw)
+            except FactorizationError as exc2:
+                self.factor_report = exc2.report
+                raise
+            report = getattr(self.factors, "report", None)
+            if hlog is not None and report is not None \
+                    and report.recovery is None:
+                report.recovery = hlog
         self.factor_report = getattr(self.factors, "report", None)
         self._factored = True
         return self
 
-    def _factor_compiled_gpu(self, device: Device, **kw) -> GpuFactorResult:
+    def _run_factor_backend(self, backend: str, device: Device | None,
+                            a_num: sp.spmatrix, **kw) -> None:
+        """Dispatch one backend over the working-precision matrix."""
+        if backend == "cpu":
+            self.factors = multifrontal_factor_cpu(a_num, self.symb, **kw)
+            self.factor_result = None
+            return
+        if device is None:
+            raise ValueError(f"backend {backend!r} needs a device")
+        if backend == "batched":
+            if kw.get("engine") == "compiled":
+                res = self._factor_compiled_gpu(device, a_num, **kw)
+            else:
+                res = multifrontal_factor_gpu(device, a_num, self.symb,
+                                              strategy="batched", **kw)
+        elif backend == "looped":
+            res = naive_loop_factor(device, a_num, self.symb, **kw)
+        elif backend == "strumpack":
+            res = strumpack_like_factor(device, a_num, self.symb, **kw)
+        else:
+            res = superlu_like_factor(device, a_num, self.symb, **kw)
+        self.factors = res.factors
+        self.factor_result = res
+
+    def _log_precision_fallback(self, device: Device | None, site: str,
+                                detail: str) -> RecoveryLog | None:
+        """Record a ``precision-fallback`` action — on the device's
+        canonical log when one is involved, else on a local host log
+        that is returned so the caller can attach it to its artifact."""
+        if device is not None:
+            device.recovery_log.record("precision-fallback", site=site,
+                                       detail=detail)
+            return None
+        log = RecoveryLog()
+        log.record("precision-fallback", site=site, detail=detail)
+        return log
+
+    def _factor_compiled_gpu(self, device: Device, a_num: sp.spmatrix,
+                             **kw) -> GpuFactorResult:
         """``backend="batched", engine="compiled"``: compile the level
         schedule on the first factorization, replay it on re-factors of
         same-structure matrices (see :meth:`update_values`).
@@ -223,14 +322,14 @@ class SparseLU:
         # copy payload data positionally, so compile and every replay
         # must see the same per-row column order.  (The numerics are
         # order-independent — assembly densifies — so this is safe.)
-        self.a_perm.sort_indices()
+        a_num.sort_indices()
         kw = dict(kw)
         kw.pop("engine", None)
         if kw.pop("strategy", "batched") != "batched":
             raise ValueError("compiled factorization is batched-only")
         if kw.get("memory_budget") is not None:
             # out-of-core traversals re-plan chunks per run: not compiled
-            return multifrontal_factor_gpu(device, self.a_perm, self.symb,
+            return multifrontal_factor_gpu(device, a_num, self.symb,
                                            strategy="batched",
                                            engine="bucketed", **kw)
         kw.pop("memory_budget", None)
@@ -246,13 +345,13 @@ class SparseLU:
 
         prog = self._factor_program
         if prog is not None and (prog.device is not device
-                                 or not prog.matches(self.a_perm, policy)):
+                                 or not prog.matches(a_num, policy)):
             prog.free()
             prog = self._factor_program = None
         if prog is not None:
             try:
                 return prog.run(
-                    self.a_perm, pivot_tol=policy[4],
+                    a_num, pivot_tol=policy[4],
                     static_pivot=policy[5], replace_scale=policy[6],
                     breakdown=kw.get("breakdown", "raise"))
             except (GuardTripped, PayloadMismatch) as exc:
@@ -260,9 +359,9 @@ class SparseLU:
                     "compiled-fallback", site="SparseLU.factor",
                     detail=f"{type(exc).__name__}: {exc}")
                 return multifrontal_factor_gpu(
-                    device, self.a_perm, self.symb, strategy="batched",
+                    device, a_num, self.symb, strategy="batched",
                     engine="bucketed", host_fallback=host_fallback, **kw)
-        program, res = compile_factor_program(device, self.a_perm,
+        program, res = compile_factor_program(device, a_num,
                                               self.symb, **kw)
         self._factor_program = program
         return res
@@ -343,29 +442,103 @@ class SparseLU:
     def _solve_once(self, b: np.ndarray, device: Device | None = None, *,
                     engine="bucketed", rhs_block: int | None = None,
                     plan: SolvePlan | None = None,
-                    cache: DeviceFactorCache | None = None) -> np.ndarray:
+                    cache: DeviceFactorCache | None = None,
+                    work_dtype=None) -> np.ndarray:
         """One substitution pass: undo scalings/permutations around the
         permuted multifrontal solve (on the host, or batched on a
-        device)."""
+        device).  ``work_dtype`` casts the permuted right-hand side down
+        to the factors' reduced working precision just before the sweep
+        (the MC64 scalings stay FP64), so a mixed-precision correction
+        solve moves half the bytes end to end."""
         if self._mc64 is not None:
             c = self._mc64.dr * b if b.ndim == 1 else \
                 self._mc64.dr[:, None] * b
             c = c[self._mc64.row_of_col]
         else:
             c = b
+        cp = c[self.nd.perm]
+        if work_dtype is not None:
+            cp = cp.astype(work_dtype, copy=False)
         if device is not None:
-            z = multifrontal_solve_gpu(device, self.factors,
-                                       c[self.nd.perm], engine=engine,
+            z = multifrontal_solve_gpu(device, self.factors, cp,
+                                       engine=engine,
                                        plan=plan, cache=cache,
                                        rhs_block=rhs_block).x
         else:
-            z = multifrontal_solve(self.factors, c[self.nd.perm])
+            z = multifrontal_solve(self.factors, cp)
         y = np.empty_like(z)
         y[self.nd.perm] = z
         if self._mc64 is not None:
             y = self._mc64.dc * y if y.ndim == 1 else \
                 self._mc64.dc[:, None] * y
         return y
+
+    def _gmres_refine(self, b: np.ndarray, x0: np.ndarray,
+                      substitute) -> tuple[np.ndarray, int]:
+        """GMRES-IR escalation for stagnated mixed-precision refinement.
+
+        Right-preconditioned restarted (F)GMRES per right-hand-side
+        column: the reduced-precision factors serve as the
+        preconditioner (one ``substitute`` sweep per inner iteration)
+        while every vector operation — matvec against the original FP64
+        matrix, modified Gram-Schmidt, the small Hessenberg least-squares
+        — runs in FP64.  Bounded by :data:`GMRES_RESTART` inner
+        iterations per cycle and :data:`GMRES_MAX_RESTARTS` cycles per
+        column; returns the refined solution and the total number of
+        restart cycles spent.  Convergence is *not* guaranteed — the
+        caller checks the achieved backward error afterwards.
+        """
+        one_col = b.ndim == 1
+        b2 = b.reshape(-1, 1) if one_col else b
+        x2 = np.array(x0.reshape(-1, 1) if one_col else x0)
+        n = b2.shape[0]
+        tiny = np.finfo(np.float64).tiny
+        cycles = 0
+        for col in range(b2.shape[1]):
+            bc = b2[:, col]
+            norm_bc = float(np.linalg.norm(bc))
+            target = REFINE_TARGET * (norm_bc if norm_bc else 1.0)
+            xc = x2[:, col]
+            for _ in range(GMRES_MAX_RESTARTS):
+                r = bc - self.a @ xc
+                beta = float(np.linalg.norm(r))
+                if beta <= target:
+                    break
+                cycles += 1
+                m = GMRES_RESTART
+                V = np.zeros((n, m + 1), dtype=b2.dtype)
+                Z = np.zeros((n, m), dtype=b2.dtype)
+                H = np.zeros((m + 1, m), dtype=b2.dtype)
+                e1 = np.zeros(m + 1, dtype=b2.dtype)
+                e1[0] = beta
+                V[:, 0] = r / beta
+                y = np.zeros(0, dtype=b2.dtype)
+                k = 0
+                for j in range(m):
+                    # flexible: keep the preconditioned vector so the
+                    # update stays exact even though ``substitute`` is a
+                    # reduced-precision (hence slightly varying) operator
+                    Z[:, j] = np.asarray(substitute(V[:, j]),
+                                         dtype=b2.dtype)
+                    w = self.a @ Z[:, j]
+                    for i in range(j + 1):
+                        H[i, j] = np.vdot(V[:, i], w)
+                        w = w - H[i, j] * V[:, i]
+                    h = float(np.linalg.norm(w))
+                    H[j + 1, j] = h
+                    y, res, _, _ = np.linalg.lstsq(H[:j + 2, :j + 1],
+                                                   e1[:j + 2], rcond=None)
+                    k = j + 1
+                    est = float(np.sqrt(res[0])) if res.size else \
+                        float(np.linalg.norm(
+                            e1[:j + 2] - H[:j + 2, :j + 1] @ y))
+                    if est <= target or h < tiny:
+                        break     # converged (or lucky breakdown)
+                    V[:, j + 1] = w / h
+                if y.size:
+                    xc = xc + Z[:, :k] @ y
+            x2[:, col] = xc
+        return (x2[:, 0] if one_col else x2), cycles
 
     def solve(self, b: np.ndarray, *, refine_steps: int = 1,
               device: Device | None = None, engine="bucketed",
@@ -412,6 +585,20 @@ class SparseLU:
         :class:`~repro.errors.FactorizationError` is raised instead of
         returning a garbage ``x``.  Non-finite substitution output
         raises the same typed error, never silently returns NaN/Inf.
+
+        Mixed precision: after ``factor(precision="fp32")`` each
+        substitution sweep runs in the reduced working precision while
+        the residuals, the solution accumulator and the refinement
+        updates stay FP64 against the original matrix.  Refinement is
+        always escalated; if it stagnates (successive residuals shrink
+        by less than :data:`_STAGNATION_RATIO`) the solve switches to
+        GMRES-IR-style bounded restarts (:meth:`_gmres_refine`).  If
+        even that misses :data:`REFINE_TARGET`, the solver re-factors in
+        FP64, records a ``precision-fallback`` recovery action and
+        solves again (``info.fallback`` is set) — or raises
+        :class:`~repro.errors.PrecisionFallback` when the handle was
+        factored with ``precision_fallback=False``.  ``info.precision``
+        always names the precision that produced the returned ``x``.
         """
         if not self._factored:
             raise RuntimeError("factor() must run before solve()")
@@ -431,25 +618,31 @@ class SparseLU:
         # eviction with this one's upload.  Host-only solves are
         # read-only over the factors and run lock-free.
         with self._solve_lock if device is not None else nullcontext():
-            plan = cache = None
             eng = resolve_engine(engine)
             mark = device.recovery_log.mark() if device is not None else 0
-            if device is not None and eng is not None:
-                plan, cache = self._device_solve_state(device,
-                                                       memory_budget, eng)
+            reduced = self.precision == "fp32"
             # The device is dropped for the rest of this call (all
             # remaining substitution passes included) the first time its
             # recovery options run dry — the host path is the ladder's
-            # last rung.
-            state = {"device": device}
+            # last rung.  ``work`` is the dtype the permuted rhs is cast
+            # to before each sweep (None = native); plan/cache/report
+            # are re-pointed when a precision fallback re-factors.
+            state = {"device": device, "plan": None, "cache": None,
+                     "work": _REDUCED_OF[b.dtype] if reduced else None,
+                     "report": report}
+            if device is not None and eng is not None:
+                state["plan"], state["cache"] = \
+                    self._device_solve_state(device, memory_budget, eng)
 
             def substitute(rhs):
                 dev = state["device"]
                 if dev is not None:
                     try:
                         y = self._solve_once(rhs, dev, engine=engine,
-                                             rhs_block=rhs_block, plan=plan,
-                                             cache=cache)
+                                             rhs_block=rhs_block,
+                                             plan=state["plan"],
+                                             cache=state["cache"],
+                                             work_dtype=state["work"])
                     except (ResourceExhausted, DeviceOutOfMemory,
                             TransferError, KernelLaunchError) as exc:
                         state["device"] = None
@@ -457,37 +650,121 @@ class SparseLU:
                             "host-fallback", site="SparseLU.solve",
                             detail=f"{type(exc).__name__}: {exc}")
                         y = self._solve_once(rhs, None, engine=engine,
-                                             rhs_block=rhs_block)
+                                             rhs_block=rhs_block,
+                                             work_dtype=state["work"])
                 else:
                     y = self._solve_once(rhs, None, engine=engine,
-                                         rhs_block=rhs_block)
+                                         rhs_block=rhs_block,
+                                         work_dtype=state["work"])
                 if not np.all(np.isfinite(y)):
                     raise FactorizationError(
                         "substitution produced non-finite values — the "
                         "factors are numerically unusable; re-factor with "
-                        "static_pivot=True (or MC64 scaling)", report)
+                        "static_pivot=True (or MC64 scaling)",
+                        state["report"])
                 return y
 
-            x = substitute(b)
-            info = SolveInfo(report=report)
+            info = SolveInfo(report=report,
+                             precision="fp32" if reduced else "fp64")
             norm_b = float(np.linalg.norm(b))
             denom = norm_b if norm_b else 1.0
 
             def resid(xv):
                 return float(np.linalg.norm(b - self.a @ xv) / denom)
 
-            info.residuals.append(resid(x))
-            max_steps = max(refine_steps, ESCALATED_REFINE_STEPS) \
-                if perturbed else refine_steps
-            for step in range(max_steps):
-                if step >= refine_steps and \
-                        info.residuals[-1] <= REFINE_TARGET:
-                    break
-                if step >= refine_steps:
-                    info.escalated = True
-                r = b - self.a @ x
-                x = x + substitute(r)
+            def run_ladder(reduced_now):
+                """Direct solve + bounded plain refinement.  Residuals
+                are always computed against the FP64 matrix; a reduced
+                solve accumulates its corrections in FP64 and always
+                escalates (the cheap factors *need* refinement)."""
+                x = substitute(b)
+                if reduced_now:
+                    x = x.astype(b.dtype, copy=False)
                 info.residuals.append(resid(x))
+                max_steps = max(refine_steps, ESCALATED_REFINE_STEPS) \
+                    if (perturbed or reduced_now) else refine_steps
+                for step in range(max_steps):
+                    if step >= refine_steps and \
+                            info.residuals[-1] <= REFINE_TARGET:
+                        break
+                    if reduced_now and len(info.residuals) >= 2 and \
+                            info.residuals[-1] > REFINE_TARGET and \
+                            info.residuals[-1] > _STAGNATION_RATIO * \
+                            info.residuals[-2]:
+                        break     # stagnant — hand over to GMRES-IR
+                    if step >= refine_steps:
+                        info.escalated = True
+                    r = b - self.a @ x
+                    x = x + substitute(r)
+                    info.residuals.append(resid(x))
+                return x
+
+            x = None
+            failure = None
+            host_log = None
+            try:
+                x = run_ladder(reduced)
+            except FactorizationError as exc:
+                if not reduced:
+                    raise
+                failure = exc
+
+            if reduced:
+                if failure is None and info.residuals[-1] > REFINE_TARGET:
+                    # plain refinement stagnated above the target:
+                    # GMRES-IR-style bounded restarts, preconditioned by
+                    # the same cheap factors
+                    try:
+                        x, cycles = self._gmres_refine(b, x, substitute)
+                        info.gmres_cycles = cycles
+                        if cycles:
+                            info.escalated = True
+                        info.residuals.append(resid(x))
+                    except FactorizationError as exc:
+                        failure = exc
+                if failure is not None \
+                        or info.residuals[-1] > REFINE_TARGET:
+                    achieved = info.residuals[-1] if info.residuals \
+                        else float("nan")
+                    if not self._precision_fallback:
+                        if device is not None:
+                            info.recovery = device.recovery_log.since(mark)
+                        err = PrecisionFallback(
+                            f"mixed-precision solve reached backward "
+                            f"error {achieved:.3e} (target "
+                            f"{REFINE_TARGET:g}) and "
+                            f"precision_fallback=False forbids the FP64 "
+                            f"re-factorization", report,
+                            achieved=achieved, target=REFINE_TARGET)
+                        if failure is not None:
+                            raise err from failure
+                        raise err
+                    detail = (f"backward error {achieved:.3e} > target "
+                              f"{REFINE_TARGET:g}")
+                    if failure is not None:
+                        detail = f"{type(failure).__name__}: {failure}"
+                    host_log = self._log_precision_fallback(
+                        device, "SparseLU.solve", detail)
+                    backend_f, device_f, kw_f = self._factor_call
+                    self.factor(backend=backend_f, device=device_f,
+                                precision="fp64", **kw_f)
+                    check_factors_ok(self.factors, "solve")
+                    report = getattr(self.factors, "report", None)
+                    perturbed = report is not None \
+                        and report.total_replaced > 0
+                    state["report"] = report
+                    state["work"] = None
+                    state["device"] = device
+                    state["plan"] = state["cache"] = None
+                    if device is not None and eng is not None:
+                        state["plan"], state["cache"] = \
+                            self._device_solve_state(device,
+                                                     memory_budget, eng)
+                    info.report = report
+                    info.fallback = True
+                    info.precision = "fp64"
+                    x = run_ladder(False)
+
             if perturbed and info.residuals[-1] > REFINE_TARGET:
                 raise FactorizationError(
                     f"iterative refinement stagnated at backward error "
@@ -499,4 +776,6 @@ class SparseLU:
                     f"recovery", report)
             if device is not None:
                 info.recovery = device.recovery_log.since(mark)
+            elif host_log is not None:
+                info.recovery = host_log
             return x, info

@@ -1,0 +1,202 @@
+"""Mixed-precision SparseLU: FP32 factors with FP64 iterative refinement.
+
+The contract under test (§ mixed precision): ``factor(precision="fp32")``
+casts the permuted matrix once and runs every backend's kernels in the
+working dtype; ``solve`` always refines in FP64 against the *original*
+matrix until the backward error meets ``REFINE_TARGET``, escalating to
+bounded GMRES-IR on stagnation and finally re-factoring in FP64 — so a
+well-conditioned system gets FP64 answers from half-priced factors, and
+a pathological one transparently lands on exactly the answer the native
+FP64 path gives.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.device import A100, Device
+from repro.errors import FactorizationError, PrecisionFallback
+from repro.sparse import SparseLU
+from repro.sparse.solver import REFINE_TARGET, _REDUCED_OF
+
+from .util import grid2d
+
+pytestmark = pytest.mark.precision
+
+GPU_BACKENDS = ["batched", "looped", "strumpack", "superlu"]
+
+
+def laplacian_power(n, k=2):
+    """1-D Laplacian raised to the k-th power: condition number grows
+    like n**(2k), which defeats FP32 factors (κ ≳ 1/eps32) long before
+    it troubles FP64."""
+    L = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n),
+                 format="csr")
+    a = L
+    for _ in range(k - 1):
+        a = a @ L
+    return sp.csr_matrix(a)
+
+
+def underflow_grid(n=6):
+    """Well-conditioned operator scaled below the FP32 normal range:
+    every pivot underflows the working precision's breakdown threshold,
+    while the FP64 factorization is perfectly healthy."""
+    return sp.csr_matrix(grid2d(n, n) * 1e-40)
+
+
+class TestReducedFactors:
+    def test_cpu_factors_are_float32(self, rng):
+        s = SparseLU(grid2d(10, 10)).factor(precision="fp32")
+        assert s.precision == "fp32"
+        for f in s.factors.fronts:
+            assert f.f11.dtype == np.float32
+
+    @pytest.mark.parametrize("backend", GPU_BACKENDS)
+    def test_gpu_backends_factor_reduced(self, rng, backend):
+        a = grid2d(10, 10)
+        s = SparseLU(a).analyze()
+        s.factor(backend=backend, device=Device(A100()),
+                 precision="fp32")
+        assert s.precision == "fp32"
+        for f in s.factors.fronts:
+            assert f.f11.dtype == np.float32
+        x, info = s.solve(rng.standard_normal(100))
+        assert info.precision == "fp32" and not info.fallback
+        assert info.final_residual <= REFINE_TARGET
+        assert x.dtype == np.float64
+
+    def test_complex_reduces_to_complex64(self, rng):
+        a = grid2d(8, 8)
+        a = sp.csr_matrix(a + 1j * sp.diags(0.3 * np.ones(64)))
+        assert a.dtype == np.complex128
+        s = SparseLU(a).factor(precision="fp32")
+        for f in s.factors.fronts:
+            assert f.f11.dtype == np.complex64
+        b = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        x, info = s.solve(b)
+        assert x.dtype == np.complex128
+        assert info.precision == "fp32"
+        assert info.final_residual <= REFINE_TARGET
+
+    def test_fp64_spelling_is_native_path(self, rng):
+        a, b = grid2d(8, 8), rng.standard_normal(64)
+        ref, _ = SparseLU(a).factor().solve(b)
+        x, info = SparseLU(a).factor(precision="fp64").solve(b)
+        np.testing.assert_array_equal(x, ref)
+        assert info.precision == "fp64" and not info.fallback
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            SparseLU(grid2d(4, 4)).factor(precision="fp16")
+
+    def test_reduced_dtype_map(self):
+        assert _REDUCED_OF[np.dtype(np.float64)] == np.float32
+        assert _REDUCED_OF[np.dtype(np.complex128)] == np.complex64
+
+
+class TestRefinement:
+    def test_refines_to_fp64_target(self, rng):
+        a = grid2d(12, 12)
+        s = SparseLU(a).factor(precision="fp32")
+        b = rng.standard_normal(144)
+        x, info = s.solve(b)
+        assert info.final_residual <= REFINE_TARGET
+        # the first sweep is genuinely single precision: its backward
+        # error sits far above the final one
+        assert info.residuals[0] > 10 * info.residuals[-1]
+        assert not info.fallback and info.gmres_cycles == 0
+
+    def test_matches_fp64_solution_to_fp64_accuracy(self, rng):
+        a = grid2d(12, 12)
+        b = rng.standard_normal(144)
+        ref, _ = SparseLU(a).factor().solve(b)
+        x, _ = SparseLU(a).factor(precision="fp32").solve(b)
+        scale = np.abs(ref).max()
+        assert np.abs(x - ref).max() / scale < 1e-10
+
+    def test_multiple_rhs(self, rng):
+        a = grid2d(9, 9)
+        s = SparseLU(a).factor(precision="fp32")
+        B = rng.standard_normal((81, 3))
+        X, info = s.solve(B)
+        assert X.shape == (81, 3)
+        assert info.final_residual <= REFINE_TARGET
+
+    def test_device_solve_refines(self, rng):
+        dev = Device(A100())
+        s = SparseLU(grid2d(10, 10)).analyze()
+        s.factor(backend="batched", device=dev, precision="fp32")
+        x, info = s.solve(rng.standard_normal(100), device=dev)
+        assert info.precision == "fp32"
+        assert info.final_residual <= REFINE_TARGET
+        assert info.recovery is not None       # device solve slice
+
+    def test_refactor_restores_native_precision(self, rng):
+        a, b = grid2d(8, 8), rng.standard_normal(64)
+        s = SparseLU(a).factor(precision="fp32")
+        s.factor()                              # back to the default
+        assert s.precision == "fp64"
+        x, info = s.solve(b)
+        ref, _ = SparseLU(a).factor().solve(b)
+        np.testing.assert_array_equal(x, ref)
+
+
+class TestEscalationAndFallback:
+    def test_ill_conditioned_takes_fp64_fallback(self, rng):
+        a = laplacian_power(120, 2)            # κ ~ 1e9: defeats FP32
+        b = rng.standard_normal(120)
+        s = SparseLU(a).factor(precision="fp32")
+        x, info = s.solve(b)
+        assert info.escalated                  # stagnation escalated
+        assert info.fallback and info.precision == "fp64"
+        assert s.precision == "fp64"           # handle healed in place
+        assert info.recovery is not None
+        assert any(e.action == "precision-fallback"
+                   for e in info.recovery.events)
+        # the fallback IS the native FP64 path — bit for bit
+        ref, ref_info = SparseLU(a).factor().solve(b)
+        np.testing.assert_array_equal(x, ref)
+        assert info.final_residual == ref_info.final_residual
+
+    def test_gmres_attempted_before_fallback(self, rng):
+        a = laplacian_power(120, 2)
+        s = SparseLU(a).factor(precision="fp32")
+        _, info = s.solve(rng.standard_normal(120))
+        assert info.gmres_cycles >= 1
+
+    def test_strict_mode_raises_typed_error(self, rng):
+        a = laplacian_power(120, 2)
+        s = SparseLU(a).factor(precision="fp32",
+                               precision_fallback=False)
+        with pytest.raises(PrecisionFallback) as exc:
+            s.solve(rng.standard_normal(120))
+        err = exc.value
+        assert err.target == REFINE_TARGET
+        assert err.achieved > err.target
+        assert isinstance(err, FactorizationError)
+
+    def test_factor_breakdown_refactors_in_fp64(self, rng):
+        a = underflow_grid(6)
+        s = SparseLU(a).factor(precision="fp32")
+        assert s.precision == "fp64"           # silently re-factored
+        assert s.factor_report is not None and s.factor_report.ok
+        rec = s.factor_report.recovery
+        assert rec is not None and any(
+            e.action == "precision-fallback" for e in rec.events)
+        x, info = s.solve(rng.standard_normal(36))
+        assert info.final_residual < 1e-12
+
+    def test_factor_breakdown_strict_raises(self):
+        with pytest.raises(PrecisionFallback,
+                           match="precision_fallback=False"):
+            SparseLU(underflow_grid(6)).factor(
+                precision="fp32", precision_fallback=False)
+
+    def test_device_factor_breakdown_logs_on_device(self):
+        dev = Device(A100())
+        s = SparseLU(underflow_grid(6)).analyze()
+        s.factor(backend="batched", device=dev, precision="fp32")
+        assert s.precision == "fp64"
+        assert any(e.action == "precision-fallback"
+                   for e in dev.recovery_log.events)

@@ -19,13 +19,26 @@ run verifies the parity contract first: the coalesced results are
 bitwise identical to the solo results, and the coalesced launch count
 is strictly smaller.
 
+``--slo`` switches to the traffic-replay benchmark: the standard mixes
+(steady Poisson, burst-storm, heavy-tail, closed-loop — see
+:data:`repro.workloads.traffic.STANDARD_MIXES`) replay in virtual time
+against (a) the hand-picked ``CoalescingPolicy()`` default and (b) the
+same default with the :class:`~repro.serve.autotune.OnlineAutotuner`
+hot-swapping refined policies mid-run.  Gates, per mix: the autotuned
+run delivers **strictly higher simulated throughput**, meets **every
+per-class p99 SLO**, and its per-request results are **bitwise
+identical** to the static run's (tuning changes launch shapes, never
+bits).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py            # full run
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py --slo      # traffic/SLO
 
-Writes ``BENCH_serve.json`` (repo root) and ``results/bench_serve.txt``.
-Exits non-zero if parity fails or the speedup gate is missed.
+Writes ``BENCH_serve.json`` (repo root) and ``results/bench_serve.txt``
+(``results/bench_serve_slo.txt`` and an ``slo`` JSON section for
+``--slo``).  Exits non-zero if parity fails or any gate is missed.
 """
 
 from __future__ import annotations
@@ -42,7 +55,9 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.device import A100, Device  # noqa: E402
-from repro.serve import CoalescingPolicy, SolverService  # noqa: E402
+from repro.serve import AutotuneConfig, CoalescingPolicy, \
+    OnlineAutotuner, SolverService  # noqa: E402
+from repro.workloads.traffic import STANDARD_MIXES, run_mix  # noqa: E402
 
 TARGET_SPEEDUP = 2.0    # acceptance: coalesced >= 2x solo throughput
 SMOKE_SPEEDUP = 1.5     # relaxed gate for the tiny CI workload
@@ -91,13 +106,122 @@ def check_parity(solo, coalesced) -> None:
                              "between solo and coalesced dispatch")
 
 
+def _mix_parity(static, tuned) -> bool:
+    """Bitwise identity of every per-request result across the two
+    replays (both submitted byte-identical payloads)."""
+    for a, b in zip(static.results, tuned.results):
+        if (a is None) != (b is None):
+            return False
+        if a is not None and not np.array_equal(a, b):
+            return False
+    return True
+
+
+def run_slo(smoke: bool, seed: int) -> tuple[str, dict, int]:
+    """The traffic/SLO benchmark: static default vs online-autotuned on
+    every standard mix.  Returns (report text, json payload, exit code).
+    """
+    policy = CoalescingPolicy(max_queue=4096)
+    cfg = AutotuneConfig(min_requests=12, min_dispatches=2)
+
+    def tuner(svc, clock):
+        return OnlineAutotuner(svc, clock=clock, config=cfg, seed=seed)
+
+    lines = [
+        "bench_serve --slo: static CoalescingPolicy() vs online autotuner",
+        f"mixes: {', '.join(STANDARD_MIXES)} (virtual-time replay, "
+        f"seed {seed})",
+        "",
+        f"{'mix':<12} {'static r/s':>11} {'tuned r/s':>10} {'gain':>7} "
+        f"{'parity':>7} {'slo':>5} {'swaps':>6} {'rollbacks':>10}",
+    ]
+    payload: dict = {}
+    failures: list[str] = []
+    for name, mix in STANDARD_MIXES.items():
+        if smoke:
+            mix = type(mix)(**{**mix.__dict__,
+                               "count": max(64, mix.count // 3)})
+        static = run_mix(mix, policy=policy, seed=seed)
+        tuned = run_mix(mix, policy=policy, seed=seed, autotuner=tuner,
+                        tune_every=1e-2)
+        parity = _mix_parity(static, tuned)
+        slo_ok = tuned.slo_met()
+        # full run: the tuner must strictly beat the hand-picked
+        # default; the smoke workload is too short for convergence, so
+        # CI gates on "never worse" (+ parity + SLOs) instead
+        beat = tuned.throughput >= static.throughput if smoke \
+            else tuned.throughput > static.throughput
+        if not parity:
+            failures.append(f"{name}: PARITY failure (tuning changed "
+                            f"result bits)")
+        if not slo_ok:
+            misses = {k: v for k, v in tuned.per_class.items()
+                      if not v["met"]}
+            failures.append(f"{name}: p99 SLO missed: {misses}")
+        if not beat:
+            failures.append(
+                f"{name}: autotuned throughput {tuned.throughput:.1f} "
+                f"did not beat static {static.throughput:.1f}")
+        lines.append(
+            f"{name:<12} {static.throughput:>11.1f} "
+            f"{tuned.throughput:>10.1f} "
+            f"{tuned.throughput / static.throughput:>6.3f}x "
+            f"{'yes' if parity else 'NO':>7} "
+            f"{'met' if slo_ok else 'MISS':>5} "
+            f"{tuned.tuner['swaps']:>6d} {tuned.tuner['rollbacks']:>10d}")
+        payload[name] = {
+            "static": {"throughput": static.throughput,
+                       "makespan": static.makespan,
+                       "dispatches": static.dispatches,
+                       "per_class": static.per_class},
+            "tuned": {"throughput": tuned.throughput,
+                      "makespan": tuned.makespan,
+                      "dispatches": tuned.dispatches,
+                      "per_class": tuned.per_class,
+                      "final_policy": {
+                          k: v for k, v in tuned.policy.items()
+                          if k in ("max_batch", "max_wait",
+                                   "hot_threshold", "panel_regime",
+                                   "trsm_class_cutoff")},
+                      "tuner": tuned.tuner},
+            "gain": tuned.throughput / static.throughput
+            if static.throughput else 0.0,
+            "parity": parity,
+            "slo_met": slo_ok,
+        }
+    lines.append("")
+    if failures:
+        lines.extend(f"FAIL: {f}" for f in failures)
+    else:
+        lines.append("all gates met: throughput beaten, SLOs met, "
+                     "bitwise parity on every mix")
+    return "\n".join(lines), payload, 1 if failures else 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
                     help="small workload + relaxed gate (CI)")
     ap.add_argument("--requests", type=int, default=None,
                     help="override workload size")
+    ap.add_argument("--slo", action="store_true",
+                    help="traffic-replay benchmark: static vs autotuned "
+                         "policies under per-class p99 SLO gates")
+    ap.add_argument("--seed", type=int, default=7)
     args = ap.parse_args()
+
+    if args.slo:
+        text, payload, rc = run_slo(args.smoke, args.seed)
+        print(text)
+        (ROOT / "results").mkdir(exist_ok=True)
+        (ROOT / "results" / "bench_serve_slo.txt").write_text(text + "\n")
+        bench_path = ROOT / "BENCH_serve.json"
+        merged = json.loads(bench_path.read_text()) \
+            if bench_path.exists() else {}
+        merged["slo"] = {"seed": args.seed, "smoke": bool(args.smoke),
+                         "mixes": payload}
+        bench_path.write_text(json.dumps(merged, indent=2) + "\n")
+        return rc
 
     n = args.requests or (60 if args.smoke else 500)
     lo, hi = 4, 64
@@ -141,7 +265,10 @@ def main() -> int:
 
     (ROOT / "results").mkdir(exist_ok=True)
     (ROOT / "results" / "bench_serve.txt").write_text(text + "\n")
-    (ROOT / "BENCH_serve.json").write_text(json.dumps({
+    bench_path = ROOT / "BENCH_serve.json"
+    merged = json.loads(bench_path.read_text()) \
+        if bench_path.exists() else {}
+    merged.update({
         "workload": {"requests": n, "size_lo": lo, "size_hi": hi,
                      "dtype": "float64"},
         "solo": {"sim_seconds": sim_s, "throughput": thr_s,
@@ -160,7 +287,8 @@ def main() -> int:
         "gate": gate,
         "parity": "bitwise",
         "smoke": bool(args.smoke),
-    }, indent=2) + "\n")
+    })
+    bench_path.write_text(json.dumps(merged, indent=2) + "\n")
 
     if speedup < gate:
         print(f"FAIL: speedup {speedup:.2f}x below gate {gate:.1f}x",

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..device.kernel import KernelCost
 from ..device.simulator import Device
+from ..errors import InfeasibleConfig
 from .interface import IrrBatch
 
 __all__ = ["fused_getf2", "columnwise_getf2", "panel_shared_bytes",
@@ -251,7 +252,7 @@ def fused_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,
     """
     smem = panel_shared_bytes(batch.max_m, j, ib, batch.itemsize)
     if smem > device.spec.max_shared_per_block:
-        raise ValueError(
+        raise InfeasibleConfig(
             f"panel of {smem} B does not fit in shared memory "
             f"({device.spec.max_shared_per_block} B) — use columnwise_getf2")
 

@@ -14,6 +14,25 @@ sampled per candidate configuration, and the candidate with the best
 modeled throughput wins.  Because the sub-batch preserves the size
 distribution, the winner transfers to the full batch; the sampling cost
 is a few percent of one full factorization.
+
+Two failure-handling rules keep the tuner honest:
+
+* A candidate that violates a hard device limit raises
+  :class:`~repro.errors.InfeasibleConfig` and is *skipped* (recorded in
+  :attr:`TuningResult.infeasible`).  Any other :class:`ValueError` is an
+  argument bug — in the candidate grid or in the batch itself — and
+  propagates instead of being silently swallowed as "infeasible".
+* When **every** candidate is infeasible the tuner degrades, it does not
+  crash: the result carries the default configuration, an empty trial
+  table and ``exhausted=True``, so a caller can fall back to the kernel
+  defaults (which self-select a feasible path at run time).
+
+The same sampled-trial machinery generalizes beyond one batch: the online
+autotuner (:mod:`repro.serve.autotune`) feeds *observed traffic*
+size-distribution summaries (from
+:meth:`~repro.serve.stats.ServiceStats.order_summary`) through
+:func:`autotune_getrf` via synthetic representative batches — see
+:func:`representative_orders`.
 """
 
 from __future__ import annotations
@@ -24,10 +43,12 @@ import numpy as np
 
 from ..device.simulator import Device
 from ..device.spec import DeviceSpec
+from ..errors import InfeasibleConfig
 from .getrf import irr_getrf
 from .interface import IrrBatch
 
-__all__ = ["autotune_getrf", "TuningResult", "size_distribution_summary"]
+__all__ = ["autotune_getrf", "TuningResult", "size_distribution_summary",
+           "representative_orders"]
 
 #: candidate grid: the §IV-E design parameter plus the §IV-F/§VI variants
 _CANDIDATES = [
@@ -37,14 +58,27 @@ _CANDIDATES = [
     for cs in (False, True)
 ]
 
+#: the configuration a degraded tuner falls back to — the kernel defaults
+#: (every knob self-selects a feasible path at run time).
+_DEFAULT = {"nb": "auto", "laswp_variant": "rehearsed",
+            "concurrent_swaps": False}
+
 
 @dataclass
 class TuningResult:
-    """The chosen configuration and the full candidate table."""
+    """The chosen configuration and the full candidate table.
+
+    ``exhausted`` marks a degraded result: every candidate was
+    infeasible on this device/batch, so :attr:`best` is the default
+    configuration and :attr:`trials` is empty.  ``infeasible`` lists the
+    skipped candidates either way.
+    """
 
     best: dict
     trials: list[tuple[dict, float]] = field(default_factory=list)
     sample_size: int = 0
+    infeasible: list[dict] = field(default_factory=list)
+    exhausted: bool = False
 
     def speedup_over_worst(self) -> float:
         times = [t for _, t in self.trials]
@@ -67,6 +101,28 @@ def size_distribution_summary(m_vec, n_vec) -> dict:
     }
 
 
+def representative_orders(summary: dict, count: int = 12,
+                          seed: int = 0) -> list[int]:
+    """Synthesize a batch of orders matching a size-distribution summary.
+
+    The inverse of :func:`size_distribution_summary`, coarse by design:
+    a log-triangular draw spanning ``[min, max]`` peaked at the median
+    reproduces the summary's location and spread well enough for
+    relative candidate ranking, which is all a tuner trial needs.  Used
+    by the online autotuner to replay *observed traffic* shapes through
+    the sampled-trial machinery without retaining request payloads.
+    """
+    lo = max(int(summary.get("min", 0)), 1)
+    hi = max(int(summary.get("max", 0)), lo)
+    med = min(max(float(summary.get("median", lo)) or lo, lo), hi)
+    if hi == lo:
+        return [lo] * count
+    rng = np.random.default_rng(seed)
+    draws = rng.triangular(np.log(lo), np.log(med) if med > lo
+                           else np.log(lo), np.log(hi), size=count)
+    return [int(round(x)) for x in np.exp(draws)]
+
+
 def autotune_getrf(spec: DeviceSpec, matrices: list[np.ndarray], *,
                    sample_size: int = 24, seed: int = 0,
                    candidates: list[dict] | None = None) -> TuningResult:
@@ -76,6 +132,13 @@ def autotune_getrf(spec: DeviceSpec, matrices: list[np.ndarray], *,
     simulated device (so trials don't perturb the caller's device state)
     and returns the fastest.  ``matrices`` are host matrices; the
     factorization trials work on copies.
+
+    Candidates that violate a hard device limit
+    (:class:`~repro.errors.InfeasibleConfig`) are skipped and recorded;
+    any other :class:`ValueError` propagates — a malformed candidate or
+    batch is a bug, not an infeasibility.  When every candidate is
+    infeasible the result degrades to the default configuration with an
+    empty trial table (``exhausted=True``) instead of crashing.
     """
     if not matrices:
         return TuningResult(best=dict(_CANDIDATES[0]), trials=[])
@@ -85,16 +148,24 @@ def autotune_getrf(spec: DeviceSpec, matrices: list[np.ndarray], *,
     sample = [matrices[i] for i in idx]
 
     trials: list[tuple[dict, float]] = []
+    infeasible: list[dict] = []
     for cand in (candidates or _CANDIDATES):
         dev = Device(spec)
         batch = IrrBatch.from_host(dev, [m.copy() for m in sample])
         try:
             with dev.timed_region() as t:
                 irr_getrf(dev, batch, **cand)
-        except ValueError:
-            continue  # infeasible candidate (e.g. forced fused panel)
+        except InfeasibleConfig:
+            infeasible.append(dict(cand))
+            continue  # hard device limit (e.g. forced fused panel)
         trials.append((dict(cand), t["elapsed"]))
 
+    if not trials:
+        # every candidate infeasible on this device/batch: degrade to
+        # the kernel defaults instead of crashing on trials[0]
+        return TuningResult(best=dict(_DEFAULT), trials=[],
+                            sample_size=n_samp, infeasible=infeasible,
+                            exhausted=True)
     trials.sort(key=lambda kv: kv[1])
     return TuningResult(best=trials[0][0], trials=trials,
-                        sample_size=n_samp)
+                        sample_size=n_samp, infeasible=infeasible)

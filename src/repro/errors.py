@@ -48,7 +48,7 @@ import numpy as np
 
 __all__ = ["FactorizationError", "PrecisionFallback", "TransferError",
            "KernelLaunchError", "ResourceExhausted", "ServiceOverloaded",
-           "DeadlineExceeded", "RequestCancelled"]
+           "DeadlineExceeded", "RequestCancelled", "InfeasibleConfig"]
 
 
 class FactorizationError(np.linalg.LinAlgError):
@@ -211,4 +211,17 @@ class RequestCancelled(RuntimeError):
     Raised by ``result()``/``exception()`` on a future whose
     ``cancel()`` succeeded; a request already running cannot be
     cancelled.
+    """
+
+
+class InfeasibleConfig(ValueError):
+    """A kernel configuration cannot run on this device/batch at all.
+
+    Raised when a *forced* configuration violates a hard device limit —
+    e.g. ``panel="fused"`` on a panel that does not fit the per-block
+    shared memory.  Subclasses :class:`ValueError` for backward
+    compatibility, but gives tuners a way to tell "this candidate can
+    never work here" apart from an argument-validation bug: the
+    autotuner skips :class:`InfeasibleConfig` candidates and propagates
+    every other :class:`ValueError`.
     """

@@ -13,16 +13,22 @@ Public surface::
 
 See :class:`~repro.serve.service.SolverService` for the threading and
 isolation contracts, :class:`~repro.serve.scheduler.CoalescingPolicy`
-for the batching knobs, and :class:`~repro.serve.stats.ServiceStats`
-for observability.
+for the batching knobs (a hot-swappable
+:class:`~repro.serve.scheduler.DispatchPolicy` — see
+:meth:`SolverService.set_policy`),
+:class:`~repro.serve.autotune.OnlineAutotuner` for closed-loop policy
+tuning, and :class:`~repro.serve.stats.ServiceStats` for observability.
 """
 
-from .scheduler import AdmissionQueue, CoalescingPolicy, ServiceFuture
+from .autotune import AutotuneConfig, OnlineAutotuner, TuneAction, Window
+from .scheduler import AdmissionQueue, CoalescingPolicy, DispatchPolicy, \
+    ServiceFuture
 from .service import FactorHandle, SolverService
 from .session import MemoryArbiter, ServeSession
 from .stats import DispatchRecord, LatencyHistogram, ServiceStats
 
-__all__ = ["SolverService", "CoalescingPolicy", "ServiceFuture",
-           "FactorHandle", "ServeSession", "MemoryArbiter",
-           "ServiceStats", "DispatchRecord", "LatencyHistogram",
-           "AdmissionQueue"]
+__all__ = ["SolverService", "CoalescingPolicy", "DispatchPolicy",
+           "ServiceFuture", "FactorHandle", "ServeSession",
+           "MemoryArbiter", "ServiceStats", "DispatchRecord",
+           "LatencyHistogram", "AdmissionQueue", "OnlineAutotuner",
+           "AutotuneConfig", "TuneAction", "Window"]

@@ -1,4 +1,4 @@
-"""Admission queue and coalescing policy for the solver service.
+"""Admission queue and dispatch policy for the solver service.
 
 The scheduler answers one question: *which pending requests may share a
 single batched launch group without changing anyone's bits?*  Grouping is
@@ -14,15 +14,27 @@ by a compatibility key computed at admission:
   the whole batch into the recursive panel split, whose blocking depends
   on ``max_m`` across the batch — those requests get singleton keys and
   dispatch alone.
-* **Dense solves** group by ``(dtype, exact order)``: the irrTRSM
+* **Dense solves** group by ``(dtype, order class)``: the irrTRSM
   recursion splits the *required* order, so mixing orders would change
-  the blocking (and the accumulation order) of every member.  Same-order
-  systems share the recursion exactly and stay bitwise-identical.
+  the blocking (and the accumulation order) of every member.  Orders at
+  or below the class cutoff share the single base-case kernel (whose
+  numerics run per matrix over local dims — bitwise-safe for any mix);
+  larger orders get exact-order keys.
 * **Sparse solves** are singleton by default — stacking right-hand sides
   changes the BLAS accumulation width and the refinement's global
   residual norm, neither bitwise-safe.  ``coalesce_sparse_rhs=True``
   opts a session into same-session RHS stacking (results then match to
   rounding, not bitwise).
+
+*How long to hold a group open* is the :class:`DispatchPolicy`'s call.
+:class:`CoalescingPolicy` is the static implementation — fixed
+``max_batch``/``max_wait`` knobs — and the online autotuner
+(:mod:`repro.serve.autotune`) swaps refined instances in atomically
+between dispatches (:meth:`~repro.serve.service.SolverService.set_policy`)
+without dropping queued work.  Admission is SLO-aware: a request
+submitted with ``slo=`` caps its own hold time at
+``slo_hold_fraction · slo``, so batching never spends a request's whole
+latency budget waiting for company.
 
 The queue is bounded (admission raises
 :class:`~repro.errors.ServiceOverloaded` when full), FIFO per key, and
@@ -34,7 +46,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -43,15 +56,73 @@ from ..batched.panel import panel_shared_bytes
 from ..batched.trsm import TRSM_BASE_NB
 from ..errors import DeadlineExceeded, RequestCancelled, ServiceOverloaded
 
-__all__ = ["CoalescingPolicy", "ServiceFuture", "Request", "AdmissionQueue"]
+__all__ = ["DispatchPolicy", "CoalescingPolicy", "ServiceFuture",
+           "Request", "AdmissionQueue"]
 
 #: Future/request states.
 _PENDING, _DISPATCHED, _DONE = "pending", "dispatched", "done"
 
+#: Attribute surface a hot-swappable policy must provide (validated by
+#: ``SolverService.set_policy`` — duck-typed, any object with these
+#: attributes and the two per-key hooks qualifies).
+_POLICY_ATTRS = ("max_batch", "max_wait", "max_queue", "dispatch_retries",
+                 "coalesce_sparse_rhs", "compile_hot", "hot_threshold",
+                 "max_programs", "panel_regime", "trsm_class_cutoff",
+                 "slo_hold_fraction")
+
+
+@runtime_checkable
+class DispatchPolicy(Protocol):
+    """What the service and queue ask of a batching policy.
+
+    A policy is consulted at three points, always through one
+    atomically-read reference (see ``SolverService.set_policy``):
+
+    * **admission** — ``max_queue`` bounds the queue; ``trsm_class_cutoff``
+      and ``coalesce_sparse_rhs`` shape compatibility keys.
+    * **collection** — :meth:`group_limit` and :meth:`wait_budget` decide
+      how large a group may grow and how long its oldest member may be
+      held waiting for company.
+    * **dispatch** — ``dispatch_retries``, ``compile_hot`` /
+      ``hot_threshold`` / ``max_programs`` and ``panel_regime`` steer the
+      execution ladder.
+
+    Every knob changes *launch shapes only*: any two policies must
+    produce bitwise-identical per-request results (the service's
+    coalescing contract guarantees this for group composition; the
+    remaining knobs are restricted to bit-stable ranges — see
+    :class:`CoalescingPolicy`).  That is what makes hot-swapping safe.
+    """
+
+    max_batch: int
+    max_wait: float
+    max_queue: int
+    dispatch_retries: int
+    coalesce_sparse_rhs: bool
+    compile_hot: bool
+    hot_threshold: int
+    max_programs: int
+    panel_regime: str | None
+    trsm_class_cutoff: int
+    slo_hold_fraction: float
+
+    def group_limit(self, key: tuple) -> int:
+        """Largest group size for requests sharing ``key``."""
+        ...
+
+    def wait_budget(self, key: tuple) -> float:
+        """Longest hold (seconds) for the oldest request under ``key``."""
+        ...
+
 
 @dataclass(frozen=True)
 class CoalescingPolicy:
-    """Batching knobs of the service (a pure value; safe to share).
+    """Static batching knobs of the service (a pure value; safe to share).
+
+    The reference :class:`DispatchPolicy` implementation: every knob is a
+    constant, :meth:`group_limit`/:meth:`wait_budget` ignore the key.
+    The online autotuner derives refined instances via :meth:`replace`
+    and installs them with ``SolverService.set_policy``.
 
     Attributes
     ----------
@@ -92,7 +163,29 @@ class CoalescingPolicy:
     plan_cache_capacity:
         LRU bound for the service engine's DCWI plan cache (``None`` =
         unbounded, the historical behavior).  Long-lived services with
-        unbounded shape diversity should set this.
+        unbounded shape diversity should set this.  Applied when the
+        service constructs its engine; a hot swap does not resize the
+        live cache.
+    panel_regime:
+        Dispatch-time default for the dense panel path when a request
+        does not pin ``panel=`` itself: ``None`` (leave the kernel
+        default, ``"auto"``), ``"auto"`` or ``"columnwise"``.  The fused
+        and column-wise panel kernels are bitwise-identical (same
+        elimination arithmetic, different launch structure), so this
+        knob is tunable without parity loss; ``"fused"`` is deliberately
+        not offered here because it raises on batches outside the
+        shared-memory regime.
+    trsm_class_cutoff:
+        Order at or below which dense solves share the base-case solve
+        class (one group key).  Tunable in ``[1, TRSM_BASE_NB]`` only:
+        within that range every grouped solve runs the single base-case
+        kernel whose numerics are per-matrix, so regrouping is
+        bitwise-safe; above ``TRSM_BASE_NB`` the recursion would split
+        the *group's* required order and change members' bits.
+    slo_hold_fraction:
+        Fraction of a request's soft latency objective (``slo=`` at
+        submission) the scheduler may spend holding it for batching.
+        The remainder is headroom for execution.
     """
 
     max_batch: int = 32
@@ -104,6 +197,9 @@ class CoalescingPolicy:
     hot_threshold: int = 3
     max_programs: int = 32
     plan_cache_capacity: int | None = None
+    panel_regime: str | None = None
+    trsm_class_cutoff: int = TRSM_BASE_NB
+    slo_hold_fraction: float = 0.5
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -125,15 +221,51 @@ class CoalescingPolicy:
                 and self.plan_cache_capacity < 1:
             raise ValueError(f"plan_cache_capacity must be >= 1 or None, "
                              f"got {self.plan_cache_capacity}")
+        if self.panel_regime not in (None, "auto", "columnwise"):
+            raise ValueError(
+                f"panel_regime must be None, 'auto' or 'columnwise', got "
+                f"{self.panel_regime!r} ('fused' raises outside the "
+                f"shared-memory regime and is not a safe service default)")
+        if not 1 <= self.trsm_class_cutoff <= TRSM_BASE_NB:
+            raise ValueError(
+                f"trsm_class_cutoff must be in [1, {TRSM_BASE_NB}], got "
+                f"{self.trsm_class_cutoff}: above TRSM_BASE_NB the "
+                f"recursion would split the group's required order and "
+                f"coalesced solves would lose bitwise parity")
+        if not 0.0 < self.slo_hold_fraction <= 1.0:
+            raise ValueError(f"slo_hold_fraction must be in (0, 1], got "
+                             f"{self.slo_hold_fraction}")
+
+    # -- DispatchPolicy hooks ------------------------------------------
+    def group_limit(self, key: tuple) -> int:
+        return self.max_batch
+
+    def wait_budget(self, key: tuple) -> float:
+        return self.max_wait
+
+    def replace(self, **changes) -> "CoalescingPolicy":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return _dc_replace(self, **changes)
+
+    def describe(self) -> dict:
+        """The tunable knobs as a plain dict (stable across swaps)."""
+        return {k: getattr(self, k) for k in _POLICY_ATTRS}
 
 
 class ServiceFuture:
     """Handle to one submitted request (thread-safe).
 
     ``result()`` blocks until the dispatcher resolves the request and
-    returns the value or re-raises the request's own typed error —
+    returns the value or raises the request's own typed error —
     failures are *per-request*: a pivot breakdown or injected fault on
     one request of a coalesced batch surfaces here and nowhere else.
+
+    Each ``result()`` call raises a *fresh* copy of the stored error,
+    context-chained (``__cause__``) to the original: concurrent waiters
+    each get their own exception object, so one waiter's raise never
+    mutates the ``__traceback__`` another waiter is formatting.
+    ``exception()`` returns the original object (read-only access does
+    not raise, so it cannot race).
     """
 
     def __init__(self, kind: str):
@@ -167,12 +299,27 @@ class ServiceFuture:
         self._event.set()
         return True
 
+    def _rearmed_error(self) -> BaseException:
+        """A per-waiter copy of the stored error, chained to the
+        original.  Falls back to the original object only if the class
+        cannot be shallow-copied at all."""
+        err = self._error
+        try:
+            clone = err.__class__.__new__(err.__class__)
+            clone.args = err.args
+            if getattr(err, "__dict__", None):
+                clone.__dict__.update(err.__dict__)
+        except Exception:   # exotic exception class: degrade gracefully
+            return err
+        clone.__cause__ = err
+        return clone
+
     def result(self, timeout: float | None = None):
         if not self._event.wait(timeout):
             raise TimeoutError(
                 f"{self.kind} request not resolved within {timeout}s")
         if self._error is not None:
-            raise self._error
+            raise self._rearmed_error()
         return self._value
 
     def exception(self, timeout: float | None = None):
@@ -203,26 +350,43 @@ class ServiceFuture:
 
 
 class Request:
-    """One queued unit of work (internal to the service)."""
+    """One queued unit of work (internal to the service).
+
+    ``deadline`` is the hard bound: a request that waits past it is
+    dropped with :class:`~repro.errors.DeadlineExceeded`.  ``slo`` is
+    the *soft* latency objective: it never drops work, it only caps how
+    long the scheduler may hold the request for batching (see
+    :meth:`AdmissionQueue.collect`).  ``order`` is the request's
+    characteristic problem size (min(m, n) / solve order), recorded for
+    the run-time size-distribution summary the autotuner reads.
+    """
 
     __slots__ = ("kind", "key", "payload", "future", "t_submit",
-                 "deadline", "t_deadline")
+                 "deadline", "t_deadline", "slo", "order", "cls", "_clock")
 
     def __init__(self, kind: str, key: tuple, payload: dict,
-                 deadline: float | None):
+                 deadline: float | None, *, slo: float | None = None,
+                 order: int | None = None, cls: str | None = None,
+                 clock=time.monotonic):
         if deadline is not None and deadline < 0:
             raise ValueError(f"deadline must be >= 0, got {deadline}")
+        if slo is not None and slo <= 0:
+            raise ValueError(f"slo must be > 0, got {slo}")
         self.kind = kind
         self.key = key
         self.payload = payload
         self.future = ServiceFuture(kind)
-        self.t_submit = time.monotonic()
+        self._clock = clock
+        self.t_submit = clock()
         self.deadline = deadline
         self.t_deadline = None if deadline is None else \
             self.t_submit + deadline
+        self.slo = slo
+        self.order = order
+        self.cls = cls
 
     def waited(self, now: float | None = None) -> float:
-        return (time.monotonic() if now is None else now) - self.t_submit
+        return (self._clock() if now is None else now) - self.t_submit
 
     def expired(self, now: float) -> bool:
         return self.t_deadline is not None and now > self.t_deadline
@@ -262,18 +426,23 @@ def getrf_key(m: int, n: int, dtype: np.dtype, lu_kwargs: dict,
     return key
 
 
-def getrs_key(order: int, dtype: np.dtype, *, mixed: bool = False) -> tuple:
+def getrs_key(order: int, dtype: np.dtype, *, mixed: bool = False,
+              cutoff: int = TRSM_BASE_NB) -> tuple:
     """Group key for a dense solve: dtype + order *class* (shape-bucket
     affinity).  The irrTRSM recursion splits the required order — the
     group's max — so two orders share a launch group bitwise-safely only
-    when they produce identical blocking.  Orders above the base width
-    get their own recursion tree (exact-order keys); every order at or
-    below ``TRSM_BASE_NB`` hits the single base-case kernel, whose
-    numerics run per matrix over local dims, so they all share one
-    class.  ``mixed`` separates solves against reduced-precision
-    (``precision="fp32"``) handles — they run the FP64 refinement
-    finisher after the batched sweep."""
-    cls = int(order) if order > TRSM_BASE_NB else 0
+    when they produce identical blocking.  Orders above the class
+    ``cutoff`` get their own recursion tree (exact-order keys); every
+    order at or below the cutoff hits the single base-case kernel,
+    whose numerics run per matrix over local dims, so they all share
+    one class.  ``cutoff`` is policy-tunable within
+    ``[1, TRSM_BASE_NB]`` — any cutoff in that range keeps every class-0
+    group inside the base-case kernel, so regrouping under a swapped
+    policy never changes bits.  ``mixed`` separates solves against
+    reduced-precision (``precision="fp32"``) handles — they run the
+    FP64 refinement finisher after the batched sweep."""
+    cutoff = min(int(cutoff), TRSM_BASE_NB)
+    cls = int(order) if order > cutoff else 0
     key = ("getrs", np.dtype(dtype).str, cls)
     if mixed:
         key += ("mixed",)
@@ -291,13 +460,20 @@ def sparse_key(session_id: int, solve_kwargs: tuple, *,
 
 # ----------------------------------------------------------------------
 class AdmissionQueue:
-    """Bounded FIFO with compatibility-key group collection."""
+    """Bounded FIFO with compatibility-key group collection.
 
-    def __init__(self, stats):
+    ``clock`` is the monotonic time source every wait/deadline/SLO
+    computation uses (``time.monotonic`` by default; the traffic
+    simulator injects a virtual clock so admission dynamics replay
+    deterministically in virtual time).
+    """
+
+    def __init__(self, stats, clock=time.monotonic):
         self._q: list[Request] = []
         self._cond = threading.Condition()
         self._stopped = False
         self._stats = stats
+        self._clock = clock
 
     def __len__(self) -> int:
         with self._cond:
@@ -312,12 +488,19 @@ class AdmissionQueue:
                 self._stats.on_reject()
                 raise ServiceOverloaded(len(self._q), max_queue)
             self._q.append(req)
-            self._stats.on_submit(len(self._q))
+            self._stats.on_submit(len(self._q), req.order)
             self._cond.notify_all()
 
     def stop(self) -> None:
         with self._cond:
             self._stopped = True
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Wake a blocked collector so it re-reads its policy — called
+        after a hot swap, where a shortened hold budget must take effect
+        now, not after the old budget's timeout."""
+        with self._cond:
             self._cond.notify_all()
 
     # -- dispatcher side -----------------------------------------------
@@ -336,53 +519,148 @@ class AdmissionQueue:
             keep.append(req)
         self._q = keep
 
-    def collect(self, policy: CoalescingPolicy, *, block: bool = True
+    def _hold_budget(self, req: Request, policy: DispatchPolicy) -> float:
+        """How long ``req`` may be held waiting for company: the
+        policy's wait budget, capped by the request's soft latency
+        objective (SLO-aware admission — batching never spends more
+        than ``slo_hold_fraction`` of a request's latency budget in the
+        queue)."""
+        budget = float(policy.wait_budget(req.key))
+        if req.slo is not None:
+            frac = getattr(policy, "slo_hold_fraction", 0.5)
+            budget = min(budget, frac * req.slo)
+        return budget
+
+    def _take_locked(self, group: list[Request]) -> list[Request]:
+        """Claim and remove ``group`` from the queue (lock held)."""
+        taken = []
+        for r in group:
+            if r.future._claim():
+                taken.append(r)
+            else:                       # lost a cancellation race
+                self._stats.on_cancel()
+        ids = {id(r) for r in group}
+        self._q = [r for r in self._q if id(r) not in ids]
+        self._stats.on_depth(len(self._q))
+        return taken
+
+    def collect(self, policy: DispatchPolicy, *, block: bool = True
                 ) -> list[Request] | None:
         """Remove and return the next dispatchable group, FIFO by oldest.
 
         Blocks (when ``block``) until work arrives or :meth:`stop`.
-        Holds the oldest compatible request at most ``policy.max_wait``
-        seconds while waiting for the group to fill to
-        ``policy.max_batch``.  Returns ``None`` when stopped (or, with
-        ``block=False``, when the queue is empty).
+        Holds the oldest compatible request at most its hold budget
+        (``policy.wait_budget`` capped by the request's SLO) while
+        waiting for the group to fill to ``policy.group_limit``.
+        Returns ``None`` when stopped (or, with ``block=False``, when
+        the queue is empty).
+
+        Every restart path — the queue emptying while we waited, or all
+        claimed members losing a cancellation race — *iterates* back to
+        the head scan.  (The old implementation recursed while holding
+        the condition; a cancellation storm could push it past the
+        recursion limit.)
+        """
+        with self._cond:
+            while True:      # one iteration per head-scan attempt
+                self._purge_locked(self._clock())
+                if not self._q:
+                    if self._stopped or not block:
+                        self._stats.on_depth(0)
+                        return None
+                    self._cond.wait()
+                    continue
+
+                head = self._q[0]
+                while True:   # grow head's group until full/ripe
+                    now = self._clock()
+                    group = [r for r in self._q if r.key == head.key]
+                    limit = policy.group_limit(head.key)
+                    if len(group) >= limit:
+                        break
+                    remaining = self._hold_budget(head, policy) - \
+                        (now - head.t_submit)
+                    if remaining <= 0 or self._stopped or not block:
+                        break
+                    self._cond.wait(timeout=remaining)
+                    self._purge_locked(self._clock())
+                    if not self._q:
+                        group = []
+                        break     # everything expired/cancelled: rescan
+                    if self._q[0] is not head:
+                        # head purged: adopt the new oldest request and
+                        # account the wait it has *already* served — its
+                        # own t_submit anchors the budget, so an old
+                        # request adopted late never waits from zero.
+                        head = self._q[0]
+                if not group:
+                    continue      # iterate, never recurse
+
+                taken = self._take_locked(group[:policy.group_limit(
+                    head.key)])
+                if not taken:     # every member lost a cancellation race
+                    continue      # iterate, never recurse
+                return taken
+
+    # -- virtual-time collection (traffic simulation) -------------------
+    def collect_ready(self, policy: DispatchPolicy,
+                      now: float | None = None) -> list[Request] | None:
+        """Non-blocking: the oldest group that is *ripe* at ``now`` —
+        full to its group limit, or its head's hold budget spent.
+        ``None`` when nothing is ripe yet.
+
+        This is the discrete-event twin of :meth:`collect`: the traffic
+        simulator advances a virtual clock to :meth:`next_ripe` and
+        drains ripe groups here, reproducing exactly the decisions the
+        blocking dispatcher would make in real time.
         """
         with self._cond:
             while True:
-                self._purge_locked(time.monotonic())
-                if self._q:
-                    break
-                if self._stopped or not block:
-                    self._stats.on_depth(0)
+                if now is None:
+                    now = self._clock()
+                self._purge_locked(now)
+                seen: set = set()
+                for head in list(self._q):
+                    if head.key in seen:
+                        continue
+                    seen.add(head.key)
+                    limit = policy.group_limit(head.key)
+                    group = [r for r in self._q if r.key == head.key]
+                    ripe = len(group) >= limit or \
+                        (now - head.t_submit) >= \
+                        self._hold_budget(head, policy)
+                    if not ripe:
+                        continue
+                    taken = self._take_locked(group[:limit])
+                    if taken:
+                        return taken
+                    break         # cancellation race: rescan from top
+                else:
                     return None
-                self._cond.wait()
 
-            head = self._q[0]
-            while True:
-                now = time.monotonic()
-                group = [r for r in self._q if r.key == head.key]
-                if len(group) >= policy.max_batch:
-                    break
-                remaining = policy.max_wait - (now - head.t_submit)
-                if remaining <= 0 or self._stopped or not block:
-                    break
-                self._cond.wait(timeout=remaining)
-                self._purge_locked(time.monotonic())
-                if not self._q:
-                    # everything expired/cancelled while we waited
-                    return self.collect(policy, block=block)
-                if self._q[0] is not head:
-                    head = self._q[0]
-
-            group = group[:policy.max_batch]
-            taken = []
-            for r in group:
-                if r.future._claim():
-                    taken.append(r)
-                else:                       # lost a cancellation race
-                    self._stats.on_cancel()
-            ids = {id(r) for r in group}
-            self._q = [r for r in self._q if id(r) not in ids]
-            self._stats.on_depth(len(self._q))
-            if not taken:    # every member lost a cancellation race
-                return self.collect(policy, block=block)
-            return taken
+    def next_ripe(self, policy: DispatchPolicy,
+                  now: float | None = None) -> float | None:
+        """Earliest time at which some queued group becomes ripe
+        (``now`` for already-full groups); ``None`` when the queue is
+        empty.  Purges nothing and takes nothing."""
+        with self._cond:
+            if now is None:
+                now = self._clock()
+            best = None
+            seen: set = set()
+            counts: dict = {}
+            for r in self._q:
+                counts[r.key] = counts.get(r.key, 0) + 1
+            for head in self._q:
+                if head.key in seen:
+                    continue
+                seen.add(head.key)
+                if counts[head.key] >= policy.group_limit(head.key):
+                    t = now
+                else:
+                    t = head.t_submit + self._hold_budget(head, policy)
+                if head.t_deadline is not None:
+                    # an expired request becomes purgeable — also an event
+                    t = min(t, head.t_deadline)
+                best = t if best is None else min(best, t)
+            return best

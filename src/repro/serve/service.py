@@ -35,6 +35,7 @@ the genuinely faulted requests fail
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict
@@ -55,8 +56,8 @@ from ..errors import FactorizationError, KernelLaunchError, \
     ResourceExhausted, TransferError
 from ..sparse.solver import ESCALATED_REFINE_STEPS, REFINE_TARGET, \
     SparseLU, _REDUCED_OF
-from .scheduler import AdmissionQueue, CoalescingPolicy, Request, \
-    ServiceFuture, getrf_key, getrs_key, sparse_key
+from .scheduler import _POLICY_ATTRS, AdmissionQueue, CoalescingPolicy, \
+    DispatchPolicy, Request, ServiceFuture, getrf_key, getrs_key, sparse_key
 from .session import MemoryArbiter, ServeSession
 from .stats import DispatchRecord, ServiceStats
 
@@ -158,6 +159,20 @@ class FactorHandle:
                 f"info={self.info}, n_replaced={self.n_replaced})")
 
 
+def _validate_policy(policy) -> None:
+    """Duck-typed check that ``policy`` covers the DispatchPolicy
+    surface; a hot swap must fail loudly *before* it is installed, not
+    at the next dispatch."""
+    missing = [a for a in _POLICY_ATTRS if not hasattr(policy, a)]
+    for meth in ("group_limit", "wait_budget"):
+        if not callable(getattr(policy, meth, None)):
+            missing.append(f"{meth}()")
+    if missing:
+        raise TypeError(
+            f"{type(policy).__name__} does not implement DispatchPolicy: "
+            f"missing {sorted(missing)}")
+
+
 class SolverService:
     """Thread-safe serving front-end over one simulated device.
 
@@ -182,22 +197,26 @@ class SolverService:
     """
 
     def __init__(self, device: Device, *,
-                 policy: CoalescingPolicy | None = None,
+                 policy: DispatchPolicy | None = None,
                  sparse_memory_budget: int | None = None,
-                 start: bool = True):
+                 start: bool = True, clock=time.monotonic):
         self.device = device
-        self.policy = policy if policy is not None else CoalescingPolicy()
+        self._policy_lock = threading.Lock()
+        self._policy = policy if policy is not None else CoalescingPolicy()
+        _validate_policy(self._policy)
         self.stats = ServiceStats()
+        self._clock = clock
         self.arbiter = MemoryArbiter(sparse_memory_budget,
                                      stats=self.stats)
-        self._queue = AdmissionQueue(self.stats)
+        self._queue = AdmissionQueue(self.stats, clock=clock)
         # One engine for the service's lifetime: every dispatch reuses
         # the same DCWI plan cache, so recurring shapes re-plan nothing.
         # The cache is LRU-bounded by policy.plan_cache_capacity and its
         # hit/miss/eviction counters surface through stats.snapshot().
         self._engine = BatchEngine(
             "bucketed",
-            cache=PlanCache(capacity=self.policy.plan_cache_capacity))
+            cache=PlanCache(capacity=getattr(
+                self._policy, "plan_cache_capacity", None)))
         self.stats.attach_plan_cache(self._engine.cache)
         # Hot-signature workload programs (policy.compile_hot): dispatch
         # signature -> compiled program, LRU by last replay.
@@ -210,6 +229,41 @@ class SolverService:
         self._closed = False
         if start:
             self.start()
+
+    # ------------------------------------------------------------------
+    # policy (hot-swappable)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> DispatchPolicy:
+        """The live dispatch policy (read atomically; see
+        :meth:`set_policy`)."""
+        with self._policy_lock:
+            return self._policy
+
+    @policy.setter
+    def policy(self, new: DispatchPolicy) -> None:
+        self.set_policy(new)
+
+    def set_policy(self, new: DispatchPolicy) -> DispatchPolicy:
+        """Atomically install ``new`` as the dispatch policy; returns
+        the policy it replaced.
+
+        Safe at any time, from any thread, with work in flight: every
+        admission/collection/dispatch cycle reads the policy reference
+        exactly once and threads that snapshot through, so a dispatch
+        never sees half of one policy and half of another.  Queued
+        requests are **not** dropped or re-keyed — compatibility keys
+        are fixed at admission, and every key computed under any valid
+        policy stays bitwise-safe under every other (stale keys can at
+        most fragment groups, never corrupt one).  The swap takes full
+        effect from the next collection cycle.
+        """
+        _validate_policy(new)
+        with self._policy_lock:
+            old, self._policy = self._policy, new
+        self.stats.on_policy_swap()
+        self._queue.kick()
+        return old
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -257,18 +311,20 @@ class SolverService:
     def _drain_inline(self) -> int:
         n = 0
         while True:
-            group = self._queue.collect(self.policy, block=False)
+            policy = self.policy        # one atomic read per cycle
+            group = self._queue.collect(policy, block=False)
             if group is None:
                 return n
-            self._safe_dispatch(group)
+            self._safe_dispatch(group, policy)
             n += 1
 
     def _run(self) -> None:
         while True:
-            group = self._queue.collect(self.policy)
+            policy = self.policy        # one atomic read per cycle
+            group = self._queue.collect(policy)
             if group is None:
                 return
-            self._safe_dispatch(group)
+            self._safe_dispatch(group, policy)
 
     # ------------------------------------------------------------------
     # submission
@@ -336,13 +392,17 @@ class SolverService:
         return host.astype(work), work, host
 
     def submit_factor(self, a, *, deadline: float | None = None,
+                      slo: float | None = None,
                       precision: str | None = None,
                       **kwargs) -> ServiceFuture:
         """Queue a factorization.  Dense ``a`` resolves to a
         :class:`FactorHandle`; sparse ``a`` to an open
         :class:`~repro.serve.session.ServeSession`.  ``deadline`` is
         seconds in the queue before the request expires with
-        :class:`~repro.errors.DeadlineExceeded`.
+        :class:`~repro.errors.DeadlineExceeded`; ``slo`` is the *soft*
+        latency objective — it never drops work, it only caps how long
+        the scheduler may hold this request for batching
+        (``policy.slo_hold_fraction`` of it).
 
         ``precision="fp32"`` factors in the reduced working precision
         (float32 / complex64): dense handles keep the FP64 matrix for
@@ -360,7 +420,9 @@ class SolverService:
             key = ("sparse-open", "solo", self._next_serial())
             return self._admit(Request("sparse-factor", key,
                                        {"a": a.copy(), "kwargs": kwargs},
-                                       deadline))
+                                       deadline, slo=slo,
+                                       order=a.shape[0],
+                                       clock=self._clock))
         self._check_kwargs(kwargs, _LU_KWARGS, "LU")
         host, dtype = self._dense_payload(a, need_square=False)
         host, dtype, a_ref = self._reduce_payload(host, dtype, precision)
@@ -370,10 +432,12 @@ class SolverService:
         return self._admit(Request("factor", key,
                                    {"a": host, "a_ref": a_ref,
                                     "lu_kwargs": kwargs},
-                                   deadline))
+                                   deadline, slo=slo,
+                                   order=min(host.shape),
+                                   clock=self._clock))
 
     def submit_solve(self, handle, b, *, deadline: float | None = None,
-                     **kwargs) -> ServiceFuture:
+                     slo: float | None = None, **kwargs) -> ServiceFuture:
         """Queue a solve against a served factorization.
 
         Dense ``handle`` (:class:`FactorHandle`) resolves to ``x``;
@@ -381,19 +445,21 @@ class SolverService:
         ``(x, SolveInfo)``.  Broken dense factors are refused here,
         synchronously — they can never produce a solution.
         """
+        policy = self.policy            # one atomic read per admission
         if isinstance(handle, ServeSession):
             self._check_kwargs(kwargs, _SPARSE_SOLVE_KWARGS,
                                "sparse solve")
             if handle.closed:
                 raise RuntimeError(f"session {handle.sid} is closed")
             key = sparse_key(handle.sid, tuple(sorted(kwargs.items())),
-                             coalesce=self.policy.coalesce_sparse_rhs,
+                             coalesce=policy.coalesce_sparse_rhs,
                              serial=self._next_serial())
             b = np.asarray(b)
             return self._admit(Request(
                 "sparse-solve", key,
                 {"session": handle, "b": np.array(b, copy=True),
-                 "kwargs": kwargs}, deadline))
+                 "kwargs": kwargs}, deadline, slo=slo, order=b.shape[0],
+                clock=self._clock))
         if not isinstance(handle, FactorHandle):
             raise TypeError(f"expected FactorHandle or ServeSession, "
                             f"got {type(handle).__name__}")
@@ -408,24 +474,29 @@ class SolverService:
             raise FactorizationError(
                 f"cannot solve from broken-down LU factors (info="
                 f"{handle.info}); re-factor with static_pivot=True")
+        cutoff = policy.trsm_class_cutoff
         if handle.precision == "fp32":
             # mixed handle: the rhs is validated (and refined) against
             # the FP64 reference; the sweep runs in the reduced dtype
             b_ref, ndim = self._rhs_payload(b, handle.n,
                                             handle.a_ref.dtype)
-            key = getrs_key(handle.n, handle.dtype, mixed=True)
+            key = getrs_key(handle.n, handle.dtype, mixed=True,
+                            cutoff=cutoff)
             return self._admit(Request(
                 "solve", key,
                 {"handle": handle, "b2": b_ref.astype(handle.dtype),
-                 "b_ref": b_ref, "ndim": ndim}, deadline))
+                 "b_ref": b_ref, "ndim": ndim}, deadline, slo=slo,
+                order=handle.n, clock=self._clock))
         b2, ndim = self._rhs_payload(b, handle.n, handle.dtype)
-        key = getrs_key(handle.n, handle.dtype)
+        key = getrs_key(handle.n, handle.dtype, cutoff=cutoff)
         return self._admit(Request("solve", key,
                                    {"handle": handle, "b2": b2,
-                                    "ndim": ndim}, deadline))
+                                    "ndim": ndim}, deadline, slo=slo,
+                                   order=handle.n, clock=self._clock))
 
     def submit_factor_solve(self, a, b, *,
                             deadline: float | None = None,
+                            slo: float | None = None,
                             precision: str | None = None,
                             **kwargs) -> ServiceFuture:
         """Queue factor+solve as one request.  Dense resolves to
@@ -445,7 +516,8 @@ class SolverService:
             return self._admit(Request(
                 "sparse-factor-solve", key,
                 {"a": a.copy(), "b": np.array(np.asarray(b), copy=True),
-                 "kwargs": kwargs}, deadline))
+                 "kwargs": kwargs}, deadline, slo=slo, order=a.shape[0],
+                clock=self._clock))
         self._check_kwargs(kwargs, _LU_KWARGS, "LU")
         host, dtype = self._dense_payload(a, need_square=True)
         b_ref, ndim = self._rhs_payload(b, host.shape[0], dtype)
@@ -458,7 +530,9 @@ class SolverService:
                                    {"a": host, "a_ref": a_ref, "b2": b2,
                                     "b_ref": b_ref if a_ref is not None
                                     else None, "ndim": ndim,
-                                    "lu_kwargs": kwargs}, deadline))
+                                    "lu_kwargs": kwargs}, deadline,
+                                   slo=slo, order=host.shape[0],
+                                   clock=self._clock))
 
     # -- sync convenience ----------------------------------------------
     def _await(self, fut, timeout):
@@ -485,20 +559,36 @@ class SolverService:
     # ------------------------------------------------------------------
     # dispatch (single dispatcher thread)
     # ------------------------------------------------------------------
-    def _safe_dispatch(self, group: list[Request]) -> None:
-        """Dispatch one group; guarantee every member's future resolves."""
+    def _safe_dispatch(self, group: list[Request],
+                       policy: DispatchPolicy | None = None
+                       ) -> DispatchRecord:
+        """Dispatch one group; guarantee every member's future resolves.
+
+        ``policy`` is the snapshot the collection cycle read — one
+        object for the whole cycle, so a concurrent hot swap cannot
+        split its knobs across a dispatch.  Returns the
+        :class:`DispatchRecord`, stamped with the *simulated* device
+        seconds the dispatch consumed (host-clock delta across a final
+        ``synchronize()``) — the currency the traffic simulator and the
+        autotuner's objective run on.
+        """
+        if policy is None:
+            policy = self.policy
         waits = [r.waited() for r in group]
         t0 = time.perf_counter()
+        dev_t0 = self.device.host_time
         try:
             kind = group[0].key[0]
             if kind == "getrf":
-                record = self._dispatch_dense(group, self._run_getrf_group)
+                record = self._dispatch_dense(group, self._run_getrf_group,
+                                              policy)
             elif kind == "getrs":
-                record = self._dispatch_dense(group, self._run_getrs_group)
+                record = self._dispatch_dense(group, self._run_getrs_group,
+                                              policy)
             elif kind == "sparse-open":
                 record = self._dispatch_sparse_open(group)
             else:
-                record = self._dispatch_sparse_solve(group)
+                record = self._dispatch_sparse_solve(group, policy)
         except BaseException as exc:  # noqa: BLE001 - resolve, re-raise
             elapsed = time.perf_counter() - t0
             for r in group:
@@ -507,6 +597,8 @@ class SolverService:
                     f"{exc}"))
                 self.stats.on_done(False, elapsed)
             raise
+        record = dataclasses.replace(
+            record, sim_seconds=self.device.synchronize() - dev_t0)
         self.stats.on_dispatch(record, waits)
         elapsed = time.perf_counter() - t0
         for r in group:
@@ -514,13 +606,14 @@ class SolverService:
                 self._fail(r, RuntimeError(
                     "dispatch completed without resolving this request"))
             self.stats.on_done(r.future.exception() is None, elapsed)
+        return record
 
     @staticmethod
     def _fail(req: Request, error: BaseException) -> None:
         req.future._resolve(error=error)
 
-    def _dispatch_dense(self, group: list[Request], runner
-                        ) -> DispatchRecord:
+    def _dispatch_dense(self, group: list[Request], runner,
+                        policy: DispatchPolicy) -> DispatchRecord:
         """Retry-then-isolate ladder around one dense batch runner.
 
         Launch faults fire *before* kernel numerics and every attempt
@@ -530,9 +623,9 @@ class SolverService:
         keep faulting fail.
         """
         kind = group[0].key[0]
-        for attempt in range(self.policy.dispatch_retries + 1):
+        for attempt in range(policy.dispatch_retries + 1):
             try:
-                launches, occupancy = runner(group)
+                launches, occupancy = runner(group, policy)
                 return DispatchRecord(kind, len(group), launches,
                                       occupancy, attempt, False)
             except _SYSTEM_ERRORS:
@@ -541,9 +634,9 @@ class SolverService:
         occs = []
         for req in group:
             done = False
-            for attempt in range(self.policy.dispatch_retries + 1):
+            for attempt in range(policy.dispatch_retries + 1):
                 try:
-                    solo_launches, occ = runner([req])
+                    solo_launches, occ = runner([req], policy)
                     launches += solo_launches
                     occs.append(occ)
                     done = True
@@ -554,10 +647,11 @@ class SolverService:
                 self._fail(req, last)
         occupancy = sum(occs) / len(occs) if occs else 0.0
         return DispatchRecord(kind, len(group), launches, occupancy,
-                              self.policy.dispatch_retries + 1, True)
+                              policy.dispatch_retries + 1, True)
 
     # -- dense runners ---------------------------------------------------
-    def _run_getrf_group(self, group: list[Request]
+    def _run_getrf_group(self, group: list[Request],
+                         policy: DispatchPolicy | None = None
                          ) -> tuple[int, float]:
         """One coalesced getrf (+ embedded getrs for factor_solve).
 
@@ -565,12 +659,14 @@ class SolverService:
         partial device state is freed and *no* future is touched — the
         caller's ladder retries from the pristine host payloads.
         """
-        if self.policy.compile_hot:
-            compiled = self._run_getrf_compiled(group)
+        if policy is None:
+            policy = self.policy
+        if policy.compile_hot:
+            compiled = self._run_getrf_compiled(group, policy)
             if compiled is not None:
                 return compiled
         device = self.device
-        lu_kwargs = dict(group[0].payload["lu_kwargs"])
+        lu_kwargs = self._effective_lu_kwargs(group, policy)
         dtype = np.dtype(group[0].key[1])
         mixed = "mixed" in group[0].key
         launch0 = device.profiler.launch_count
@@ -671,24 +767,44 @@ class SolverService:
 
     # -- compiled hot-signature dispatch --------------------------------
     @staticmethod
-    def _group_signature(group: list[Request]) -> tuple:
+    def _effective_lu_kwargs(group: list[Request],
+                             policy: DispatchPolicy) -> dict:
+        """The group's LU kwargs with the policy's dispatch-time panel
+        regime applied.  A request that pinned ``panel=`` itself always
+        wins; the regime fills the default only.  Safe to vary across
+        swaps: the fused and column-wise panel kernels run the same
+        elimination arithmetic (bitwise-identical results), they differ
+        only in launch structure."""
+        lu_kwargs = dict(group[0].payload["lu_kwargs"])
+        regime = getattr(policy, "panel_regime", None)
+        if regime is not None:
+            lu_kwargs.setdefault("panel", regime)
+        return lu_kwargs
+
+    @staticmethod
+    def _group_signature(group: list[Request],
+                         policy: DispatchPolicy) -> tuple:
         """Replayable identity of one getrf dispatch group: the
         compatibility key (minus the solo serial) plus the ordered
-        member kinds/shapes.  Two groups with equal signatures run the
-        identical launch schedule, so one compiled program serves both.
+        member kinds/shapes, plus the policy's panel regime (a program
+        records its regime's launch schedule — a swap must recompile,
+        not replay the old shape).  Two groups with equal signatures run
+        the identical launch schedule, so one compiled program serves
+        both.
         """
         base = tuple(x for x in group[0].key if not isinstance(x, int))
         members = tuple(
             (r.kind, r.payload["a"].shape,
              r.payload["b2"].shape if r.kind == "factor_solve" else None)
             for r in group)
-        return base + (members,)
+        return base + (members, getattr(policy, "panel_regime", None))
 
-    def _compiled_program_for(self, group: list[Request]):
+    def _compiled_program_for(self, group: list[Request],
+                              policy: DispatchPolicy):
         """The hot-signature program for this group, compiling it when
         the signature crosses ``policy.hot_threshold``; ``None`` while
         cold or when the signature cannot be compiled."""
-        sig = self._group_signature(group)
+        sig = self._group_signature(group, policy)
         if sig in self._uncompilable:
             return None
         prog = self._programs.get(sig)
@@ -697,14 +813,14 @@ class SolverService:
             return prog
         seen = self._sig_seen.pop(sig, 0) + 1
         self._sig_seen[sig] = seen    # re-insert: newest position
-        if seen < self.policy.hot_threshold:
+        if seen < policy.hot_threshold:
             # bound the cold-signature tracker like the program store:
             # high-diversity traffic must not grow state without limit
-            while len(self._sig_seen) > 32 * self.policy.max_programs:
+            while len(self._sig_seen) > 32 * policy.max_programs:
                 self._sig_seen.pop(next(iter(self._sig_seen)))
             return None
         dtype = np.dtype(group[0].key[1])
-        lu_kwargs = dict(group[0].payload["lu_kwargs"])
+        lu_kwargs = self._effective_lu_kwargs(group, policy)
         shapes = [r.payload["a"].shape for r in group]
         try:
             if any(r.kind == "factor_solve" for r in group):
@@ -721,23 +837,24 @@ class SolverService:
                                         engine=self._engine)
         except CompileError:
             self._uncompilable.add(sig)
-            while len(self._uncompilable) > 32 * self.policy.max_programs:
+            while len(self._uncompilable) > 32 * policy.max_programs:
                 self._uncompilable.pop()
             return None
         self._programs[sig] = prog
         self._sig_seen.pop(sig, None)
         self.stats.on_program_compiled()
-        while len(self._programs) > self.policy.max_programs:
+        while len(self._programs) > policy.max_programs:
             _, old = self._programs.popitem(last=False)
             old.free()
         return prog
 
-    def _run_getrf_compiled(self, group: list[Request]
+    def _run_getrf_compiled(self, group: list[Request],
+                            policy: DispatchPolicy
                             ) -> tuple[int, float] | None:
         """Serve one getrf group by program replay; ``None`` hands the
         group to the ordinary bucketed runner (signature cold or
         uncompilable, or the replay guard tripped on this payload)."""
-        prog = self._compiled_program_for(group)
+        prog = self._compiled_program_for(group, policy)
         if prog is None:
             return None
         device = self.device
@@ -799,7 +916,7 @@ class SolverService:
                 finally:
                     if owned:
                         fbatch.free()
-            lu_kwargs = dict(group[0].payload["lu_kwargs"])
+            lu_kwargs = self._effective_lu_kwargs(group, policy)
             for i, (req, h) in enumerate(zip(group, handles)):
                 if h.info != 0 or i in bad:
                     try:
@@ -819,7 +936,8 @@ class SolverService:
                 self._resolve_getrf_member(req, handles[i], xs.get(i))
         return launches, occupancy
 
-    def _run_getrs_group(self, group: list[Request]
+    def _run_getrs_group(self, group: list[Request],
+                         policy: DispatchPolicy | None = None
                          ) -> tuple[int, float]:
         """One coalesced getrs over same-order handles (re-uploaded).
 
@@ -1044,15 +1162,18 @@ class SolverService:
                               device.profiler.launch_count - launch0,
                               1.0, 0, False)
 
-    def _dispatch_sparse_solve(self, group: list[Request]
+    def _dispatch_sparse_solve(self, group: list[Request],
+                               policy: DispatchPolicy | None = None
                                ) -> DispatchRecord:
         """Sparse solves: per-request by default; same-session RHS
         stacking when the policy opts in (rounding-level identity)."""
+        if policy is None:
+            policy = self.policy
         device = self.device
         launch0 = device.profiler.launch_count
         session = group[0].payload["session"]
         kwargs = dict(group[0].payload["kwargs"])
-        if len(group) == 1 or not self.policy.coalesce_sparse_rhs:
+        if len(group) == 1 or not policy.coalesce_sparse_rhs:
             for req in group:
                 try:
                     x, info = req.payload["session"].solve_on_device(

@@ -14,12 +14,26 @@ The numbers the acceptance tests key on:
   irregular batch was relative to the uniform batch the vendor interface
   would have padded to.  This is the paper's irregularity measure applied
   to the admission mix.
+
+Long-lived services get bounded memory: the per-dispatch record history
+is a capped ring buffer (:attr:`ServiceStats.dispatch_history` records),
+while *running aggregates* (dispatch count, coalesced-request total,
+occupancy/launch/sim-time sums) are updated on every dispatch so the
+derived numbers — :attr:`~ServiceStats.coalescing_ratio`,
+:attr:`~ServiceStats.mean_occupancy`, :meth:`~ServiceStats.snapshot` —
+stay exact over the *full* history, not just the retained window.
+
+:meth:`ServiceStats.snapshot` is the observation surface the online
+autotuner (:mod:`repro.serve.autotune`) diffs: it includes the raw
+latency-histogram bin counts and totals, so two snapshots subtract into
+an exact windowed histogram.
 """
 
 from __future__ import annotations
 
 import math
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 __all__ = ["LatencyHistogram", "DispatchRecord", "ServiceStats"]
@@ -31,6 +45,12 @@ class LatencyHistogram:
     Cheap enough to update under the stats lock on every request, precise
     enough for the "is wait time exploding" question a service dashboard
     answers.  Quantiles are bin-resolution estimates (upper bin edge).
+
+    Bin semantics: bin 0 covers ``[0, BASE]``; bin ``b`` covers
+    ``(BASE·FACTOR^(b-1), BASE·FACTOR^b]`` — a sample exactly on a bin's
+    upper edge belongs to that bin, never the next one (the float-log
+    rounding that used to push edge samples one bin too high is corrected
+    against the exact edge values).
     """
 
     BASE = 1e-6          # smallest resolvable latency: 1 µs
@@ -43,15 +63,29 @@ class LatencyHistogram:
         self.total = 0.0
         self.max = 0.0
 
+    def bin_index(self, seconds: float) -> int:
+        """The bin a sample belongs to (exact at bin edges)."""
+        seconds = max(float(seconds), 0.0)
+        if seconds <= self.BASE:
+            return 0
+        # float-log estimate, then correct against the exact edges: the
+        # invariant is BASE*FACTOR**(b-1) < seconds <= BASE*FACTOR**b.
+        b = int(math.ceil(math.log(seconds / self.BASE)
+                          / math.log(self.FACTOR)))
+        b = min(max(b, 1), self.NBINS - 1)
+        while b > 1 and seconds <= self.BASE * self.FACTOR ** (b - 1):
+            b -= 1
+        while b < self.NBINS - 1 and seconds > self.BASE * self.FACTOR ** b:
+            b += 1
+        return b
+
+    def bin_edge(self, b: int) -> float:
+        """Upper edge of bin ``b``."""
+        return self.BASE * self.FACTOR ** b
+
     def record(self, seconds: float) -> None:
         seconds = max(float(seconds), 0.0)
-        if seconds <= 0.0:
-            b = 0
-        else:
-            b = int(math.log(seconds / self.BASE, self.FACTOR)) + 1 \
-                if seconds > self.BASE else 0
-            b = min(max(b, 0), self.NBINS - 1)
-        self.counts[b] += 1
+        self.counts[self.bin_index(seconds)] += 1
         self.count += 1
         self.total += seconds
         if seconds > self.max:
@@ -62,22 +96,38 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper-edge estimate of the ``q`` quantile (0 <= q <= 1)."""
+        """Upper-edge estimate of the ``q`` quantile (0 <= q <= 1).
+
+        ``quantile(0.0)`` returns the upper edge of the first *non-empty*
+        bin (the smallest latency class actually observed), not the edge
+        of an empty leading bin.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
+        return self.quantile_of(self.counts, self.count, q, self.max)
+
+    @classmethod
+    def quantile_of(cls, counts, count: int, q: float,
+                    fallback: float = 0.0) -> float:
+        """Quantile over an externally supplied bin-count vector (used by
+        the autotuner on windowed count deltas)."""
+        if count <= 0:
             return 0.0
-        rank = q * self.count
+        rank = q * count
         seen = 0
-        for b, c in enumerate(self.counts):
+        for b, c in enumerate(counts):
+            if not c:
+                continue
             seen += c
             if seen >= rank:
-                return self.BASE * self.FACTOR ** b
-        return self.max
+                return cls.BASE * cls.FACTOR ** b
+        return fallback
 
     def snapshot(self) -> dict:
         return {"count": self.count, "mean": self.mean, "max": self.max,
-                "p50": self.quantile(0.5), "p95": self.quantile(0.95)}
+                "total": self.total, "counts": list(self.counts),
+                "p50": self.quantile(0.5), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
 
 
 @dataclass(frozen=True)
@@ -97,11 +147,23 @@ class DispatchRecord:
     occupancy: float    #: Σ mᵢ·nᵢ / (batch · m_req · n_req); 1.0 = uniform
     retries: int        #: whole-batch retries consumed before success
     isolated: bool      #: True when the group fell back to per-request runs
+    sim_seconds: float = 0.0  #: simulated host seconds the dispatch consumed
+
+
+#: recent request orders kept for the run-time size-distribution summary
+#: the autotuner keys on (a reservoir, not an exact history).
+_ORDER_RING = 512
 
 
 @dataclass
 class ServiceStats:
-    """Aggregated service counters; every mutator is thread-safe."""
+    """Aggregated service counters; every mutator is thread-safe.
+
+    Per-dispatch :class:`DispatchRecord` history is a bounded ring
+    (newest ``dispatch_history`` records, exposed through
+    :attr:`dispatches` as a list snapshot); the derived aggregates are
+    maintained as running sums and stay exact over the full history.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -117,20 +179,40 @@ class ServiceStats:
     compiled_fallbacks: int = 0   #: replays that fell back to bucketed
     precision_fallbacks: int = 0  #: reduced-precision work redone in FP64
     refine_passes: int = 0        #: iterative-refinement correction sweeps
+    policy_swaps: int = 0         #: hot DispatchPolicy replacements
+    dispatch_history: int = 1024  #: ring-buffer bound on retained records
     wait: LatencyHistogram = field(default_factory=LatencyHistogram)
     exec: LatencyHistogram = field(default_factory=LatencyHistogram)
-    dispatches: list = field(default_factory=list)
+    # -- exact running aggregates over the FULL dispatch history --------
+    dispatch_count: int = 0
+    coalesced_requests: int = 0   #: Σ batch_size
+    launches_total: int = 0
+    occupancy_total: float = 0.0
+    sim_seconds_total: float = 0.0
+    isolated_dispatches: int = 0
+    retries_total: int = 0
+    _ring: deque = field(default=None, repr=False, compare=False)
+    _orders: deque = field(default=None, repr=False, compare=False)
     _plan_cache: object = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
+    def __post_init__(self):
+        if self.dispatch_history < 1:
+            raise ValueError(f"dispatch_history must be >= 1, "
+                             f"got {self.dispatch_history}")
+        self._ring = deque(maxlen=self.dispatch_history)
+        self._orders = deque(maxlen=_ORDER_RING)
+
     # -- admission -----------------------------------------------------
-    def on_submit(self, depth: int) -> None:
+    def on_submit(self, depth: int, order: int | None = None) -> None:
         with self._lock:
             self.submitted += 1
             self.queue_depth = depth
             if depth > self.queue_peak:
                 self.queue_peak = depth
+            if order is not None:
+                self._orders.append(int(order))
 
     def on_reject(self) -> None:
         with self._lock:
@@ -152,7 +234,15 @@ class ServiceStats:
     def on_dispatch(self, record: DispatchRecord,
                     waits: list[float]) -> None:
         with self._lock:
-            self.dispatches.append(record)
+            self._ring.append(record)
+            self.dispatch_count += 1
+            self.coalesced_requests += record.batch_size
+            self.launches_total += record.launches
+            self.occupancy_total += record.occupancy
+            self.sim_seconds_total += record.sim_seconds
+            self.retries_total += record.retries
+            if record.isolated:
+                self.isolated_dispatches += 1
             for w in waits:
                 self.wait.record(w)
 
@@ -167,6 +257,10 @@ class ServiceStats:
     def on_rebudget(self) -> None:
         with self._lock:
             self.rebudgets += 1
+
+    def on_policy_swap(self) -> None:
+        with self._lock:
+            self.policy_swaps += 1
 
     # -- compiled workload programs --------------------------------------
     def attach_plan_cache(self, cache) -> None:
@@ -200,24 +294,43 @@ class ServiceStats:
 
     # -- derived -------------------------------------------------------
     @property
-    def coalescing_ratio(self) -> float:
-        """Mean requests per batched dispatch (1.0 = no coalescing)."""
+    def dispatches(self) -> list:
+        """Snapshot of the retained (newest) dispatch records."""
         with self._lock:
-            if not self.dispatches:
+            return list(self._ring)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean requests per batched dispatch (1.0 = no coalescing);
+        exact over the full history, not just the retained ring."""
+        with self._lock:
+            if not self.dispatch_count:
                 return 0.0
-            return sum(d.batch_size for d in self.dispatches) / \
-                len(self.dispatches)
+            return self.coalesced_requests / self.dispatch_count
 
     @property
     def mean_occupancy(self) -> float:
         with self._lock:
-            if not self.dispatches:
+            if not self.dispatch_count:
                 return 0.0
-            return sum(d.occupancy for d in self.dispatches) / \
-                len(self.dispatches)
+            return self.occupancy_total / self.dispatch_count
+
+    def order_summary(self) -> dict:
+        """Size-distribution summary of recently admitted requests (the
+        run-time analogue of
+        :func:`~repro.batched.tuning.size_distribution_summary`)."""
+        from ..batched.tuning import size_distribution_summary
+        with self._lock:
+            orders = list(self._orders)
+        return size_distribution_summary(orders, orders)
 
     def snapshot(self) -> dict:
-        """Point-in-time copy of every counter (safe to serialize)."""
+        """Point-in-time copy of every counter (safe to serialize).
+
+        Includes the raw latency bin counts so two snapshots diff into
+        an exact window; every aggregate is exact over the full history
+        even after the dispatch ring has wrapped.
+        """
         with self._lock:
             return {
                 "submitted": self.submitted,
@@ -229,20 +342,25 @@ class ServiceStats:
                 "queue_depth": self.queue_depth,
                 "queue_peak": self.queue_peak,
                 "rebudgets": self.rebudgets,
-                "dispatches": len(self.dispatches),
-                "coalesced_requests": sum(d.batch_size
-                                          for d in self.dispatches),
+                "dispatches": self.dispatch_count,
+                "coalesced_requests": self.coalesced_requests,
                 "coalescing_ratio": (
-                    sum(d.batch_size for d in self.dispatches) /
-                    len(self.dispatches) if self.dispatches else 0.0),
+                    self.coalesced_requests / self.dispatch_count
+                    if self.dispatch_count else 0.0),
                 "mean_occupancy": (
-                    sum(d.occupancy for d in self.dispatches) /
-                    len(self.dispatches) if self.dispatches else 0.0),
+                    self.occupancy_total / self.dispatch_count
+                    if self.dispatch_count else 0.0),
+                "occupancy_total": self.occupancy_total,
+                "launches": self.launches_total,
+                "sim_seconds": self.sim_seconds_total,
+                "isolated_dispatches": self.isolated_dispatches,
+                "retries": self.retries_total,
                 "programs_compiled": self.programs_compiled,
                 "compiled_dispatches": self.compiled_dispatches,
                 "compiled_fallbacks": self.compiled_fallbacks,
                 "precision_fallbacks": self.precision_fallbacks,
                 "refine_passes": self.refine_passes,
+                "policy_swaps": self.policy_swaps,
                 "plan_cache": (None if self._plan_cache is None else {
                     "size": len(self._plan_cache),
                     "capacity": self._plan_cache.capacity,

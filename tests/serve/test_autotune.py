@@ -1,0 +1,730 @@
+"""Online autotuner, SLO-aware admission, hardened scheduler/stats layer.
+
+Regression coverage for the five hardening fixes that ride with the
+autotuner PR —
+
+* ``autotune_getrf`` degrades (instead of crashing) when every candidate
+  is infeasible, and only :class:`~repro.errors.InfeasibleConfig` is
+  treated as "skip this candidate";
+* :class:`~repro.serve.stats.ServiceStats` keeps a bounded dispatch ring
+  while its derived aggregates stay exact over the full history;
+* :class:`~repro.serve.stats.LatencyHistogram` is exact at bin edges and
+  ``quantile(0.0)`` skips empty leading bins;
+* :meth:`~repro.serve.scheduler.AdmissionQueue.collect` iterates (never
+  recurses) under cancellation storms, and a purged head hands the wait
+  anchor to the next request's *own* submit time;
+* :meth:`~repro.serve.scheduler.ServiceFuture.result` raises a fresh,
+  context-chained copy per waiter —
+
+plus feature tests for the tentpole: hot-swappable dispatch policies,
+SLO-aware hold budgets, the virtual-time traffic replay, and the
+:class:`~repro.serve.autotune.OnlineAutotuner` decision loop
+(hysteresis, swap, rollback, cooldown).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batched.trsm import TRSM_BASE_NB
+from repro.batched.tuning import (autotune_getrf, representative_orders,
+                                  size_distribution_summary)
+from repro.device import A100, Device
+from repro.errors import (DeadlineExceeded, InfeasibleConfig,
+                          RequestCancelled, ServiceOverloaded)
+from repro.serve import (AutotuneConfig, CoalescingPolicy, DispatchPolicy,
+                         LatencyHistogram, OnlineAutotuner, SolverService)
+from repro.serve.autotune import Window, default_objective
+from repro.serve.scheduler import (AdmissionQueue, Request, ServiceFuture,
+                                   getrs_key)
+from repro.serve.stats import DispatchRecord, ServiceStats
+from repro.workloads import (RequestClass, TrafficMix, VirtualClock,
+                             run_mix)
+
+pytestmark = [pytest.mark.serve, pytest.mark.autotune]
+
+RNG = np.random.default_rng(7)
+
+
+def dense(n, dtype=np.float64, seed=None):
+    rng = np.random.default_rng(seed) if seed is not None else RNG
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    return a.astype(dtype)
+
+
+def inline_service(device=None, **policy_kw):
+    dev = device if device is not None else Device(A100())
+    return SolverService(dev, policy=CoalescingPolicy(**policy_kw),
+                         start=False)
+
+
+def fresh_queue(clock=None):
+    stats = ServiceStats()
+    q = AdmissionQueue(stats, clock=clock) if clock is not None \
+        else AdmissionQueue(stats)
+    return q, stats
+
+
+# ----------------------------------------------------------------------
+# satellite 1: autotune_getrf degrades on all-infeasible grids
+# ----------------------------------------------------------------------
+class TestTunerInfeasibility:
+    #: 400×400 with a forced 64-wide fused panel needs 400·64·8 =
+    #: 204 800 shared bytes > the A100 model's per-block limit.
+    BIG = 400
+
+    def test_all_candidates_infeasible_degrades_to_default(self):
+        mats = [dense(self.BIG, seed=1)]
+        result = autotune_getrf(
+            A100(), mats, sample_size=1,
+            candidates=[{"panel": "fused", "nb": 64},
+                        {"panel": "fused", "nb": 128}])
+        assert result.exhausted
+        assert result.trials == []
+        assert result.best == {"nb": "auto", "laswp_variant": "rehearsed",
+                               "concurrent_swaps": False}
+        assert result.infeasible == [{"panel": "fused", "nb": 64},
+                                     {"panel": "fused", "nb": 128}]
+        # degraded result still ranks as "no speedup measured"
+        assert result.speedup_over_worst() == 1.0
+
+    def test_infeasible_candidates_skipped_not_fatal(self):
+        mats = [dense(self.BIG, seed=2)]
+        result = autotune_getrf(
+            A100(), mats, sample_size=1,
+            candidates=[{"panel": "fused", "nb": 64},
+                        {"panel": "columnwise", "nb": 32}])
+        assert not result.exhausted
+        assert result.best == {"panel": "columnwise", "nb": 32}
+        assert result.infeasible == [{"panel": "fused", "nb": 64}]
+        assert len(result.trials) == 1
+
+    def test_argument_bugs_still_propagate(self):
+        # a malformed candidate is a bug, not an infeasibility — it must
+        # raise, never be silently recorded as "skipped"
+        with pytest.raises(ValueError, match="unknown panel mode"):
+            autotune_getrf(A100(), [dense(16, seed=3)], sample_size=1,
+                           candidates=[{"panel": "bogus"}])
+
+    def test_infeasible_is_a_valueerror_subclass(self):
+        # backward compatibility: callers catching ValueError still work
+        assert issubclass(InfeasibleConfig, ValueError)
+
+
+class TestRepresentativeOrders:
+    def test_draws_span_the_summary(self):
+        orders = [8, 12, 16, 16, 24, 48, 96]
+        summary = size_distribution_summary(orders, orders)
+        draws = representative_orders(summary, count=64, seed=5)
+        assert len(draws) == 64
+        assert all(summary["min"] <= d <= summary["max"] for d in draws)
+        # deterministic under a fixed seed
+        assert draws == representative_orders(summary, count=64, seed=5)
+
+    def test_degenerate_summary(self):
+        summary = size_distribution_summary([16] * 4, [16] * 4)
+        assert representative_orders(summary, count=6) == [16] * 6
+
+
+# ----------------------------------------------------------------------
+# satellite 2: bounded dispatch history with exact aggregates
+# ----------------------------------------------------------------------
+class TestStatsRing:
+    def test_ring_bounds_history_but_aggregates_stay_exact(self):
+        s = ServiceStats(dispatch_history=4)
+        for i in range(10):
+            s.on_dispatch(DispatchRecord(
+                kind="getrf", batch_size=i + 1, launches=3,
+                occupancy=0.5, retries=i % 2, isolated=(i == 0),
+                sim_seconds=1e-3), [2e-4])
+        # the ring keeps only the newest 4 records...
+        assert len(s.dispatches) == 4
+        assert [r.batch_size for r in s.dispatches] == [7, 8, 9, 10]
+        # ...while every derived number covers all 10 dispatches
+        assert s.coalescing_ratio == pytest.approx(55 / 10)
+        assert s.mean_occupancy == pytest.approx(0.5)
+        snap = s.snapshot()
+        assert snap["dispatches"] == 10
+        assert snap["coalesced_requests"] == 55
+        assert snap["launches"] == 30
+        assert snap["retries"] == 5
+        assert snap["isolated_dispatches"] == 1
+        assert snap["sim_seconds"] == pytest.approx(1e-2)
+        assert snap["wait"]["count"] == 10
+
+    def test_dispatches_returns_a_snapshot(self):
+        s = ServiceStats(dispatch_history=8)
+        s.on_dispatch(DispatchRecord("getrf", 1, 3, 1.0, 0, False), [])
+        view = s.dispatches
+        view.clear()
+        assert len(s.dispatches) == 1
+
+    def test_history_bound_validated(self):
+        with pytest.raises(ValueError, match="dispatch_history"):
+            ServiceStats(dispatch_history=0)
+
+
+# ----------------------------------------------------------------------
+# satellite 3: histogram bin edges and quantile(0.0)
+# ----------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_samples_on_a_bin_edge_stay_in_that_bin(self):
+        h = LatencyHistogram()
+        # the old float-log index pushed exact-edge samples (4 µs, 16 µs,
+        # ...) one bin too high
+        for b in range(h.NBINS - 1):
+            assert h.bin_index(h.bin_edge(b)) == b
+            assert h.bin_index(np.nextafter(h.bin_edge(b), np.inf)) == b + 1
+
+    def test_subbase_and_overflow_clamp(self):
+        h = LatencyHistogram()
+        assert h.bin_index(0.0) == 0
+        assert h.bin_index(h.BASE / 2) == 0
+        assert h.bin_index(1e9) == h.NBINS - 1
+
+    def test_quantile_zero_skips_empty_leading_bins(self):
+        h = LatencyHistogram()
+        h.record(1.0)
+        # the smallest observed latency class, not the first bin's edge
+        assert h.quantile(0.0) == h.bin_edge(h.bin_index(1.0))
+        assert h.quantile(0.0) > 0.5
+
+    def test_quantiles_rank_correctly(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.record(1e-5)
+        h.record(1.0)
+        low_edge = h.bin_edge(h.bin_index(1e-5))
+        assert h.quantile(0.5) == low_edge
+        assert h.quantile(0.99) == low_edge
+        assert h.quantile(1.0) == h.bin_edge(h.bin_index(1.0))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    @given(st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_bin_invariant(self, seconds):
+        h = LatencyHistogram()
+        b = h.bin_index(seconds)
+        assert 0 <= b < h.NBINS
+        assert seconds <= h.bin_edge(b)
+        if b > 0:
+            assert seconds > h.bin_edge(b - 1)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e2,
+                              allow_nan=False), min_size=1, max_size=40),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_monotone(self, samples, q1, q2):
+        h = LatencyHistogram()
+        for s in samples:
+            h.record(s)
+        lo, hi = sorted((q1, q2))
+        assert h.quantile(lo) <= h.quantile(hi)
+
+
+# ----------------------------------------------------------------------
+# satellite 4: iterative collect + wait anchors
+# ----------------------------------------------------------------------
+class TestAdmissionHardening:
+    KEY = ("getrf", "<f8", ())
+
+    def request(self, clock=None, slo=None, deadline=None, key=None):
+        kw = {"slo": slo}
+        if clock is not None:
+            kw["clock"] = clock
+        return Request("factor", key or self.KEY, {}, deadline, **kw)
+
+    def test_cancellation_storm_does_not_recurse(self):
+        q, stats = fresh_queue()
+        policy = CoalescingPolicy(max_batch=1, max_queue=4096)
+        reqs = [self.request() for _ in range(1500)]
+        for r in reqs:
+            q.push(r, policy.max_queue)
+        for r in reqs:
+            assert r.future.cancel()
+        # Simulate every cancellation landing *after* the purge pass so
+        # the per-member claim race is the only guard — the recursive
+        # collect unwound one stack frame pair per lost group and blew
+        # the default 1000-frame limit well before 1500 requests.
+        q._purge_locked = lambda now: None
+        assert q.collect(policy, block=False) is None
+        assert len(q) == 0
+        assert stats.cancelled == 1500
+
+    def test_cancelled_requests_never_dispatch(self):
+        q, stats = fresh_queue()
+        policy = CoalescingPolicy(max_batch=64, max_wait=10.0,
+                                  max_queue=256)
+        reqs = [self.request() for _ in range(50)]
+        for r in reqs:
+            q.push(r, policy.max_queue)
+        for r in reqs[::2]:
+            r.future.cancel()
+        got = q.collect(policy, block=False)
+        assert got == reqs[1::2]
+        assert stats.cancelled == 25
+        for r in got:
+            assert not r.future.done()
+
+    def test_wait_anchor_survives_head_cancellation(self):
+        clock = VirtualClock()
+        q, stats = fresh_queue(clock=clock)
+        policy = CoalescingPolicy(max_batch=8, max_wait=2e-3,
+                                  max_queue=256)
+        r1 = self.request(clock=clock)          # t_submit = 0
+        clock.advance(1e-3)
+        r2 = self.request(clock=clock)          # t_submit = 1 ms
+        q.push(r1, policy.max_queue)
+        q.push(r2, policy.max_queue)
+        assert q.next_ripe(policy, clock.now) == pytest.approx(2e-3)
+
+        r1.future.cancel()
+        # r2 is not ripe at 2.5 ms: its budget anchors at its OWN submit
+        # time (1 ms + 2 ms = 3 ms), it neither inherits r1's elapsed
+        # wait nor restarts from the adoption instant
+        assert q.collect_ready(policy, 2.5e-3) is None
+        assert stats.cancelled == 1
+        assert q.next_ripe(policy, 2.5e-3) == pytest.approx(3e-3)
+        assert q.collect_ready(policy, 3e-3) == [r2]
+
+    def test_blocking_collect_recovers_after_head_cancellation(self):
+        q, _ = fresh_queue()
+        policy = CoalescingPolicy(max_batch=8, max_wait=0.25,
+                                  max_queue=256)
+        r1 = self.request()
+        r2 = self.request()
+        q.push(r1, policy.max_queue)
+        q.push(r2, policy.max_queue)
+        out = []
+        t = threading.Thread(
+            target=lambda: out.append(q.collect(policy)))
+        t.start()
+        r1.future.cancel()
+        q.kick()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert out == [[r2]]
+
+    def test_slo_caps_hold_budget_without_dropping_work(self):
+        clock = VirtualClock()
+        q, stats = fresh_queue(clock=clock)
+        policy = CoalescingPolicy(max_batch=8, max_wait=10e-3,
+                                  max_queue=256, slo_hold_fraction=0.5)
+        r = self.request(clock=clock, slo=4e-3)
+        q.push(r, policy.max_queue)
+        # hold capped at 0.5 · slo = 2 ms, well under max_wait
+        assert q.next_ripe(policy, 0.0) == pytest.approx(2e-3)
+        got = q.collect_ready(policy, 2e-3)
+        assert got == [r]                # dispatched, never expired
+        assert stats.expired == 0
+
+    def test_no_slo_uses_full_policy_budget(self):
+        clock = VirtualClock()
+        q, _ = fresh_queue(clock=clock)
+        policy = CoalescingPolicy(max_batch=8, max_wait=10e-3,
+                                  max_queue=256)
+        q.push(self.request(clock=clock), policy.max_queue)
+        assert q.next_ripe(policy, 0.0) == pytest.approx(10e-3)
+
+    def test_deadline_still_hard(self):
+        clock = VirtualClock()
+        q, stats = fresh_queue(clock=clock)
+        policy = CoalescingPolicy(max_batch=8, max_wait=50e-3,
+                                  max_queue=256)
+        r = self.request(clock=clock, slo=1.0, deadline=1e-3)
+        q.push(r, policy.max_queue)
+        assert q.collect_ready(policy, 2e-3) is None
+        assert stats.expired == 1
+        with pytest.raises(DeadlineExceeded):
+            r.future.result(0)
+
+
+# ----------------------------------------------------------------------
+# satellite 5: per-waiter exception copies
+# ----------------------------------------------------------------------
+class TestFutureExceptionIsolation:
+    def test_each_waiter_gets_a_fresh_copy(self):
+        fut = ServiceFuture("factor")
+        original = DeadlineExceeded(0.1, 0.25)
+        fut._resolve(error=original)
+
+        with pytest.raises(DeadlineExceeded) as exc1:
+            fut.result(0)
+        with pytest.raises(DeadlineExceeded) as exc2:
+            fut.result(0)
+        assert exc1.value is not original
+        assert exc1.value is not exc2.value
+        assert exc1.value.__traceback__ is not exc2.value.__traceback__
+        # copies chain to — and faithfully mirror — the original
+        assert exc1.value.__cause__ is original
+        assert exc2.value.__cause__ is original
+        assert exc1.value.args == original.args
+        assert exc1.value.deadline == 0.1
+        assert exc1.value.waited == 0.25
+        # the stored original is never mutated by a waiter's raise
+        assert fut.exception() is original
+        assert original.__traceback__ is None
+
+    def test_concurrent_waiters_see_distinct_tracebacks(self):
+        fut = ServiceFuture("solve")
+        fut._resolve(error=RequestCancelled("queued request cancelled"))
+        caught = []
+        barrier = threading.Barrier(2)
+
+        def waiter():
+            barrier.wait()
+            try:
+                fut.result(0)
+            except RequestCancelled as err:
+                caught.append(err)
+
+        threads = [threading.Thread(target=waiter) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(caught) == 2
+        assert caught[0] is not caught[1]
+        assert caught[0].__traceback__ is not caught[1].__traceback__
+
+    def test_multiarg_exceptions_copy_cleanly(self):
+        # ServiceOverloaded's two-positional-arg __init__ breaks naive
+        # re-instantiation (cls(*args) is fine, cls() is not) — the copy
+        # path must not call __init__ at all
+        fut = ServiceFuture("factor")
+        fut._resolve(error=ServiceOverloaded(9, 8))
+        with pytest.raises(ServiceOverloaded) as exc:
+            fut.result(0)
+        assert exc.value.args == fut.exception().args
+        assert exc.value.__cause__ is fut.exception()
+
+
+# ----------------------------------------------------------------------
+# tentpole: pluggable, hot-swappable dispatch policies
+# ----------------------------------------------------------------------
+class TestPolicyHotSwap:
+    def test_coalescing_policy_satisfies_protocol(self):
+        assert isinstance(CoalescingPolicy(), DispatchPolicy)
+        p = CoalescingPolicy(max_batch=4, max_wait=1e-3)
+        assert p.group_limit(("getrf",)) == 4
+        assert p.wait_budget(("getrf",)) == 1e-3
+        assert p.replace(max_batch=8).max_batch == 8
+        assert "trsm_class_cutoff" in p.describe()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="panel_regime"):
+            CoalescingPolicy(panel_regime="fused")
+        with pytest.raises(ValueError, match="trsm_class_cutoff"):
+            CoalescingPolicy(trsm_class_cutoff=0)
+        with pytest.raises(ValueError, match="trsm_class_cutoff"):
+            CoalescingPolicy(trsm_class_cutoff=TRSM_BASE_NB + 1)
+        with pytest.raises(ValueError, match="slo_hold_fraction"):
+            CoalescingPolicy(slo_hold_fraction=0.0)
+
+    def test_set_policy_rejects_non_policies(self):
+        svc = inline_service()
+        with pytest.raises(TypeError):
+            svc.set_policy(object())
+        svc.close()
+
+    def test_hot_swap_preserves_queued_work_and_bits(self):
+        sizes = [8, 24, 16, 8, 12, 20]
+        mats = [dense(n, seed=200 + i) for i, n in enumerate(sizes)]
+        rhss = [np.random.default_rng(300 + i).standard_normal(n)
+                for i, n in enumerate(sizes)]
+
+        ref_svc = inline_service(max_batch=1)
+        ref = [ref_svc.submit_factor_solve(a, b)
+               for a, b in zip(mats, rhss)]
+        ref_svc.run_once()
+        ref = [f.result(0) for f in ref]
+        ref_svc.close()
+
+        svc = inline_service(max_batch=1)
+        futs = [svc.submit_factor_solve(a, b)
+                for a, b in zip(mats, rhss)]
+        old = svc.set_policy(svc.policy.replace(max_batch=8))
+        assert old.max_batch == 1
+        assert svc.policy.max_batch == 8
+        assert svc.stats.policy_swaps == 1
+        # the queued six now coalesce into ONE dispatch under the new
+        # policy — nothing was dropped by the swap — and stay bitwise
+        # equal to the solo reference
+        assert svc.run_once() == 1
+        for fut, (x_ref, h_ref) in zip(futs, ref):
+            x, h = fut.result(0)
+            assert np.array_equal(x, x_ref)
+            assert np.array_equal(h.lu, h_ref.lu)
+        svc.close()
+
+    def test_policy_property_setter_swaps(self):
+        svc = inline_service(max_wait=2e-3)
+        svc.policy = svc.policy.replace(max_wait=0.0)
+        assert svc.policy.max_wait == 0.0
+        assert svc.stats.policy_swaps == 1
+        svc.close()
+
+    def test_panel_regime_is_bitwise_neutral(self):
+        mats = [dense(n, seed=400 + n) for n in (8, 24, 40, 16)]
+        rhss = [np.random.default_rng(500 + n).standard_normal(n)
+                for n in (8, 24, 40, 16)]
+
+        results = {}
+        for regime in (None, "columnwise"):
+            svc = inline_service(max_batch=8, panel_regime=regime)
+            futs = [svc.submit_factor_solve(a, b)
+                    for a, b in zip(mats, rhss)]
+            svc.run_once()
+            results[regime] = [f.result(0) for f in futs]
+            svc.close()
+        for (x0, h0), (x1, h1) in zip(results[None],
+                                      results["columnwise"]):
+            assert np.array_equal(x0, x1)
+            assert np.array_equal(h0.lu, h1.lu)
+            assert np.array_equal(h0.ipiv, h1.ipiv)
+
+    def test_trsm_cutoff_regroups_solves_without_changing_bits(self):
+        orders = (8, 20)
+        mats = [dense(n, seed=600 + n) for n in orders]
+        rhss = [np.random.default_rng(700 + n).standard_normal(n)
+                for n in orders]
+
+        def solve_all(cutoff):
+            svc = inline_service(max_batch=8, max_wait=0.0,
+                                 trsm_class_cutoff=cutoff)
+            handles = [svc.submit_factor(a) for a in mats]
+            svc.run_once()
+            handles = [f.result(0) for f in handles]
+            before = svc.stats.dispatch_count
+            futs = [svc.submit_solve(h, b)
+                    for h, b in zip(handles, rhss)]
+            svc.run_once()
+            xs = [f.result(0) for f in futs]
+            n_solve_dispatches = svc.stats.dispatch_count - before
+            svc.close()
+            return xs, n_solve_dispatches
+
+        wide, n_wide = solve_all(TRSM_BASE_NB)    # one shared class
+        narrow, n_narrow = solve_all(4)           # exact-order classes
+        assert n_wide == 1
+        assert n_narrow == 2
+        for x0, x1 in zip(wide, narrow):
+            assert np.array_equal(x0, x1)
+
+    def test_getrs_key_cutoff_semantics(self):
+        f8 = np.float64
+        assert getrs_key(8, f8, cutoff=32) == getrs_key(20, f8, cutoff=32)
+        assert getrs_key(8, f8, cutoff=4) != getrs_key(20, f8, cutoff=4)
+        # cutoffs are clamped to the base-kernel range
+        assert getrs_key(8, f8, cutoff=10 * TRSM_BASE_NB) == \
+            getrs_key(8, f8, cutoff=TRSM_BASE_NB)
+
+
+# ----------------------------------------------------------------------
+# tentpole: virtual-time traffic replay
+# ----------------------------------------------------------------------
+def mini_mix(arrival="poisson", count=40, **kw):
+    classes = (RequestClass("mini", "factor_solve", 8, 16,
+                            weight=1.0, slo=2e-2),)
+    defaults = dict(rate=2000.0, clients=4, think_time=2e-3)
+    defaults.update(kw)
+    return TrafficMix(name=f"mini-{arrival}", classes=classes,
+                      count=count, arrival=arrival, **defaults)
+
+
+class TestTrafficReplay:
+    def test_replay_is_deterministic(self):
+        mix = mini_mix()
+        r1 = run_mix(mix, seed=3)
+        r2 = run_mix(mix, seed=3)
+        assert r1.makespan == r2.makespan
+        assert r1.dispatches == r2.dispatches
+        assert r1.completed == r2.completed == mix.count
+        for a, b in zip(r1.results, r2.results):
+            assert np.array_equal(a, b)
+
+    def test_policies_see_identical_payloads_and_match_bitwise(self):
+        mix = mini_mix()
+        solo = run_mix(mix, seed=5,
+                       policy=CoalescingPolicy(max_batch=1, max_wait=0.0))
+        coal = run_mix(mix, seed=5,
+                       policy=CoalescingPolicy(max_batch=32,
+                                               max_wait=5e-3))
+        assert solo.completed == coal.completed == mix.count
+        assert coal.dispatches < solo.dispatches   # coalescing happened
+        for a, b in zip(solo.results, coal.results):
+            assert np.array_equal(a, b)
+
+    def test_closed_loop_completes_all_requests(self):
+        mix = mini_mix(arrival="closed", count=24)
+        res = run_mix(mix, seed=9)
+        assert res.completed == 24
+        assert res.rejected == 0
+        assert res.slo_met() is not None      # per-class report exists
+        assert set(res.per_class) == {"mini"}
+
+    def test_burst_arrivals_replay(self):
+        mix = mini_mix(arrival="burst", count=32, rate=400.0,
+                       burst_factor=25.0, burst_period=5e-2,
+                       storm_len=5e-3)
+        res = run_mix(mix, seed=2)
+        assert res.completed == 32
+        assert res.per_class["mini"]["count"] == 32
+
+    def test_autotuned_replay_keeps_parity(self):
+        mix = mini_mix(count=64)
+        base = CoalescingPolicy(max_queue=4096)
+        static = run_mix(mix, policy=base, seed=11)
+        cfg = AutotuneConfig(min_requests=8, min_dispatches=2)
+        tuned = run_mix(
+            mix, policy=base, seed=11, tune_every=5e-3,
+            autotuner=lambda svc, clock: OnlineAutotuner(
+                svc, clock=clock, config=cfg, seed=11))
+        assert tuned.tuner is not None
+        assert tuned.tuner["windows"] > 0
+        assert tuned.completed == static.completed == mix.count
+        # tuning changes launch shapes, never bits
+        for a, b in zip(static.results, tuned.results):
+            assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# tentpole: the online tuner's decision loop
+# ----------------------------------------------------------------------
+def make_window(**kw):
+    defaults = dict(seconds=0.1, sim_seconds=0.09, submitted=50,
+                    completed=50, failed=0, expired=0, rejected=0,
+                    dispatches=10, coalesced=100, launches=40,
+                    occupancy=0.8, wait_p50=1e-3, wait_p99=1e-3,
+                    exec_p50=1e-3, compiled_dispatches=0,
+                    compiled_fallbacks=0, queue_depth=0, orders={})
+    defaults.update(kw)
+    return Window(**defaults)
+
+
+class TestOnlineAutotuner:
+    CFG = AutotuneConfig(min_requests=1, min_dispatches=1, hysteresis=2,
+                         cooldown=2, rollback_tolerance=0.15,
+                         regime_trial_every=10_000)
+
+    def tuner_with_windows(self, svc, windows):
+        tuner = OnlineAutotuner(svc, config=self.CFG)
+        it = iter(windows)
+        tuner._observe = lambda: next(it)
+        return tuner
+
+    def test_window_derived_rates(self):
+        w = make_window(seconds=0.5, submitted=100, completed=80,
+                        dispatches=20, coalesced=60, sim_seconds=0.25)
+        assert w.arrival_rate == pytest.approx(200.0)
+        assert w.throughput == pytest.approx(160.0)
+        assert w.mean_group == pytest.approx(3.0)
+        assert w.utilization == pytest.approx(0.5)
+        assert default_objective(w) > 0
+        assert default_objective(make_window(completed=0)) == 0.0
+
+    def test_objective_penalizes_shed_work(self):
+        clean = make_window()
+        shed = make_window(expired=3)
+        assert default_objective(shed) < default_objective(clean)
+
+    def test_small_windows_hold(self):
+        svc = inline_service()
+        tuner = self.tuner_with_windows(svc, [make_window(submitted=0)])
+        assert tuner.step().kind == "hold"
+        assert svc.stats.policy_swaps == 0
+        svc.close()
+
+    def test_hysteresis_then_swap(self):
+        svc = inline_service(max_wait=2e-3)
+        shed = [make_window(expired=2) for _ in range(2)]
+        tuner = self.tuner_with_windows(svc, shed)
+        # one noisy window never moves a knob...
+        assert tuner.step().kind == "hold"
+        assert svc.policy.max_wait == 2e-3
+        # ...the second agreeing window does
+        act = tuner.step()
+        assert act.kind == "swap"
+        assert act.changes == {"max_wait": 1e-3}
+        assert svc.policy.max_wait == 1e-3
+        assert svc.stats.policy_swaps == 1
+        svc.close()
+
+    def test_disagreeing_windows_reset_votes(self):
+        svc = inline_service(max_wait=2e-3)
+        windows = [make_window(expired=2), make_window(),
+                   make_window(expired=2)]
+        tuner = self.tuner_with_windows(svc, windows)
+        for _ in range(3):
+            assert tuner.step().kind == "hold"
+        assert svc.stats.policy_swaps == 0
+        svc.close()
+
+    def test_rollback_and_cooldown(self):
+        svc = inline_service(max_wait=2e-3)
+        good = make_window(expired=2)
+        # post-swap window: objective collapses by far more than the
+        # 15% tolerance
+        bad = make_window(completed=2, wait_p99=1e-3)
+        after = [make_window(expired=2) for _ in range(3)]
+        tuner = self.tuner_with_windows(svc, [good, good, bad] + after)
+
+        tuner.step()                      # vote
+        assert tuner.step().kind == "swap"
+        assert svc.policy.max_wait == 1e-3
+
+        act = tuner.step()                # regression: roll back
+        assert act.kind == "rollback"
+        assert svc.policy.max_wait == 2e-3
+        assert svc.stats.policy_swaps == 2   # swap + restore
+
+        # cooldown: two windows of strong signal change nothing
+        assert tuner.step().kind == "hold"
+        assert tuner.step().kind == "hold"
+        assert svc.policy.max_wait == 2e-3
+        summary = tuner.summary()
+        assert summary["swaps"] == 1
+        assert summary["rollbacks"] == 1
+        assert summary["windows"] == 5
+        svc.close()
+
+    def test_good_swap_is_kept(self):
+        svc = inline_service(max_wait=2e-3)
+        good = make_window(expired=2)
+        better = make_window()            # no shed: objective improves
+        tuner = self.tuner_with_windows(svc, [good, good, better])
+        tuner.step()
+        assert tuner.step().kind == "swap"
+        assert tuner.step().kind == "hold"     # guard passes, no revert
+        assert svc.policy.max_wait == 1e-3
+        svc.close()
+
+    def test_saturated_groups_grow_max_batch(self):
+        svc = inline_service(max_batch=8)
+        full = make_window(dispatches=10, coalesced=78, queue_depth=5)
+        tuner = self.tuner_with_windows(svc, [full, full])
+        tuner.step()
+        act = tuner.step()
+        assert act.kind == "swap"
+        assert act.changes == {"max_batch": 16}
+        svc.close()
+
+    def test_base_kernel_traffic_widens_trsm_class(self):
+        svc = inline_service(trsm_class_cutoff=4)
+        w = make_window(orders={"count": 30, "min": 8, "median": 12,
+                                "max": 24, "spread": 0.4})
+        tuner = self.tuner_with_windows(svc, [w, make_window(
+            orders=dict(w.orders))])
+        tuner.step()
+        act = tuner.step()
+        assert act.kind == "swap"
+        # (non-empty orders also arm the panel micro-trial, which may
+        # ride along in the same swap — the cutoff move is what this
+        # test pins down)
+        assert act.changes["trsm_class_cutoff"] == TRSM_BASE_NB
+        assert svc.policy.trsm_class_cutoff == TRSM_BASE_NB
+        svc.close()

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..device.kernel import KernelCost, gemm_compute_ramp
 from ..device.simulator import Device
+from .abft import gemm_check, verified_launch
 from .dcwi import Workload, infer_gemm
 from .engine import GEMM_TILE as _GEMM_TILE, resolve_engine
 from .interface import IrrBatch, Offsets
@@ -25,6 +26,29 @@ def _apply_op(a: np.ndarray, trans: str) -> np.ndarray:
     if trans == "N":
         return a
     return a.conj().T if trans == "C" else a.T
+
+
+def _gemm_targets(transa: str, transb: str, m: int, n: int, k: int,
+                  A: IrrBatch, a_off: Offsets, B: IrrBatch, b_off: Offsets,
+                  beta: float, C: IrrBatch, c_off: Offsets
+                  ) -> list[tuple[int, int, int, int]]:
+    """``(i, mi, ni, ki)`` for every member whose C block gets written.
+
+    Mirrors the kernel's own DCWI inference: NONE members and the
+    ``ki == 0, beta == 1`` no-op are not outputs of the launch.
+    """
+    targets = []
+    for i in range(len(C)):
+        work, cls = infer_gemm(
+            transa, transb, m, n, k,
+            A.local_dims(i), a_off, B.local_dims(i), b_off,
+            C.local_dims(i), c_off)
+        if cls is Workload.NONE:
+            continue
+        if work.k == 0 and beta == 1.0:
+            continue
+        targets.append((i, work.m, work.n, work.k))
+    return targets
 
 
 def irr_gemm(device: Device, transa: str, transb: str,
@@ -127,4 +151,21 @@ def irr_gemm(device: Device, transa: str, transb: str,
             peak_scale=C.peak_scale,
         )
 
-    return device.launch(name, kernel, stream=stream)
+    # Outputs are registered lazily (evaluated only when an injector is
+    # installed), making this launch a ``corrupt`` fault site; with
+    # kernel verification on, the launch also carries its ABFT checksum
+    # invariant and re-executes on mismatch.
+    def _targets():
+        return _gemm_targets(transa, transb, m, n, k, A, a_off,
+                             B, b_off, beta, C, c_off)
+
+    if device.verify_kernels:
+        check = gemm_check(transa, transb, alpha, beta, A, a_off,
+                           B, b_off, C, c_off, _targets())
+        return verified_launch(device, name, kernel, check, stream=stream)
+
+    def _outputs():
+        return [C.sub(i, c_off[0], c_off[1], mi, ni)
+                for (i, mi, ni, _ki) in _targets()]
+
+    return device.launch(name, kernel, stream=stream, outputs=_outputs)

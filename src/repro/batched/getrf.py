@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..device.simulator import Device
+from .abft import verified_getrf
 from .engine import resolve_engine
 from .gemm import irr_gemm
 from .interface import IrrBatch
@@ -115,61 +116,75 @@ def irr_getrf(device: Device, batch: IrrBatch, *,
         raise ValueError("panel width must be a positive integer or 'auto'")
     engine = resolve_engine(engine)
 
-    pivots = PanelPivots(batch, pivot_tol=pivot_tol,
-                         static_pivot=static_pivot,
-                         replace_scale=replace_scale)
     kmax = batch.max_min_mn
     if kmax == 0 or len(batch) == 0:
-        return pivots
+        return PanelPivots(batch, pivot_tol=pivot_tol,
+                           static_pivot=static_pivot,
+                           replace_scale=replace_scale)
 
     m_req = batch.max_m
     n_req = batch.max_n
     side = device.new_stream() if concurrent_swaps else None
 
-    for j in range(0, kmax, nb):
-        ib = min(nb, kmax - j)
+    def run() -> PanelPivots:
+        pivots = PanelPivots(batch, pivot_tol=pivot_tol,
+                             static_pivot=static_pivot,
+                             replace_scale=replace_scale)
 
-        # -- 1. panel --------------------------------------------------
-        _factor_panel(device, batch, pivots, j, ib, panel=panel,
-                      laswp_variant=laswp_variant, stream=stream,
-                      engine=engine)
+        for j in range(0, kmax, nb):
+            ib = min(nb, kmax - j)
 
-        # -- 2. row interchanges outside the panel ----------------------
-        if j > 0:
-            if side is not None:
-                after_panel = device.record_event(
-                    stream=stream if stream is not None else 0)
-                irr_laswp(device, batch, pivots, j, ib, "left",
-                          variant=laswp_variant, stream=side,
-                          wait_events=[after_panel], engine=engine)
-            else:
-                irr_laswp(device, batch, pivots, j, ib, "left",
+            # -- 1. panel ----------------------------------------------
+            _factor_panel(device, batch, pivots, j, ib, panel=panel,
+                          laswp_variant=laswp_variant, stream=stream,
+                          engine=engine)
+
+            # -- 2. row interchanges outside the panel ------------------
+            if j > 0:
+                if side is not None:
+                    after_panel = device.record_event(
+                        stream=stream if stream is not None else 0)
+                    irr_laswp(device, batch, pivots, j, ib, "left",
+                              variant=laswp_variant, stream=side,
+                              wait_events=[after_panel], engine=engine)
+                else:
+                    irr_laswp(device, batch, pivots, j, ib, "left",
+                              variant=laswp_variant, stream=stream,
+                              engine=engine)
+            if n_req > j + ib:
+                irr_laswp(device, batch, pivots, j, ib, "right",
                           variant=laswp_variant, stream=stream,
                           engine=engine)
-        if n_req > j + ib:
-            irr_laswp(device, batch, pivots, j, ib, "right",
-                      variant=laswp_variant, stream=stream, engine=engine)
 
-            # -- 3. update the upper factor (unit-lower solve) -----------
-            irr_trsm(device, "L", "L", "N", "U", ib, n_req - j - ib, 1.0,
-                     batch, (j, j), batch, (j, j + ib), stream=stream,
-                     engine=engine)
+                # -- 3. update the upper factor (unit-lower solve) -------
+                irr_trsm(device, "L", "L", "N", "U", ib, n_req - j - ib,
+                         1.0, batch, (j, j), batch, (j, j + ib),
+                         stream=stream, engine=engine)
 
-            # -- 4. trailing-matrix rank-ib update -----------------------
-            if m_req > j + ib:
-                irr_gemm(device, "N", "N", m_req - j - ib, n_req - j - ib,
-                         ib, -1.0, batch, (j + ib, j), batch, (j, j + ib),
-                         1.0, batch, (j + ib, j + ib), stream=stream,
-                         engine=engine)
+                # -- 4. trailing-matrix rank-ib update -------------------
+                if m_req > j + ib:
+                    irr_gemm(device, "N", "N", m_req - j - ib,
+                             n_req - j - ib, ib, -1.0, batch, (j + ib, j),
+                             batch, (j, j + ib), 1.0,
+                             batch, (j + ib, j + ib), stream=stream,
+                             engine=engine)
 
-    # Element growth factor max|LU| / max|A|, a stability diagnostic
-    # surfaced with the pivots.  Computed on the host after the last
-    # launch (engine-independent, so both engines report identical
-    # diagnostics); the guarded divide keeps empty matrices at 1.0.
-    ctrl = pivots.ctrl
-    post = _batch_abs_max(batch)
-    np.divide(post, ctrl.anorm, out=ctrl.growth, where=ctrl.anorm > 0.0)
-    return pivots
+        # Element growth factor max|LU| / max|A|, a stability diagnostic
+        # surfaced with the pivots.  Computed on the host after the last
+        # launch (engine-independent, so both engines report identical
+        # diagnostics); the guarded divide keeps empty matrices at 1.0.
+        ctrl = pivots.ctrl
+        post = _batch_abs_max(batch)
+        np.divide(post, ctrl.anorm, out=ctrl.growth, where=ctrl.anorm > 0.0)
+        return pivots
+
+    if not device.verify_kernels:
+        return run()
+    # ABFT: verify P^T.L.(U.w) = A0.w over the final packed factors and
+    # re-factorize from the input snapshot on mismatch — the coarse
+    # re-execution rung that covers the panel kernels, which have no
+    # per-launch checksum of their own.
+    return verified_getrf(device, batch, run)
 
 
 #: sub-panel width below which the column-wise path is used when even the

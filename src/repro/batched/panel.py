@@ -283,7 +283,18 @@ def fused_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,
             peak_scale=batch.peak_scale,
         )
 
-    return device.launch(name, kernel, stream=stream)
+    # Corrupt fault site: the fused panel has no per-launch checksum
+    # (its pivot decisions entangle values and control flow); corruption
+    # here is caught by the driver-level factor check in irr_getrf.
+    def _outputs():
+        outs = []
+        for i in range(len(batch)):
+            rows, width, npiv = _panel_extents(batch, i, j, ib)
+            if npiv:
+                outs.append(batch.sub(i, j, j, rows, width))
+        return outs
+
+    return device.launch(name, kernel, stream=stream, outputs=_outputs)
 
 
 def columnwise_getf2(device: Device, batch: IrrBatch, pivots: PanelPivots,

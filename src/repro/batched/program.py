@@ -61,7 +61,9 @@ import numpy as np
 from ..device.kernel import KernelCost, peak_scale_for
 from ..device.memory import DeviceArray
 from ..device.simulator import Device
-from ..errors import FactorizationError
+from ..errors import CorruptionDetected, FactorizationError
+from .abft import ABFT_MAX_REEXEC, _LOOSE_FRAC, _SLACK, _abs_row_sum, \
+    _lu_checksum, _mismatch, _row_sum
 from .engine import BatchEngine, INTERLEAVED_MIN_BS, resolve_engine
 from .gemm import irr_gemm
 from .getrf import DEFAULT_PANEL_WIDTH, irr_getrf
@@ -169,28 +171,35 @@ class _GuardStep:
 
 
 class _LaunchStep:
-    """One captured kernel launch, replayed verbatim."""
+    """One captured kernel launch, replayed verbatim.
 
-    __slots__ = ("name", "fn", "cost")
+    ``outputs`` carries the originating driver's lazy output
+    registration through to replay, so a compiled replay launch is a
+    ``corrupt`` fault site exactly like its uncompiled counterpart.
+    """
 
-    def __init__(self, name, fn, cost=None):
+    __slots__ = ("name", "fn", "cost", "outputs")
+
+    def __init__(self, name, fn, cost=None, outputs=None):
         self.name = name
         self.fn = fn
         self.cost = cost
+        self.outputs = outputs
 
     def run(self, device: Device) -> None:
-        device.launch(self.name, self.fn, self.cost)
+        device.launch(self.name, self.fn, self.cost, outputs=self.outputs)
 
 
 class _FusedStep:
     """A run of captured launches executed as one launch record."""
 
-    __slots__ = ("name", "parts")
+    __slots__ = ("name", "parts", "_has_outputs")
 
     def __init__(self, parts: list[_LaunchStep]):
         self.parts = parts
         self.name = (f"fused[{len(parts)}]:"
                      f"{parts[0].name}..{parts[-1].name}")
+        self._has_outputs = any(p.outputs is not None for p in parts)
 
     def run(self, device: Device) -> None:
         parts = self.parts
@@ -202,7 +211,19 @@ class _FusedStep:
                 costs.append(out if isinstance(out, KernelCost) else p.cost)
             return fuse_costs(costs)
 
-        device.launch(self.name, fused)
+        if not self._has_outputs:
+            device.launch(self.name, fused)
+            return
+
+        def outputs():
+            outs = []
+            for p in parts:
+                if p.outputs is not None:
+                    o = p.outputs() if callable(p.outputs) else p.outputs
+                    outs.extend(o)
+            return outs
+
+        device.launch(self.name, fused, outputs=outputs)
 
 
 def _fuse_steps(steps: list, window: int) -> list:
@@ -249,14 +270,14 @@ class _Recorder:
             steps = self._steps
 
             def recording_launch(name, fn, cost=None, *, stream=None,
-                                 wait_events=None):
+                                 wait_events=None, outputs=None):
                 if stream is not None or wait_events:
                     raise CompileError(
                         f"launch {name!r} uses a side stream or event "
                         "dependencies; multi-stream schedules cannot be "
                         "compiled into a static program")
-                returned = orig(name, fn, cost)
-                steps.append(_LaunchStep(name, fn, cost))
+                returned = orig(name, fn, cost, outputs=outputs)
+                steps.append(_LaunchStep(name, fn, cost, outputs=outputs))
                 return returned
 
             self._orig = orig
@@ -411,6 +432,13 @@ class _PackedBuffer:
         if self.arena is not None:
             self.arena._staged.discard(id(self))
 
+    def staged_matrix(self, i: int) -> np.ndarray:
+        """Host staging view of member ``i`` (the payload as loaded —
+        execution never touches staging, so this is the pre-run value)."""
+        m, n = self.shapes[i]
+        o = int(self.offsets[i])
+        return self.staging[o:o + m * n].reshape((m, n))
+
     def seg_abs_max(self) -> np.ndarray:
         """Per-matrix ``max|A_i|`` over the device-resident data —
         bitwise identical to :func:`_batch_abs_max` (same value
@@ -488,6 +516,10 @@ class _InterleavedBuffer:
         if self.arena is not None:
             self.arena._staged.discard(id(self))
 
+    def staged_matrix(self, b: int) -> np.ndarray:
+        """Host staging view of member ``b`` (pre-run payload value)."""
+        return self.staging[:, :, b]
+
     def seg_abs_max(self) -> np.ndarray:
         return np.max(np.abs(self.dev.data), axis=(0, 1)).astype(np.float64)
 
@@ -558,6 +590,66 @@ _GETRS_BROKEN_MSG = (
 
 
 # ----------------------------------------------------------------------
+# program-level ABFT (checksum verification over whole replays)
+# ----------------------------------------------------------------------
+def _program_factor_check(get_fac, get_src, pivots, nmembers: int,
+                          dtype) -> int | None:
+    """First member whose packed factors fail ``P^T.L.(U.w) = A0.w``.
+
+    ``get_src(i)`` reads the *staged* payload (host staging is untouched
+    by execution, so the pre-factorization checksum is recomputable
+    after the run).  Broken members are excluded; statically repaired
+    members get the loose gross-corruption threshold.
+    """
+    eps = float(np.finfo(dtype).eps)
+    tiny = float(np.finfo(dtype).tiny)
+    for i in range(nmembers):
+        if pivots.info[i] != 0:
+            continue
+        fac = get_fac(i)
+        k = min(fac.shape)
+        if k == 0:
+            continue
+        src = get_src(i)
+        got = _lu_checksum(fac, pivots.ipiv[i])
+        mag = _lu_checksum(fac, pivots.ipiv[i], absolute=True)
+        r0a = _abs_row_sum(src)
+        tol = _SLACK * eps * (k + 8) * (mag + r0a) + _SLACK * tiny
+        if pivots.ctrl.n_replaced[i] > 0:
+            tol = tol + _LOOSE_FRAC * (mag + r0a + 1.0)
+        if _mismatch(got, _row_sum(src), tol):
+            return i
+    return None
+
+
+def _program_solve_check(get_a, get_b, get_x, pivots, members,
+                         dtype) -> int | None:
+    """First member whose solution fails the residual checksum
+    ``A0.(X.w) = B0.w`` (backward-stable solves satisfy it to
+    ``O(n.eps.|A0|.|X|)`` regardless of conditioning)."""
+    eps = float(np.finfo(dtype).eps)
+    tiny = float(np.finfo(dtype).tiny)
+    for i in members:
+        if pivots.info[i] != 0:
+            continue
+        a0 = get_a(i)
+        x = get_x(i)
+        if x is None or x.size == 0:
+            continue
+        got = a0 @ _row_sum(x)
+        mag = np.abs(a0) @ _abs_row_sum(x)
+        ref = _row_sum(get_b(i))
+        mag = mag + _abs_row_sum(get_b(i))
+        n = a0.shape[0]
+        tol = _SLACK * eps * (n + 8) * mag + _SLACK * tiny
+        if pivots.ctrl.n_replaced[i] > 0:
+            tol = tol + _LOOSE_FRAC * (mag + 1.0)
+        if _mismatch(got, ref, tol):
+            return i
+    return None
+
+
+# ----------------------------------------------------------------------
 # the program object
 # ----------------------------------------------------------------------
 @dataclass
@@ -599,6 +691,10 @@ class WorkloadProgram:
         self._buffers = buffers
         self._arena = arena
         self._freed = False
+        #: optional ABFT verifier ``() -> first bad member | None``,
+        #: consulted after each execution when ``device.verify_kernels``
+        #: is on; set by the getrf / factor_solve compilers.
+        self._verifier = None
         #: Device-resident factored batch after a :meth:`run` — set for
         #: getrf / factor_solve programs, whose factors live in the
         #: arena as an :class:`IrrBatch` (``None`` for other ops).
@@ -648,11 +744,34 @@ class WorkloadProgram:
         for name, loader in self._inputs.items():
             if name in given:
                 loader(payloads[name])
-        if self._arena is not None:
-            self._arena.flush()
-        for step in self.steps:
-            step.run(self.device)
-        self.device.synchronize()
+        verify = self.device.verify_kernels and self._verifier is not None
+        attempts = (ABFT_MAX_REEXEC + 1) if verify else 1
+        for attempt in range(attempts):
+            if self._arena is not None:
+                self._arena.flush()
+            for step in self.steps:
+                step.run(self.device)
+            self.device.synchronize()
+            if not verify:
+                break
+            bad = self._verifier()
+            if bad is None:
+                break
+            site = f"program:{self.op}"
+            if attempt >= ABFT_MAX_REEXEC:
+                raise CorruptionDetected(
+                    site, bad, f"checksum mismatch survived "
+                    f"{ABFT_MAX_REEXEC} program re-execution(s)")
+            # Re-execute the whole program from the (host-side, intact)
+            # staging payloads: re-mark every buffer staged so the next
+            # flush re-uploads the clean bytes.
+            self.device.recovery_log.record(
+                "kernel-reexec", site=site, attempt=attempt + 1,
+                detail=f"checksum mismatch at member {bad}; re-staged "
+                       f"payloads and re-executed the program")
+            if self._arena is not None:
+                for buf in self._arena._buffers:
+                    self._arena.mark_staged(buf)
         self.runs += 1
         return self._collect(download)
 
@@ -849,6 +968,8 @@ def _compile_getrf(device, shapes, dt, lu_kwargs, eng, fuse, fuse_window,
                            collect=collect, buffers=[arena], engine=eng,
                            arena=arena)
     prog.factor_batch = buf.batch
+    prog._verifier = lambda: _program_factor_check(
+        buf.batch.matrix, buf.staged_matrix, pivots, len(shapes), dt)
     return prog
 
 
@@ -907,7 +1028,7 @@ def _compile_getrf_interleaved(device, shapes, dt, lu_kwargs, eng,
 
     steps: list = [
         _HostStep(lambda: _reset_pivots(pivots, buf.seg_abs_max(), tiny)),
-        _LaunchStep("irrgetf2", kernel),
+        _LaunchStep("irrgetf2", kernel, outputs=lambda: [data]),
         _HostStep(lambda: _growth_epilogue(buf, ctrl)),
     ]
 
@@ -928,6 +1049,8 @@ def _compile_getrf_interleaved(device, shapes, dt, lu_kwargs, eng,
                            arena=arena)
     # the interleaved struct-of-arrays lowering has no IrrBatch view
     prog.factor_batch = getattr(buf, "batch", None)
+    prog._verifier = lambda: _program_factor_check(
+        lambda b: data[:, :, b], buf.staged_matrix, pivots, bs, dt)
     return prog
 
 
@@ -1160,6 +1283,25 @@ def _compile_factor_solve(device, shapes, rhs_shapes, dt, lu_kwargs, eng,
                            inputs=inputs, optional=set(), collect=collect,
                            buffers=[arena], engine=eng, arena=arena)
     prog.factor_batch = a_buf.batch
+
+    def verifier() -> int | None:
+        bad = _program_factor_check(a_buf.batch.matrix,
+                                    a_buf.staged_matrix, pivots,
+                                    len(shapes), dt)
+        if bad is not None:
+            return bad
+        for rbuf, idxs in rhs_bufs:
+            pos = {i: p for p, i in enumerate(idxs)}
+            bad = _program_solve_check(
+                a_buf.staged_matrix,
+                lambda i, rb=rbuf, pp=pos: rb.staged_matrix(pp[i]),
+                lambda i, rb=rbuf, pp=pos: rb.batch.matrix(pp[i]),
+                pivots, idxs, dt)
+            if bad is not None:
+                return bad
+        return None
+
+    prog._verifier = verifier
     return prog
 
 

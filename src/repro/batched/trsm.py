@@ -25,6 +25,7 @@ import scipy.linalg as sla
 
 from ..device.kernel import KernelCost, gemm_compute_ramp
 from ..device.simulator import Device
+from .abft import trsm_check, verified_launch
 from .dcwi import Workload, infer_trsm
 from .engine import resolve_engine
 from .gemm import irr_gemm
@@ -64,6 +65,20 @@ def _solve_small(t: np.ndarray, b: np.ndarray, side: str, uplo: str,
         x = sla.solve_triangular(tt.T, alpha * b.T, lower=not lower,
                                  unit_diagonal=unit, check_finite=False)
         b[...] = x.T
+
+
+def _trsm_targets(side: str, m: int, n: int, T: IrrBatch, t_off: Offsets,
+                  B: IrrBatch, b_off: Offsets
+                  ) -> list[tuple[int, int, int, int]]:
+    """``(i, mi, ni, order)`` for every member the base solve writes."""
+    targets = []
+    for i in range(len(B)):
+        mi, ni, cls = infer_trsm(side, m, n, T.local_dims(i), t_off,
+                                 B.local_dims(i), b_off)
+        if cls is Workload.NONE:
+            continue
+        targets.append((i, mi, ni, mi if side == "L" else ni))
+    return targets
 
 
 def _base_kernel(device: Device, side: str, uplo: str, trans: str, diag: str,
@@ -109,7 +124,23 @@ def _base_kernel(device: Device, side: str, uplo: str, trans: str, diag: str,
             peak_scale=B.peak_scale,
         )
 
-    return device.launch(name, kernel, stream=stream)
+    # Same fault-site / ABFT wiring as irr_gemm: B blocks are the
+    # launch's outputs; with verification on, the in-place solve is
+    # checked against the pre-solve checksum and re-executed from the
+    # snapshot on mismatch.
+    def _targets():
+        return _trsm_targets(side, m, n, T, t_off, B, b_off)
+
+    if device.verify_kernels:
+        check = trsm_check(side, uplo, trans, diag, alpha, T, t_off,
+                           B, b_off, _targets())
+        return verified_launch(device, name, kernel, check, stream=stream)
+
+    def _outputs():
+        return [B.sub(i, b_off[0], b_off[1], mi, ni)
+                for (i, mi, ni, _o) in _targets()]
+
+    return device.launch(name, kernel, stream=stream, outputs=_outputs)
 
 
 def irr_trsm(device: Device, side: str, uplo: str, trans: str, diag: str,

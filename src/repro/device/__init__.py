@@ -17,8 +17,8 @@ Quick use::
     print(dev.host_time, dev.profiler.by_kernel())
 """
 
-from .faults import FAULT_KINDS, PERSISTENT, FaultInjector, FaultPlan, \
-    FaultRule, InjectedFault
+from .faults import CORRUPT_MAGNITUDE, FAULT_KINDS, PERSISTENT, \
+    FaultInjector, FaultPlan, FaultRule, InjectedFault
 from .kernel import KernelCost, LaunchRecord, gemm_compute_ramp, \
     intrinsic_duration, sm_demand
 from .memory import MAX_TRANSFER_ATTEMPTS, DeviceArray, DeviceOutOfMemory, \
@@ -32,7 +32,7 @@ __all__ = [
     "Device", "DeviceArray", "DeviceOutOfMemory", "pack_to_device",
     "validate_memory_budget", "MAX_TRANSFER_ATTEMPTS",
     "FaultPlan", "FaultRule", "FaultInjector", "InjectedFault",
-    "PERSISTENT", "FAULT_KINDS",
+    "PERSISTENT", "FAULT_KINDS", "CORRUPT_MAGNITUDE",
     "DeviceSpec", "CpuSpec",
     "A100", "MI100", "XEON_6140_2S", "Stream", "Event", "KernelCost",
     "LaunchRecord",

@@ -50,6 +50,19 @@ Fault kinds
 ``stall``
     The target stream's next kernels are delayed by ``stall`` simulated
     seconds (timing-only: numerics are unaffected).
+``corrupt``
+    One element of a *completed* launch's output buffer is overwritten
+    with a scale-dominant wrong value after the kernel's numerics ran —
+    silent data corruption, invisible to launch/transfer checking.
+    Only launches that register their outputs (the batched GETRF /
+    TRSM / GEMM drivers and the compiled replay steps do) are corrupt
+    sites; the ABFT checksum layer (:mod:`repro.batched.abft`) detects
+    the damage when kernel verification is on (the default inside a
+    fault scope whose plan carries corrupt rules).  The perturbation is
+    deliberately large relative to the buffer's magnitude so
+    tolerance-based detection can never miss it — the *detectability*
+    of low-order bit flips is a different (ABFT-theoretic) question
+    than the recovery machinery exercised here.
 """
 
 from __future__ import annotations
@@ -72,7 +85,12 @@ __all__ = ["FaultRule", "FaultPlan", "FaultInjector", "PERSISTENT",
 #: ``times=PERSISTENT`` makes a rule fire on every matching operation.
 PERSISTENT = -1
 
-FAULT_KINDS = ("alloc", "h2d", "d2h", "launch", "stall")
+FAULT_KINDS = ("alloc", "h2d", "d2h", "launch", "stall", "corrupt")
+
+#: magnitude of an injected output corruption, as a multiple of
+#: ``1 + max|output|``: dominant over any rounding-error tolerance the
+#: ABFT checks use, so an injected corruption is always detectable.
+CORRUPT_MAGNITUDE = 1e3
 
 
 @dataclass(frozen=True)
@@ -249,7 +267,38 @@ class FaultInjector:
             stream.pending_stall += rule.stall
             device.profiler.note_stall(rule.stall)
 
+    def on_kernel_output(self, name: str,
+                         outputs: Sequence[np.ndarray]) -> bool:
+        """Output site: may corrupt one element of a completed launch.
+
+        Called after the kernel's numerics ran, with the output arrays
+        the launch registered.  A firing ``corrupt`` rule overwrites
+        one seeded element of one seeded output with a value
+        :data:`CORRUPT_MAGNITUDE` times the buffer's magnitude — the
+        silent-data-corruption model the ABFT checks exist for.
+        Returns True when a corruption was injected.
+        """
+        rule = self._fire("corrupt", name)
+        if rule is None:
+            return False
+        arrs = [a for a in (np.asarray(getattr(o, "data", o))
+                            for o in outputs) if a.size]
+        if not arrs:
+            return False
+        a = arrs[int(self.rng.integers(len(arrs)))]
+        idx = int(self.rng.integers(a.size))
+        scale = CORRUPT_MAGNITUDE * (1.0 + float(np.max(np.abs(a))))
+        sign = 1.0 if self.rng.random() < 0.5 else -1.0
+        a.flat[idx] = a.dtype.type(sign * scale)
+        return True
+
     # -- inspection ----------------------------------------------------
+    @property
+    def has_corrupt_rules(self) -> bool:
+        """Whether the plan carries any ``corrupt`` rule (drives the
+        device's automatic kernel-verification enablement)."""
+        return any(r.kind == "corrupt" for r in self.plan.rules)
+
     @property
     def n_injected(self) -> int:
         return len(self.injected)

@@ -16,9 +16,10 @@ Transfers are optionally integrity-checked: with verification enabled
 (``device.verify_transfers``, on by default inside a
 ``device.fault_scope``) every H2D/D2H copy checksums the payload,
 retries up to :data:`MAX_TRANSFER_ATTEMPTS` times on mismatch (each
-retry re-pays the bus and is recorded in ``device.recovery_log``), and
-raises a typed :class:`~repro.errors.TransferError` when the corruption
-persists.
+retry re-pays the bus after an exponential backoff with deterministic
+seeded jitter — ``Device.transfer_backoff`` — and is recorded with its
+backoff in ``device.recovery_log``), and raises a typed
+:class:`~repro.errors.TransferError` when the corruption persists.
 
 Accounting is also *thread-safe*: claim, release and the
 :meth:`DeviceArray.free` ownership hand-off all synchronize on the
@@ -101,8 +102,10 @@ def _transfer_h2d(device: "Device", dest: np.ndarray, src: np.ndarray, *,
             return
         if attempt >= MAX_TRANSFER_ATTEMPTS:
             raise TransferError(site, "h2d", attempt)
-        device.recovery_log.record("transfer-retry", site=site,
-                                   attempt=attempt, detail="h2d corrupted")
+        backoff = device.transfer_backoff(attempt, site)
+        device.recovery_log.record(
+            "transfer-retry", site=site, attempt=attempt,
+            detail=f"h2d corrupted; backoff {backoff * 1e6:.1f}us")
 
 
 def _transfer_d2h(device: "Device", src: np.ndarray, *,
@@ -118,8 +121,10 @@ def _transfer_d2h(device: "Device", src: np.ndarray, *,
             return out
         if attempt >= MAX_TRANSFER_ATTEMPTS:
             raise TransferError(site, "d2h", attempt)
-        device.recovery_log.record("transfer-retry", site=site,
-                                   attempt=attempt, detail="d2h corrupted")
+        backoff = device.transfer_backoff(attempt, site)
+        device.recovery_log.record(
+            "transfer-retry", site=site, attempt=attempt,
+            detail=f"d2h corrupted; backoff {backoff * 1e6:.1f}us")
     raise AssertionError("unreachable")  # pragma: no cover
 
 

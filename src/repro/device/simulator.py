@@ -27,6 +27,7 @@ The host then waits for the makespan (recorded as synchronize wait — the
 
 from __future__ import annotations
 
+import hashlib
 import math
 import threading
 from contextlib import contextmanager
@@ -45,6 +46,13 @@ __all__ = ["Device"]
 
 _PCIE_BANDWIDTH = 25e9      # bytes/s
 _PCIE_LATENCY = 10e-6       # seconds per transfer
+
+# Transfer-retry backoff ladder: delay before the (n+1)-th attempt is
+# _BACKOFF_BASE * _BACKOFF_FACTOR**(n-1), plus up to _BACKOFF_JITTER of
+# itself in deterministic seeded jitter (see Device.transfer_backoff).
+_BACKOFF_BASE = 50e-6       # seconds before the 2nd attempt
+_BACKOFF_FACTOR = 4.0
+_BACKOFF_JITTER = 0.25
 
 
 class Device:
@@ -77,6 +85,7 @@ class Device:
         self._mem_lock = threading.RLock()
         self.recovery_log = RecoveryLog()
         self.verify_transfers = False
+        self.verify_kernels = False
         self._injector = None             # installed by fault_scope()
         self._streams: dict[int, Stream] = {0: Stream(0)}
         self._seq = 0
@@ -86,29 +95,40 @@ class Device:
     # fault injection
     # ------------------------------------------------------------------
     @contextmanager
-    def fault_scope(self, plan, *, verify_transfers: bool = True):
+    def fault_scope(self, plan, *, verify_transfers: bool = True,
+                    verify_kernels: bool | None = None):
         """Install a seeded fault schedule for the duration of a block.
 
         ``plan`` is a :class:`~repro.device.faults.FaultPlan` (or an
         already-constructed :class:`~repro.device.faults.FaultInjector`
         to share counters across scopes).  While installed, the device
-        consults the injector at every allocation, transfer and launch;
-        transfer verification is switched on by default so injected
-        corruption is detected rather than silently consumed (pass
-        ``verify_transfers=False`` to test the unprotected path).
+        consults the injector at every allocation, transfer, launch and
+        registered kernel output; transfer verification is switched on
+        by default so injected corruption is detected rather than
+        silently consumed (pass ``verify_transfers=False`` to test the
+        unprotected path).  ABFT kernel verification
+        (``verify_kernels``) defaults to *automatic*: it switches on
+        exactly when the plan carries ``corrupt`` rules, so fault plans
+        without output corruption keep every existing code path
+        byte-for-byte identical; pass ``True``/``False`` to force it.
         Yields the injector; the previous injector/verification state is
         restored on exit.
         """
         from .faults import FaultInjector
         inj = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
         prev_inj, prev_verify = self._injector, self.verify_transfers
+        prev_vk = self.verify_kernels
+        if verify_kernels is None:
+            verify_kernels = inj.has_corrupt_rules
         self._injector = inj
         self.verify_transfers = bool(verify_transfers) or prev_verify
+        self.verify_kernels = bool(verify_kernels) or prev_vk
         try:
             yield inj
         finally:
             self._injector = prev_inj
             self.verify_transfers = prev_verify
+            self.verify_kernels = prev_vk
 
     # ------------------------------------------------------------------
     # memory
@@ -194,6 +214,28 @@ class Device:
         self.host_time += seconds
         self.profiler.note_transfer(seconds)
 
+    def transfer_backoff(self, attempt: int, site: str) -> float:
+        """Exponential backoff before retrying a corrupted transfer.
+
+        ``attempt`` is the 1-based number of the attempt that just
+        failed verification; the delay before attempt ``attempt + 1``
+        grows geometrically from :data:`_BACKOFF_BASE` and carries a
+        deterministic jitter fraction derived by hashing
+        ``(seed, site, attempt)`` — a pure function of the installed
+        fault plan's seed, so retry schedules are exactly reproducible
+        yet decorrelated across sites (and never perturb the injector's
+        own random stream).  Advances the host clock and returns the
+        delay in simulated seconds.
+        """
+        base = _BACKOFF_BASE * _BACKOFF_FACTOR ** (max(attempt, 1) - 1)
+        seed = self._injector.plan.seed if self._injector is not None else 0
+        key = f"{seed}:{site}:{attempt}".encode()
+        h = int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(),
+                           "little")
+        delay = base * (1.0 + _BACKOFF_JITTER * (h % 2 ** 20) / 2 ** 20)
+        self.host_time += delay
+        return delay
+
     # ------------------------------------------------------------------
     # streams and launches
     # ------------------------------------------------------------------
@@ -231,13 +273,23 @@ class Device:
     def launch(self, name: str, fn: Callable[[], KernelCost | None] | None,
                cost: KernelCost | None = None, *,
                stream: Stream | int | None = None,
-               wait_events: Sequence | None = None) -> KernelCost:
+               wait_events: Sequence | None = None,
+               outputs=None) -> KernelCost:
         """Launch a kernel: run its numerics now, queue its timing.
 
         ``fn`` may return a :class:`KernelCost` (preferred: the cost often
         depends on DCWI-inferred workloads known only inside the kernel);
         otherwise ``cost`` must be supplied.  Shared-memory feasibility is
         validated against the device limit.
+
+        ``outputs`` registers the launch's output buffers (a sequence of
+        arrays, or a zero-argument callable returning one — evaluated
+        lazily, only when a fault injector is installed).  A registered
+        launch is a ``corrupt`` fault site: after the numerics complete,
+        an injected silent-data-corruption rule may overwrite one seeded
+        element of one output, modelling a kernel that finishes but
+        computes wrong bytes.  Launches without registered outputs are
+        never corrupted.
         """
         if isinstance(stream, int):
             stream = self.stream(stream)
@@ -251,6 +303,13 @@ class Device:
             self._injector.on_launch(self, name, stream)
 
         returned = fn() if fn is not None else None
+
+        # Fault site: output corruption fires after the numerics, so the
+        # launch "succeeded" and only ABFT verification can notice.
+        if self._injector is not None and outputs is not None:
+            outs = outputs() if callable(outputs) else outputs
+            self._injector.on_kernel_output(name, outs)
+
         if isinstance(returned, KernelCost):
             cost = returned
         if cost is None:

@@ -40,6 +40,18 @@ waited past its deadline and was dropped before dispatch) and
 :class:`RequestCancelled` (the caller cancelled a queued request).  None
 of them subclass :class:`numpy.linalg.LinAlgError`: they carry no
 numerical meaning.
+
+Silent-data-corruption defense
+------------------------------
+A kernel that *completes* but computes wrong bytes is invisible to the
+launch/transfer error types above.  The ABFT layer
+(:mod:`repro.batched.abft`) checks checksum invariants after each
+verified launch group and raises :class:`CorruptionDetected` when the
+bounded re-execution budget cannot repair a mismatch.
+:class:`ServiceDegraded` is the serving-layer counterpart: the health
+monitor's circuit breaker opened on a sustained fault storm and the
+service is running on a degraded dispatch path; it is surfaced through
+``ServiceStats.snapshot()`` rather than raised at callers.
 """
 
 from __future__ import annotations
@@ -47,8 +59,9 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["FactorizationError", "PrecisionFallback", "TransferError",
-           "KernelLaunchError", "ResourceExhausted", "ServiceOverloaded",
-           "DeadlineExceeded", "RequestCancelled", "InfeasibleConfig"]
+           "KernelLaunchError", "ResourceExhausted", "CorruptionDetected",
+           "ServiceOverloaded", "DeadlineExceeded", "RequestCancelled",
+           "ServiceDegraded", "InfeasibleConfig"]
 
 
 class FactorizationError(np.linalg.LinAlgError):
@@ -159,6 +172,38 @@ class ResourceExhausted(RuntimeError):
         self.log = log
 
 
+class CorruptionDetected(RuntimeError):
+    """ABFT verification caught a corrupted kernel output it cannot repair.
+
+    Raised by the checksum-verified batched kernels
+    (:mod:`repro.batched.abft`) and the compiled replay path after the
+    bounded re-execution budget (``kernel-reexec`` rungs in the
+    :class:`~repro.recovery.RecoveryLog`) is spent on a checksum
+    mismatch that keeps coming back — a persistently corrupting device.
+    The launch's numerics completed, so unlike
+    :class:`KernelLaunchError` the output buffers hold *wrong bytes*;
+    callers must re-stage inputs before any retry of their own.
+
+    Attributes
+    ----------
+    site:
+        Name of the kernel launch (or program) whose output failed
+        verification.
+    batch_index:
+        Index of the first offending matrix within the launch's batch
+        (``-1`` when the mismatch cannot be pinned to one member).
+    """
+
+    def __init__(self, site: str, batch_index: int = -1, detail: str = ""):
+        msg = (f"silent data corruption detected at {site!r}"
+               f" (batch index {batch_index})")
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.site = site
+        self.batch_index = batch_index
+
+
 class ServiceOverloaded(RuntimeError):
     """The solver service's bounded admission queue is full.
 
@@ -212,6 +257,34 @@ class RequestCancelled(RuntimeError):
     ``cancel()`` succeeded; a request already running cannot be
     cancelled.
     """
+
+
+class ServiceDegraded(RuntimeError):
+    """The service circuit breaker opened on a sustained fault storm.
+
+    Never raised at request callers — requests keep completing on the
+    degraded dispatch ladder (compiled → bucketed → host fallback).
+    The instance is surfaced through ``ServiceStats.snapshot()``
+    (``breaker_state`` / ``degraded_reason``) so operators and the
+    online autotuner can observe *why* the fast path is off.
+
+    Attributes
+    ----------
+    state:
+        Breaker state when the degradation was declared (``"open"`` or
+        ``"half-open"``).
+    fault_rate:
+        Rolling per-dispatch fault rate that tripped the breaker.
+    """
+
+    def __init__(self, state: str, fault_rate: float, detail: str = ""):
+        msg = (f"service degraded: circuit breaker {state} at "
+               f"{fault_rate:.3g} fault event(s)/dispatch")
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.state = state
+        self.fault_rate = fault_rate
 
 
 class InfeasibleConfig(ValueError):

@@ -21,6 +21,7 @@ tuning, and :class:`~repro.serve.stats.ServiceStats` for observability.
 """
 
 from .autotune import AutotuneConfig, OnlineAutotuner, TuneAction, Window
+from .health import CircuitBreaker, HealthMonitor
 from .scheduler import AdmissionQueue, CoalescingPolicy, DispatchPolicy, \
     ServiceFuture
 from .service import FactorHandle, SolverService
@@ -31,4 +32,5 @@ __all__ = ["SolverService", "CoalescingPolicy", "DispatchPolicy",
            "ServiceFuture", "FactorHandle", "ServeSession",
            "MemoryArbiter", "ServiceStats", "DispatchRecord",
            "LatencyHistogram", "AdmissionQueue", "OnlineAutotuner",
-           "AutotuneConfig", "TuneAction", "Window"]
+           "AutotuneConfig", "TuneAction", "Window",
+           "CircuitBreaker", "HealthMonitor"]

@@ -52,10 +52,11 @@ from ..batched.program import CompileError, GuardTripped, PayloadMismatch, \
 from ..batched.trsm import TRSM_BASE_NB
 from ..device.memory import DeviceOutOfMemory
 from ..device.simulator import Device
-from ..errors import FactorizationError, KernelLaunchError, \
-    ResourceExhausted, TransferError
+from ..errors import CorruptionDetected, FactorizationError, \
+    KernelLaunchError, ResourceExhausted, TransferError
 from ..sparse.solver import ESCALATED_REFINE_STEPS, REFINE_TARGET, \
     SparseLU, _REDUCED_OF
+from .health import FAULT_ACTIONS, CircuitBreaker
 from .scheduler import _POLICY_ATTRS, AdmissionQueue, CoalescingPolicy, \
     DispatchPolicy, Request, ServiceFuture, getrf_key, getrs_key, sparse_key
 from .session import MemoryArbiter, ServeSession
@@ -64,8 +65,11 @@ from .stats import DispatchRecord, ServiceStats
 __all__ = ["SolverService", "FactorHandle"]
 
 #: Device-side failures the dispatch ladder retries / isolates.
+#: :class:`CorruptionDetected` belongs here because every retry rung
+#: re-uploads from the pristine host payloads — corrupted device bytes
+#: never feed a retry.
 _SYSTEM_ERRORS = (KernelLaunchError, TransferError, DeviceOutOfMemory,
-                  ResourceExhausted)
+                  ResourceExhausted, CorruptionDetected)
 
 #: LU policy keywords a dense factor request may carry (all pass through
 #: to :func:`~repro.batched.getrf.irr_getrf` and are part of the
@@ -194,13 +198,24 @@ class SolverService:
     start:
         Start the dispatcher thread immediately.  ``start=False`` +
         :meth:`run_once` gives deterministic inline dispatch for tests.
+    breaker:
+        The :class:`~repro.serve.health.CircuitBreaker` guarding the
+        dispatch fast path (a default-configured one when omitted).
+        It is fed the recovery-log fault delta of every dispatch; when
+        it opens, dispatches degrade (compiled replay off, and at
+        severity 2 new sparse sessions go to the host backend) until a
+        half-open probe comes back clean.  Degradation is observable —
+        ``stats.snapshot()["breaker_state"]`` / ``["degraded_reason"]``
+        — never raised at request callers.
     """
 
     def __init__(self, device: Device, *,
                  policy: DispatchPolicy | None = None,
                  sparse_memory_budget: int | None = None,
-                 start: bool = True, clock=time.monotonic):
+                 start: bool = True, clock=time.monotonic,
+                 breaker: CircuitBreaker | None = None):
         self.device = device
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._policy_lock = threading.Lock()
         self._policy = policy if policy is not None else CoalescingPolicy()
         _validate_policy(self._policy)
@@ -577,6 +592,9 @@ class SolverService:
         waits = [r.waited() for r in group]
         t0 = time.perf_counter()
         dev_t0 = self.device.host_time
+        mark = self.device.recovery_log.mark()
+        corr0 = self.stats.corruptions_detected
+        was_open = self.breaker.state == "open"
         try:
             kind = group[0].key[0]
             if kind == "getrf":
@@ -599,6 +617,17 @@ class SolverService:
             raise
         record = dataclasses.replace(
             record, sim_seconds=self.device.synchronize() - dev_t0)
+        # feed the circuit breaker: this dispatch's recovery-log delta
+        # (every repair action the stack recorded on its behalf) plus
+        # the typed corruptions the ladder caught.
+        delta = self.device.recovery_log.since(mark).counts()
+        self.stats.on_kernel_reexec(delta.get("kernel-reexec", 0))
+        faults = sum(delta.get(a, 0) for a in FAULT_ACTIONS) \
+            + (self.stats.corruptions_detected - corr0)
+        if was_open:
+            self.stats.on_degraded_dispatch()
+        state = self.breaker.record(faults)
+        self.stats.on_breaker_state(state, self.breaker.last_degraded)
         self.stats.on_dispatch(record, waits)
         elapsed = time.perf_counter() - t0
         for r in group:
@@ -628,7 +657,9 @@ class SolverService:
                 launches, occupancy = runner(group, policy)
                 return DispatchRecord(kind, len(group), launches,
                                       occupancy, attempt, False)
-            except _SYSTEM_ERRORS:
+            except _SYSTEM_ERRORS as exc:
+                if isinstance(exc, CorruptionDetected):
+                    self.stats.on_corruption()
                 continue
         launches = 0
         occs = []
@@ -642,6 +673,8 @@ class SolverService:
                     done = True
                     break
                 except _SYSTEM_ERRORS as exc:
+                    if isinstance(exc, CorruptionDetected):
+                        self.stats.on_corruption()
                     last = exc
             if not done:
                 self._fail(req, last)
@@ -661,7 +694,7 @@ class SolverService:
         """
         if policy is None:
             policy = self.policy
-        if policy.compile_hot:
+        if policy.compile_hot and self.breaker.allow_compiled():
             compiled = self._run_getrf_compiled(group, policy)
             if compiled is not None:
                 return compiled
@@ -870,6 +903,14 @@ class SolverService:
             # a pivot breakdown invalidates the recorded solve schedule
             # for THIS payload only — the bucketed runner isolates the
             # broken member and still solves the rest
+            self.stats.on_compiled_fallback()
+            return None
+        except CorruptionDetected:
+            # the program's whole-replay ABFT budget is spent; the
+            # bucketed runner re-uploads the pristine payloads and
+            # verifies at per-launch granularity, repairing or isolating
+            # exactly the corrupted members
+            self.stats.on_corruption()
             self.stats.on_compiled_fallback()
             return None
         except PayloadMismatch:
@@ -1124,7 +1165,14 @@ class SolverService:
 
     def _open_session(self, a, kwargs: dict) -> ServeSession:
         factor_kw = dict(kwargs)
+        pinned = "backend" in factor_kw
         backend = factor_kw.pop("backend", "batched")
+        if not pinned and self.breaker.force_host():
+            # severity-2 degradation: the device is persistently
+            # faulting, so sessions the caller did not pin to a backend
+            # factor on the host (an explicit backend= always wins)
+            backend = "cpu"
+            self.stats.on_degraded_dispatch()
         ctor_kw = {k: factor_kw.pop(k) for k in ("use_mc64", "leaf_size")
                    if k in factor_kw}
         solver = SparseLU(a, **ctor_kw).analyze()
@@ -1156,6 +1204,8 @@ class SolverService:
                     req.future._resolve(value=(x, info))
             except (*_SYSTEM_ERRORS, FactorizationError,
                     ValueError) as exc:
+                if isinstance(exc, CorruptionDetected):
+                    self.stats.on_corruption()
                 self._fail(req, exc)
         device.synchronize()
         return DispatchRecord("sparse-open", len(group),
@@ -1182,6 +1232,8 @@ class SolverService:
                     req.future._resolve(value=(x, info))
                 except (*_SYSTEM_ERRORS, FactorizationError,
                         RuntimeError) as exc:
+                    if isinstance(exc, CorruptionDetected):
+                        self.stats.on_corruption()
                     self._fail(req, exc)
         else:
             cols = []
@@ -1202,6 +1254,8 @@ class SolverService:
                         value=(xi[:, 0] if ndim == 1 else xi, info))
             except (*_SYSTEM_ERRORS, FactorizationError,
                     RuntimeError) as exc:
+                if isinstance(exc, CorruptionDetected):
+                    self.stats.on_corruption()
                 for req in group:
                     self._fail(req, exc)
         device.synchronize()

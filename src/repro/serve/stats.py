@@ -180,6 +180,11 @@ class ServiceStats:
     precision_fallbacks: int = 0  #: reduced-precision work redone in FP64
     refine_passes: int = 0        #: iterative-refinement correction sweeps
     policy_swaps: int = 0         #: hot DispatchPolicy replacements
+    corruptions_detected: int = 0  #: CorruptionDetected caught dispatching
+    kernel_reexecs: int = 0       #: ABFT re-execution rungs consumed
+    degraded_dispatches: int = 0  #: dispatches run with the breaker open
+    breaker_state: str = "closed"  #: circuit-breaker state after dispatch
+    degraded_reason: str | None = None  #: str(ServiceDegraded) while open
     dispatch_history: int = 1024  #: ring-buffer bound on retained records
     wait: LatencyHistogram = field(default_factory=LatencyHistogram)
     exec: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -282,6 +287,35 @@ class ServiceStats:
         with self._lock:
             self.compiled_fallbacks += 1
 
+    # -- corruption defense / circuit breaker ----------------------------
+    def on_corruption(self) -> None:
+        """One :class:`~repro.errors.CorruptionDetected` was caught by
+        the dispatch ladder (the re-execution budget was exhausted)."""
+        with self._lock:
+            self.corruptions_detected += 1
+
+    def on_kernel_reexec(self, n: int = 1) -> None:
+        """``n`` ABFT re-execution rungs were consumed by a dispatch."""
+        if n <= 0:
+            return
+        with self._lock:
+            self.kernel_reexecs += n
+
+    def on_degraded_dispatch(self) -> None:
+        """One dispatch ran on the degraded ladder (breaker open)."""
+        with self._lock:
+            self.degraded_dispatches += 1
+
+    def on_breaker_state(self, state: str,
+                         degraded=None) -> None:
+        """Record the breaker state after a dispatch; ``degraded`` is the
+        :class:`~repro.errors.ServiceDegraded` describing an open
+        breaker (``None`` once it closes)."""
+        with self._lock:
+            self.breaker_state = state
+            self.degraded_reason = None if degraded is None \
+                else str(degraded)
+
     # -- mixed precision -------------------------------------------------
     def on_precision_fallback(self) -> None:
         with self._lock:
@@ -361,6 +395,11 @@ class ServiceStats:
                 "precision_fallbacks": self.precision_fallbacks,
                 "refine_passes": self.refine_passes,
                 "policy_swaps": self.policy_swaps,
+                "corruptions_detected": self.corruptions_detected,
+                "kernel_reexecs": self.kernel_reexecs,
+                "degraded_dispatches": self.degraded_dispatches,
+                "breaker_state": self.breaker_state,
+                "degraded_reason": self.degraded_reason,
                 "plan_cache": (None if self._plan_cache is None else {
                     "size": len(self._plan_cache),
                     "capacity": self._plan_cache.capacity,

@@ -42,8 +42,8 @@ from ...device.kernel import KernelCost
 from ...device.memory import DeviceArray, DeviceOutOfMemory, \
     validate_memory_budget
 from ...device.simulator import Device
-from ...errors import FactorizationError, KernelLaunchError, \
-    ResourceExhausted
+from ...errors import CorruptionDetected, FactorizationError, \
+    KernelLaunchError, ResourceExhausted
 from ..symbolic.analysis import SymbolicFactorization
 from .factors import FrontFactors, MultifrontalFactors
 from .report import FactorReport
@@ -400,16 +400,53 @@ def _run_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
     are batch-composition independent, the engines' bitwise contract).
     Kernel-launch failures are retried up to :data:`_MAX_LEVEL_RETRIES`
     times, then treated as persistent.
+
+    Silent-data-corruption escalation: a :class:`CorruptionDetected`
+    reaching this level means the ABFT layer's own bounded re-execution
+    already failed (the corruption is persistent at kernel scope).  The
+    level re-runs once from its immutable inputs (a different launch
+    composition after the sub-batching below can dodge positional
+    rules), then the front batch is split in halves to *isolate* the
+    corrupted front — per-front numerics are batch-composition
+    independent, so the clean half commits bitwise-identical factors —
+    and a single front that stays corrupted is **quarantined**: zeroed
+    factors, identity pivots and the ``info = -2`` corruption sentinel,
+    so the damage surfaces in the :class:`FactorReport` as a typed
+    per-front failure rather than silently wrong numbers.
     """
     kw = dict(host_schur=host_schur, engine=engine, diag_of=diag_of,
               pivot_tol=pivot_tol, static_pivot=static_pivot,
               replace_scale=replace_scale)
-    launch_failures = alloc_failures = 0
+    launch_failures = alloc_failures = corrupt_failures = 0
     while True:
         try:
             consumed = _factor_level(device, a_perm, symb, fids, buffers,
                                      pivots_of, strategy, gemm_mode,
                                      hybrid_cutoff, laswp_variant, nb, **kw)
+        except CorruptionDetected as exc:
+            _rollback_level(fids, buffers, pivots_of, diag_of)
+            corrupt_failures += 1
+            if corrupt_failures < 2:
+                device.recovery_log.record(
+                    "kernel-reexec", site=f"level[{len(fids)} fronts]",
+                    attempt=corrupt_failures, detail=str(exc))
+                continue
+            if len(fids) > 1:
+                half = (len(fids) + 1) // 2
+                device.recovery_log.record(
+                    "level-split", site=f"level[{len(fids)} fronts]",
+                    detail=f"corruption isolation: sub-batches of "
+                           f"{half} and {len(fids) - half}")
+                _run_level(device, a_perm, symb, fids[:half], buffers,
+                           pivots_of, strategy, gemm_mode, hybrid_cutoff,
+                           laswp_variant, nb, **kw)
+                _run_level(device, a_perm, symb, fids[half:], buffers,
+                           pivots_of, strategy, gemm_mode, hybrid_cutoff,
+                           laswp_variant, nb, **kw)
+                return
+            _quarantine_corrupt_front(device, a_perm, symb, fids[0],
+                                      buffers, pivots_of, diag_of, exc)
+            return
         except (DeviceOutOfMemory, KernelLaunchError) as exc:
             _rollback_level(fids, buffers, pivots_of, diag_of)
             if isinstance(exc, KernelLaunchError):
@@ -446,6 +483,35 @@ def _run_level(device, a_perm, symb, fids, buffers, pivots_of, strategy,
                 for c in consumed:
                     host_schur.pop(c, None)
             return
+
+
+#: ``info`` sentinel for a front quarantined after persistent silent
+#: data corruption (negative so it can never collide with LAPACK's
+#: 1-based breakdown-column codes).
+CORRUPT_FRONT_INFO = -2
+
+
+def _quarantine_corrupt_front(device, a_perm, symb, fid, buffers,
+                              pivots_of, diag_of, exc) -> None:
+    """Terminal corruption rung for one front: zero it out and flag it.
+
+    The front's buffer is replaced by zeros (its Schur block then
+    extend-adds nothing into the parent, keeping ancestors finite and
+    *their* factors identical to a run where this front contributed a
+    zero update), pivots become the identity, and the diagnostics carry
+    :data:`CORRUPT_FRONT_INFO` so the aggregated
+    :class:`FactorReport` reports the front as failed — the caller sees
+    a typed per-front failure, never silently wrong factors.
+    """
+    info = symb.fronts[fid]
+    buffers[fid] = device.zeros((info.order, info.order),
+                                dtype=a_perm.dtype)
+    pivots_of[fid] = np.arange(info.sep_size, dtype=np.int64)
+    if diag_of is not None:
+        diag_of[fid] = (CORRUPT_FRONT_INFO, 0, 0.0, 1.0)
+    device.recovery_log.record(
+        "front-quarantine", site=f"front[{fid}]",
+        detail=f"persistent corruption: {exc}")
 
 
 def _rollback_level(fids, buffers, pivots_of, diag_of) -> None:

@@ -46,6 +46,10 @@ class FactorReport:
 
     * ``info`` — LAPACK-style per-front status: 1-based pivot-block
       column of the first *unrecovered* pivot breakdown, 0 = clean.
+      Negative values flag non-numerical damage: ``-2`` marks a front
+      quarantined after persistent silent-data-corruption exhausted
+      the ABFT re-execution budget (see
+      :mod:`repro.sparse.numeric.gpu_factor`).
     * ``n_replaced`` — statically replaced (perturbed) pivots per front.
     * ``min_pivot`` — smallest ``|pivot|`` met in the front's pivot
       block (``+inf`` for an empty pivot block).
@@ -132,6 +136,11 @@ class FactorReport:
         """Front ids whose pivot block broke down un-recovered."""
         return np.nonzero(self.info != 0)[0]
 
+    def corrupted_fronts(self) -> np.ndarray:
+        """Front ids quarantined for unrepaired silent-data-corruption
+        (``info < 0``) — a subset of :meth:`failed_fronts`."""
+        return np.nonzero(self.info < 0)[0]
+
     def perturbed_fronts(self) -> np.ndarray:
         """Front ids with at least one statically replaced pivot."""
         return np.nonzero(self.n_replaced != 0)[0]
@@ -141,13 +150,25 @@ class FactorReport:
         if self.ok:
             head = f"factorization clean over {self.n_fronts} fronts"
         else:
-            bad = self.failed_fronts()
-            shown = ", ".join(str(int(f)) for f in bad[:8])
-            if len(bad) > 8:
-                shown += ", ..."
-            head = (f"pivot breakdown (zero pivot or |pivot| below "
-                    f"threshold) in {len(bad)}/{self.n_fronts} fronts "
-                    f"[{shown}]")
+            parts = []
+            corrupt = self.corrupted_fronts()
+            pivot_bad = np.nonzero(self.info > 0)[0]
+            if len(pivot_bad):
+                shown = ", ".join(str(int(f)) for f in pivot_bad[:8])
+                if len(pivot_bad) > 8:
+                    shown += ", ..."
+                parts.append(f"pivot breakdown (zero pivot or |pivot| "
+                             f"below threshold) in "
+                             f"{len(pivot_bad)}/{self.n_fronts} fronts "
+                             f"[{shown}]")
+            if len(corrupt):
+                shown = ", ".join(str(int(f)) for f in corrupt[:8])
+                if len(corrupt) > 8:
+                    shown += ", ..."
+                parts.append(f"persistent corruption quarantined "
+                             f"{len(corrupt)}/{self.n_fronts} fronts "
+                             f"[{shown}]")
+            head = "; ".join(parts)
         tail = (f"{self.total_replaced} pivot(s) statically replaced in "
                 f"{self.n_perturbed} front(s)"
                 if self.total_replaced else "no pivots replaced")

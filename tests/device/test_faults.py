@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.device import (A100, FAULT_KINDS, MAX_TRANSFER_ATTEMPTS,
-                          PERSISTENT, Device, DeviceOutOfMemory,
-                          FaultInjector, FaultPlan, FaultRule, KernelCost)
+from repro.device import (A100, CORRUPT_MAGNITUDE, FAULT_KINDS,
+                          MAX_TRANSFER_ATTEMPTS, PERSISTENT, Device,
+                          DeviceOutOfMemory, FaultInjector, FaultPlan,
+                          FaultRule, KernelCost)
 from repro.errors import KernelLaunchError, TransferError
 
 
@@ -243,6 +244,84 @@ class TestLaunchFaults:
         a.free()
 
 
+class TestCorruptFaults:
+    def test_corrupt_needs_registered_outputs(self):
+        # launches that register no outputs are not corrupt sites: the
+        # rule stays armed until an output-registering launch matches
+        dev = Device(A100())
+        a = dev.zeros((4, 4))
+        plan = FaultPlan([FaultRule("corrupt", at=0)])
+        with dev.fault_scope(plan) as inj:
+            dev.launch("plain", None, KernelCost(flops=1))
+            assert inj.n_injected == 0
+            dev.launch("writer", None, KernelCost(flops=1),
+                       outputs=lambda: [a.data])
+            assert inj.n_injected == 1
+        assert not np.array_equal(a.data, np.zeros((4, 4)))
+        a.free()
+
+    def test_corruption_is_scale_dominant(self, rng):
+        dev = Device(A100())
+        host = rng.standard_normal((8, 8))
+        a = dev.from_host(host)
+        with dev.fault_scope(FaultPlan([FaultRule("corrupt", at=0)])):
+            dev.launch("writer", None, KernelCost(flops=1),
+                       outputs=lambda: [a.data])
+        diff = np.abs(a.data - host)
+        assert (diff > 0).sum() == 1        # exactly one element hit
+        # the written value dwarfs the buffer's own scale, so no
+        # rounding-tolerance check can mistake it for noise
+        assert np.abs(a.data).max() >= \
+            CORRUPT_MAGNITUDE * np.abs(host).max()
+        a.free()
+
+    def test_corruption_pattern_is_seeded(self, rng):
+        host = rng.standard_normal((6, 6))
+
+        def run(seed):
+            dev = Device(A100())
+            a = dev.from_host(host)
+            plan = FaultPlan([FaultRule("corrupt", at=0)], seed=seed)
+            with dev.fault_scope(plan):
+                dev.launch("writer", None, KernelCost(flops=1),
+                           outputs=lambda: [a.data])
+            out = a.data.copy()
+            a.free()
+            return out
+
+        np.testing.assert_array_equal(run(3), run(3))
+        assert not np.array_equal(run(3), run(4))
+
+    def test_match_filters_corrupt_site(self):
+        dev = Device(A100())
+        a = dev.zeros((4,))
+        plan = FaultPlan([FaultRule("corrupt", at=0, times=PERSISTENT,
+                                    match="getrf")])
+        with dev.fault_scope(plan) as inj:
+            dev.launch("irrgemm", None, KernelCost(flops=1),
+                       outputs=lambda: [a.data])
+            assert inj.n_injected == 0
+            dev.launch("irrgetrf", None, KernelCost(flops=1),
+                       outputs=lambda: [a.data])
+            assert inj.n_injected == 1
+        a.free()
+
+    def test_corrupt_plan_auto_enables_kernel_verification(self):
+        dev = Device(A100())
+        assert not dev.verify_kernels
+        with dev.fault_scope(FaultPlan([FaultRule("corrupt", at=9)])):
+            assert dev.verify_kernels
+        assert not dev.verify_kernels
+        # plans without corrupt rules keep verification off (existing
+        # fault schedules stay byte-identical)
+        with dev.fault_scope(FaultPlan([FaultRule("alloc", at=9)])):
+            assert not dev.verify_kernels
+        # explicit override wins over the automatic default
+        with dev.fault_scope(FaultPlan([FaultRule("corrupt", at=9)]),
+                             verify_kernels=False):
+            assert not dev.verify_kernels
+
+
 class TestFaultScope:
     def test_scope_restores_state(self):
         dev = Device(A100())
@@ -282,6 +361,96 @@ class TestFaultScope:
                 assert dev._injector is i2
             assert dev._injector is i1
         assert dev._injector is None
+
+    def test_nested_scope_verification_is_sticky_on(self):
+        # ABFT verification never weakens across nesting: a nested
+        # non-corrupt plan (even one passing verify_kernels=False)
+        # cannot switch off the protection the outer corrupt plan
+        # turned on — and the outer exit restores the device default
+        dev = Device(A100())
+        with dev.fault_scope(FaultPlan([FaultRule("corrupt", at=99)])):
+            assert dev.verify_kernels
+            with dev.fault_scope(FaultPlan([FaultRule("alloc", at=99)])):
+                assert dev.verify_kernels
+            with dev.fault_scope(FaultPlan([]), verify_kernels=False):
+                assert dev.verify_kernels
+            assert dev.verify_kernels
+        assert not dev.verify_kernels
+
+    def test_inner_scope_faults_do_not_advance_outer_counters(self):
+        # counters live on the injector, not the device: the inner
+        # scope's operations must not consume the outer rule's position
+        dev = Device(A100())
+        outer = FaultPlan([FaultRule("alloc", at=1)])
+        with dev.fault_scope(outer):
+            with dev.fault_scope(FaultPlan([])):
+                a = dev.empty((4,))     # alloc #0 of the INNER injector
+                b = dev.empty((4,))
+                a.free()
+                b.free()
+            c = dev.empty((4,))         # alloc #0 of the outer injector
+            with pytest.raises(DeviceOutOfMemory):
+                dev.empty((4,))         # alloc #1: outer rule fires
+            c.free()
+        assert dev.allocated_bytes == 0
+
+
+class TestRuleExhaustion:
+    def test_exhausted_window_never_refires(self):
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("alloc", at=0, times=2)])
+        with dev.fault_scope(plan) as inj:
+            for _ in range(2):
+                with pytest.raises(DeviceOutOfMemory):
+                    dev.empty((4,))
+            for _ in range(20):         # window spent: everything passes
+                dev.empty((4,)).free()
+        assert inj.n_injected == 2
+        assert dev.allocated_bytes == 0
+
+    def test_rules_exhaust_independently_per_match(self):
+        # two positional rules of the same kind count their OWN matched
+        # operations; exhausting one leaves the other's position intact
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("launch", at=0, match="gemm"),
+                          FaultRule("launch", at=1, match="trsm")])
+        with dev.fault_scope(plan) as inj:
+            with pytest.raises(KernelLaunchError):
+                dev.launch("irrgemm", None, KernelCost(flops=1))
+            dev.launch("irrgemm", None, KernelCost(flops=1))  # exhausted
+            dev.launch("irrtrsm", None, KernelCost(flops=1))  # trsm #0
+            with pytest.raises(KernelLaunchError):
+                dev.launch("irrtrsm", None, KernelCost(flops=1))
+        assert [(f.kind, f.site) for f in inj.injected] == \
+            [("launch", "irrgemm"), ("launch", "irrtrsm")]
+
+    def test_exhausted_plan_runs_clean_across_scopes(self):
+        # sharing the injector across scopes preserves exhaustion: the
+        # second scope sees a fully spent schedule and injects nothing
+        inj = FaultInjector(FaultPlan([FaultRule("alloc", at=0)]))
+        dev = Device(A100())
+        with dev.fault_scope(inj):
+            with pytest.raises(DeviceOutOfMemory):
+                dev.empty((4,))
+        with dev.fault_scope(inj):
+            for _ in range(5):
+                dev.empty((4,)).free()
+        assert inj.n_injected == 1
+        assert dev.allocated_bytes == 0
+
+    def test_empty_plan_injects_nothing(self, rng):
+        dev = Device(A100())
+        host = rng.standard_normal((8, 8))
+        with dev.fault_scope(FaultPlan([])) as inj:
+            a = dev.from_host(host)
+            dev.launch("k", None, KernelCost(flops=1),
+                       outputs=lambda: [a.data])
+            np.testing.assert_array_equal(a.to_host(), host)
+            a.free()
+        assert inj.n_injected == 0
+        assert inj.counters == {**{k: 0 for k in FAULT_KINDS},
+                                "alloc": 1, "h2d": 1, "d2h": 1,
+                                "launch": 1, "stall": 1, "corrupt": 1}
 
 
 class TestAccountingGuards:

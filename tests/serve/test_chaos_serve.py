@@ -25,8 +25,8 @@ import pytest
 
 from repro.device import A100, Device, FaultPlan, FaultRule
 from repro.device.faults import PERSISTENT
-from repro.errors import (KernelLaunchError, ResourceExhausted,
-                          TransferError)
+from repro.errors import (CorruptionDetected, KernelLaunchError,
+                          ResourceExhausted, TransferError)
 from repro.serve import CoalescingPolicy, SolverService
 
 pytestmark = [pytest.mark.chaos, pytest.mark.serve,
@@ -200,3 +200,135 @@ class TestFaultKindIsolation:
         assert svc.stats.snapshot()["failed"] == 0
         svc.close()
         assert dev.allocated_bytes == 0
+
+
+@pytest.mark.sdc
+class TestServeCorruptionStorm:
+    """Service-level SDC contract: every future resolves with either a
+    result bitwise identical to the fault-free reference or a typed
+    error; corruptions and re-executions are visible in the stats; a
+    sustained storm opens the circuit breaker, and the breaker closes
+    (compiled fast path resuming) once the faults clear."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_corrupt_storm_zero_undetected(self, seed):
+        mats, rhss = traffic()
+        ref = fault_free_reference(mats, rhss)
+        dev = Device(A100())
+        svc = SolverService(dev, policy=CoalescingPolicy(max_batch=4),
+                            start=False)
+        futs = [svc.submit_factor_solve(a, b)
+                for a, b in zip(mats, rhss)]
+        plan = FaultPlan([FaultRule("corrupt", probability=0.25)],
+                         seed=seed)
+        with dev.fault_scope(plan) as inj:
+            svc.run_once()
+        for fut, (x_ref, h_ref) in zip(futs, ref):
+            err = fut.exception(0)
+            if err is not None:
+                assert isinstance(err, CorruptionDetected)
+                continue
+            x, h = fut.result(0)
+            assert np.array_equal(x, x_ref)
+            assert np.array_equal(h.lu, h_ref.lu)
+        snap = svc.stats.snapshot()
+        if inj.n_injected:
+            assert snap["kernel_reexecs"] > 0
+        svc.close()
+        assert dev.allocated_bytes == 0
+
+    def test_persistent_corruption_fails_typed_never_wrong(self):
+        mats, rhss = traffic()
+        dev = Device(A100())
+        svc = SolverService(dev, policy=CoalescingPolicy(max_batch=4),
+                            start=False)
+        plan = FaultPlan([FaultRule("corrupt", at=0, times=PERSISTENT,
+                                    match="irrgetf2")], seed=1)
+        futs = [svc.submit_factor(a) for a in mats]
+        with dev.fault_scope(plan):
+            svc.run_once()
+        # every future resolved: a handle that round-trips, or typed
+        for fut, a in zip(futs, mats):
+            err = fut.exception(0)
+            if err is not None:
+                assert isinstance(err, CorruptionDetected)
+                continue
+            h = fut.result(0)
+            x = svc.solve(h, a @ np.ones(h.n))
+            np.testing.assert_allclose(x, np.ones(h.n), atol=1e-8)
+        snap = svc.stats.snapshot()
+        assert snap["corruptions_detected"] > 0
+        svc.close()
+        assert dev.allocated_bytes == 0
+
+    def test_breaker_opens_degrades_and_recloses(self):
+        a = dense(48, 0)
+        dev = Device(A100())
+        pol = CoalescingPolicy(max_batch=4, compile_hot=True,
+                               hot_threshold=2)
+        svc = SolverService(dev, policy=pol, start=False)
+        ref = svc.factor(a)
+
+        def round_trip():
+            fut = svc.submit_factor(a)
+            svc.run_once()
+            return fut.result(0)
+
+        round_trip()
+        assert svc.stats.snapshot()["compiled_dispatches"] >= 1
+
+        # persistent corruption pinned to the compiled program's fused
+        # replay steps: the compiled rung keeps failing, the bucketed
+        # fallback (whose launches are not "fused[...]") stays clean
+        plan = FaultPlan([FaultRule("corrupt", at=0, times=PERSISTENT,
+                                    match="fused[")], seed=5)
+        with dev.fault_scope(plan):
+            for _ in range(10):
+                h = round_trip()
+                np.testing.assert_array_equal(h.lu, ref.lu)
+            snap = svc.stats.snapshot()
+            assert snap["breaker_state"] in ("open", "half-open")
+            assert snap["corruptions_detected"] > 0
+            assert snap["kernel_reexecs"] > 0
+            assert snap["degraded_dispatches"] > 0
+            assert snap["failed"] == 0
+            assert "circuit breaker open" in snap["degraded_reason"]
+
+        # faults clear: a half-open probe closes the breaker and the
+        # compiled fast path resumes
+        before = svc.stats.snapshot()["compiled_dispatches"]
+        for _ in range(20):
+            h = round_trip()
+            np.testing.assert_array_equal(h.lu, ref.lu)
+        snap = svc.stats.snapshot()
+        assert snap["breaker_state"] == "closed"
+        assert snap["degraded_reason"] is None
+        assert snap["compiled_dispatches"] > before
+        assert svc.breaker.probes >= 1
+        svc.close()
+        assert dev.allocated_bytes == 0
+
+    def test_severity_two_steers_sparse_sessions_to_host(self):
+        from ..sparse.util import grid2d
+        dev = Device(A100())
+        svc = SolverService(dev, start=False)
+        # drive the breaker to severity 2 directly (the state machine
+        # is unit-tested in tests/serve/test_health.py; here we check
+        # the service honours it)
+        for _ in range(8):
+            svc.breaker.record(3)
+        while not svc.breaker.force_host():
+            svc.breaker.record(3)
+        a = grid2d(9, 9)
+        fut = svc.submit_factor(a)
+        svc.run_once()
+        session = fut.result(0)
+        # the session factored on the host: no device kernels ran
+        assert svc.breaker.force_host()
+        b = np.ones(81)
+        x, info = svc.solve(session, b)
+        assert np.abs(a @ x - b).max() < 1e-10
+        session.close()
+        svc.close()
+        assert dev.allocated_bytes == 0
+

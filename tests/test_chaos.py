@@ -17,9 +17,9 @@ reproduces exactly.
 import numpy as np
 import pytest
 
-from repro.device import A100, Device, FaultPlan, FaultRule
-from repro.errors import (KernelLaunchError, ResourceExhausted,
-                          TransferError)
+from repro.device import A100, PERSISTENT, Device, FaultPlan, FaultRule
+from repro.errors import (FactorizationError, KernelLaunchError,
+                          ResourceExhausted, TransferError)
 from repro.sparse import (SparseLU, multifrontal_factor_gpu,
                           multifrontal_solve_gpu, nested_dissection,
                           symbolic_analysis)
@@ -146,6 +146,123 @@ class TestGalleryChaos:
                 assert rec["outcome"] in ("factor_breakdown",
                                           "solve_breakdown"), name
                 assert rec["report"] is not None, name
+
+
+def sdc_storm(seed, p=0.05):
+    """A silent-data-corruption storm over every registered output
+    site, mixed with the transient system faults of :func:`storm`."""
+    return FaultPlan([FaultRule("corrupt", probability=p),
+                      FaultRule("h2d", probability=0.01),
+                      FaultRule("launch", probability=0.01)],
+                     seed=seed)
+
+
+@pytest.mark.sdc
+class TestCorruptionChaos:
+    """Zero-undetected-corruption contract: every injected ``corrupt``
+    fault is either repaired (results bitwise identical to fault-free)
+    or surfaced as a quarantined front / typed failure — a corrupted
+    factorization is never returned as a clean success."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_corruption_storm_never_returns_silent_garbage(self, seed):
+        from repro.sparse.numeric.report import check_factors_ok
+        a = grid2d(10, 10)
+        nd, ap, symb = prepare(a)
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb)
+        dev = Device(A100())
+        res = None
+        try:
+            with dev.fault_scope(sdc_storm(seed)):
+                res = multifrontal_factor_gpu(dev, ap, symb,
+                                              breakdown="report",
+                                              host_fallback=False)
+        except TYPED_FAILURES:
+            pass        # system faults may exhaust the ladder: typed
+        if res is not None:
+            rec = res.report.recovery
+            if res.report.ok:
+                if "host-fallback" not in rec.actions:
+                    for f_ref, f_res in zip(ref.factors.fronts,
+                                            res.factors.fronts):
+                        np.testing.assert_array_equal(f_ref.f11,
+                                                      f_res.f11)
+                        np.testing.assert_array_equal(f_ref.ipiv,
+                                                      f_res.ipiv)
+            else:
+                # unrepaired corruption must be visible AND the broken
+                # factors must refuse to solve
+                assert len(res.report.corrupted_fronts()) > 0
+                assert rec.count("front-quarantine") > 0
+                with pytest.raises(FactorizationError):
+                    check_factors_ok(res.factors, "solve")
+        assert dev.allocated_bytes == 0
+
+    def test_persistent_corruption_quarantines_and_raises(self):
+        from repro.sparse.numeric.gpu_factor import CORRUPT_FRONT_INFO
+        a = grid2d(10, 10)
+        nd, ap, symb = prepare(a)
+        plan = FaultPlan([FaultRule("corrupt", at=0, times=PERSISTENT,
+                                    match="irrgemm:schur")], seed=7)
+        dev = Device(A100())
+        with dev.fault_scope(plan):
+            res = multifrontal_factor_gpu(dev, ap, symb,
+                                          breakdown="report",
+                                          host_fallback=False)
+        assert not res.report.ok
+        bad = res.report.corrupted_fronts()
+        assert len(bad) > 0
+        assert (res.report.info[bad] == CORRUPT_FRONT_INFO).all()
+        assert "quarantined" in res.report.summary()
+        rec = res.report.recovery
+        assert rec.count("front-quarantine") == len(bad)
+        assert rec.count("kernel-reexec") > 0
+        # breakdown="raise" surfaces the same damage as a typed error
+        dev2 = Device(A100())
+        with dev2.fault_scope(FaultPlan(plan.rules, seed=7)):
+            with pytest.raises(FactorizationError, match="quarantined"):
+                multifrontal_factor_gpu(dev2, ap, symb,
+                                        host_fallback=False)
+        assert dev.allocated_bytes == dev2.allocated_bytes == 0
+
+    def test_transient_corruption_repaired_bitwise(self):
+        a = grid2d(10, 10)
+        nd, ap, symb = prepare(a)
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb)
+        dev = Device(A100())
+        plan = FaultPlan([FaultRule("corrupt", at=0, match="irrgemm"),
+                          FaultRule("corrupt", at=0, match="irrtrsm")],
+                         seed=5)
+        with dev.fault_scope(plan) as inj:
+            res = multifrontal_factor_gpu(dev, ap, symb)
+        assert inj.n_injected == 2
+        assert res.report.ok
+        assert res.report.recovery.count("kernel-reexec") >= 1
+        for f_ref, f_res in zip(ref.factors.fronts, res.factors.fronts):
+            np.testing.assert_array_equal(f_ref.f11, f_res.f11)
+            np.testing.assert_array_equal(f_ref.f12, f_res.f12)
+            np.testing.assert_array_equal(f_ref.f21, f_res.f21)
+            np.testing.assert_array_equal(f_ref.ipiv, f_res.ipiv)
+        assert dev.allocated_bytes == 0
+
+    def test_corrupt_schedule_reproduces_exactly(self):
+        a = grid2d(8, 8)
+        nd, ap, symb = prepare(a)
+
+        def run():
+            dev = Device(A100())
+            with dev.fault_scope(sdc_storm(13, p=0.2)) as inj:
+                try:
+                    multifrontal_factor_gpu(dev, ap, symb,
+                                            breakdown="report",
+                                            host_fallback=False)
+                except TYPED_FAILURES as exc:
+                    return ([(f.kind, f.site, f.index)
+                             for f in inj.injected], type(exc).__name__)
+            return [(f.kind, f.site, f.index)
+                    for f in inj.injected], None
+
+        assert run() == run()
 
 
 class TestMaxwellChaosSmoke:

@@ -23,13 +23,15 @@ from .kernel import KernelCost, LaunchRecord, gemm_compute_ramp, \
     intrinsic_duration, sm_demand
 from .memory import MAX_TRANSFER_ATTEMPTS, DeviceArray, DeviceOutOfMemory, \
     pack_to_device, validate_memory_budget
+from .node import Link, Node, NVLINK, PCIE_STAGING
 from .profiler import KernelSummary, Profiler
 from .simulator import Device
 from .spec import A100, MI100, XEON_6140_2S, CpuSpec, DeviceSpec
 from .stream import Event, Stream
 
 __all__ = [
-    "Device", "DeviceArray", "DeviceOutOfMemory", "pack_to_device",
+    "Device", "Node", "Link", "NVLINK", "PCIE_STAGING",
+    "DeviceArray", "DeviceOutOfMemory", "pack_to_device",
     "validate_memory_budget", "MAX_TRANSFER_ATTEMPTS",
     "FaultPlan", "FaultRule", "FaultInjector", "InjectedFault",
     "PERSISTENT", "FAULT_KINDS", "CORRUPT_MAGNITUDE",

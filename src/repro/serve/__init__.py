@@ -22,13 +22,15 @@ tuning, and :class:`~repro.serve.stats.ServiceStats` for observability.
 
 from .autotune import AutotuneConfig, OnlineAutotuner, TuneAction, Window
 from .health import CircuitBreaker, HealthMonitor
+from .pool import DevicePool
 from .scheduler import AdmissionQueue, CoalescingPolicy, DispatchPolicy, \
     ServiceFuture
 from .service import FactorHandle, SolverService
 from .session import MemoryArbiter, ServeSession
 from .stats import DispatchRecord, LatencyHistogram, ServiceStats
 
-__all__ = ["SolverService", "CoalescingPolicy", "DispatchPolicy",
+__all__ = ["SolverService", "DevicePool", "CoalescingPolicy",
+           "DispatchPolicy",
            "ServiceFuture", "FactorHandle", "ServeSession",
            "MemoryArbiter", "ServiceStats", "DispatchRecord",
            "LatencyHistogram", "AdmissionQueue", "OnlineAutotuner",

@@ -1,0 +1,242 @@
+"""DevicePool — multi-device serving over a :class:`~repro.device.node.Node`.
+
+:class:`SolverService` funnels every dispatch through one simulated
+device; a :class:`DevicePool` keeps the exact same admission queue,
+coalescing rules and dispatch ladders, but routes each coalesced group
+to one member device of a node.  Because a group always runs *whole* on
+one device, and every member device is built from the same
+:class:`~repro.device.spec.DeviceSpec`, pooled results are bitwise
+identical to a single-device :class:`SolverService` at every device
+count — the pool changes where work runs, never what it computes.
+
+Placement policy (cheapest sufficient rule first):
+
+1. **Sticky sparse sessions** — a sparse solve goes to the device that
+   factored its session (the session's factor cache is device-resident;
+   moving it would re-upload everything for nothing).
+2. **Sticky hot signatures** — with ``policy.compile_hot``, a getrf
+   group whose signature already has a compiled program on some device
+   replays there (programs record device-specific launch schedules).
+3. **Least outstanding work** — otherwise the group goes to the device
+   whose simulated clock is furthest behind (ties to the lowest index),
+   skipping devices whose circuit breaker is open (unless every breaker
+   is open, in which case the sick devices must serve anyway rather
+   than deadlock the queue).
+
+Per-device isolation: each device gets its own
+:class:`~repro.serve.health.CircuitBreaker`, batch engine (plan cache),
+compiled-program store and :class:`~repro.serve.session.MemoryArbiter`
+(the pool budget split evenly), so one sick or overloaded device
+degrades only its own traffic.  Per-device counters — dispatches,
+occupancy, simulated seconds, payload link bytes, resident factor bytes,
+breaker state — surface under ``stats.snapshot()["devices"]``; the
+global ``breaker_state`` mirrors the most recently dispatched device.
+
+Threading model is unchanged from :class:`SolverService`: one
+dispatcher thread owns every member device's launch surface (groups are
+placed and executed sequentially in wall time; the *simulated* timelines
+overlap, which is what the throughput numbers measure).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+import scipy.sparse as sp
+
+from ..batched.engine import BatchEngine, PlanCache
+from ..device.node import Node
+from .health import CircuitBreaker
+from .scheduler import DispatchPolicy, Request
+from .service import SolverService
+from .session import MemoryArbiter, ServeSession
+from .stats import DispatchRecord
+
+__all__ = ["DevicePool"]
+
+
+class _DeviceSlot:
+    """Everything one member device owns: its engine (plan cache),
+    circuit breaker, memory arbiter, and compiled-program stores."""
+
+    __slots__ = ("index", "device", "engine", "breaker", "arbiter",
+                 "programs", "sig_seen", "uncompilable")
+
+
+class DevicePool(SolverService):
+    """Thread-safe serving front-end over a multi-device node.
+
+    Parameters
+    ----------
+    node:
+        The :class:`~repro.device.node.Node` whose member devices serve
+        the traffic.  The pool's dispatcher thread is the single launch
+        owner of *every* member device.
+    policy:
+        The batching knobs, exactly as for :class:`SolverService`.
+    sparse_memory_budget:
+        Total sparse-session device-byte budget for the whole pool,
+        split evenly into per-device :class:`MemoryArbiter` budgets
+        (``None`` = unbudgeted).  Sessions on one device share that
+        device's split; a device can never be pushed over its share by
+        sessions living elsewhere.
+    start:
+        As for :class:`SolverService`; ``start=False`` + ``run_once()``
+        gives deterministic inline dispatch.
+    """
+
+    def __init__(self, node: Node, *,
+                 policy: DispatchPolicy | None = None,
+                 sparse_memory_budget: int | None = None,
+                 start: bool = True, clock=time.monotonic):
+        if not isinstance(node, Node):
+            raise TypeError(f"DevicePool needs a repro.device.Node, "
+                            f"got {type(node).__name__}")
+        self.node = node
+        per_dev = None if sparse_memory_budget is None \
+            else max(1, int(sparse_memory_budget) // len(node))
+        super().__init__(node[0], policy=policy,
+                         sparse_memory_budget=per_dev, start=False,
+                         clock=clock)
+        self._slots: list[_DeviceSlot] = []
+        for i, dev in enumerate(node):
+            slot = _DeviceSlot()
+            slot.index = i
+            slot.device = dev
+            if i == 0:
+                # slot 0 adopts the state the base constructor built
+                slot.engine = self._engine
+                slot.breaker = self.breaker
+                slot.arbiter = self.arbiter
+                slot.programs = self._programs
+                slot.sig_seen = self._sig_seen
+                slot.uncompilable = self._uncompilable
+            else:
+                slot.engine = BatchEngine(
+                    "bucketed", cache=PlanCache(capacity=getattr(
+                        self._policy, "plan_cache_capacity", None)))
+                slot.breaker = CircuitBreaker()
+                slot.arbiter = MemoryArbiter(per_dev, stats=self.stats)
+                slot.programs = OrderedDict()
+                slot.sig_seen = {}
+                slot.uncompilable = set()
+            self._slots.append(slot)
+        self._bound = 0
+        #: session sid -> device index (sticky placement)
+        self._session_device: dict[int, int] = {}
+        #: device index -> open sessions (for the resident-bytes gauge)
+        self._device_sessions: dict[int, list[ServeSession]] = {
+            i: [] for i in range(len(node))}
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _bind(self, index: int) -> _DeviceSlot:
+        """Point the service surface at one member device.  Dispatcher-
+        thread only: the base class reads these attributes exactly once
+        per dispatch, always after the bind."""
+        slot = self._slots[index]
+        self.device = slot.device
+        self._engine = slot.engine
+        self.breaker = slot.breaker
+        self.arbiter = slot.arbiter
+        self._programs = slot.programs
+        self._sig_seen = slot.sig_seen
+        self._uncompilable = slot.uncompilable
+        self._bound = index
+        return slot
+
+    def _place(self, group: list[Request],
+               policy: DispatchPolicy) -> int:
+        """Choose the device index one coalesced group runs on."""
+        kind = group[0].key[0]
+        if kind == "sparse-solve":
+            idx = self._session_device.get(
+                group[0].payload["session"].sid)
+            if idx is not None:
+                return idx
+        elif kind == "getrf" and getattr(policy, "compile_hot", False):
+            sig = self._group_signature(group, policy)
+            for slot in self._slots:
+                if sig in slot.programs:
+                    return slot.index
+        healthy = [s for s in self._slots if s.breaker.state != "open"]
+        candidates = healthy or self._slots
+        return min(candidates,
+                   key=lambda s: (s.device.host_time, s.index)).index
+
+    # ------------------------------------------------------------------
+    # dispatch / sessions / lifecycle
+    # ------------------------------------------------------------------
+    def _safe_dispatch(self, group: list[Request],
+                       policy: DispatchPolicy | None = None
+                       ) -> DispatchRecord:
+        if policy is None:
+            policy = self.policy
+        index = self._place(group, policy)
+        slot = self._bind(index)
+        was_open = slot.breaker.state == "open"
+        record = super()._safe_dispatch(group, policy)
+        self.stats.on_device_dispatch(index, record)
+        self.stats.on_device_breaker(index, slot.breaker.state,
+                                     degraded=was_open)
+        self.stats.on_device_link(index, self._staged_nbytes(group))
+        self.stats.on_device_resident(index,
+                                      self._resident_nbytes(index))
+        return record
+
+    def _open_session(self, a, kwargs: dict) -> ServeSession:
+        session = super()._open_session(a, kwargs)
+        self._session_device[session.sid] = self._bound
+        self._device_sessions[self._bound].append(session)
+        return session
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        super().close()        # drains, then frees the bound slot's store
+        for slot in self._slots:
+            for prog in slot.programs.values():
+                prog.free()
+            slot.programs.clear()
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _staged_nbytes(group: list[Request]) -> int:
+        """Host payload bytes this group stages onto its device (the
+        matrices, right-hand sides and re-uploaded dense factors)."""
+        total = 0
+        for r in group:
+            for key in ("a", "b2", "b"):
+                v = r.payload.get(key)
+                if v is None:
+                    continue
+                if sp.issparse(v):
+                    total += v.data.nbytes + v.indices.nbytes + \
+                        v.indptr.nbytes
+                else:
+                    total += v.nbytes
+            h = r.payload.get("handle")
+            if h is not None:
+                total += h.lu.nbytes
+        return total
+
+    def _resident_nbytes(self, index: int) -> int:
+        """Factor bytes currently device-resident for this slot's open
+        sparse sessions (closed sessions are pruned as a side effect)."""
+        live = []
+        total = 0
+        for s in self._device_sessions[index]:
+            if s.closed:
+                continue
+            live.append(s)
+            cache = s.solver.solve_cache
+            if cache is not None:
+                total += cache.resident_nbytes
+        self._device_sessions[index] = live
+        return total

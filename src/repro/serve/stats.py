@@ -199,6 +199,7 @@ class ServiceStats:
     _ring: deque = field(default=None, repr=False, compare=False)
     _orders: deque = field(default=None, repr=False, compare=False)
     _plan_cache: object = field(default=None, repr=False, compare=False)
+    _devices: dict = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -208,6 +209,7 @@ class ServiceStats:
                              f"got {self.dispatch_history}")
         self._ring = deque(maxlen=self.dispatch_history)
         self._orders = deque(maxlen=_ORDER_RING)
+        self._devices = {}
 
     # -- admission -----------------------------------------------------
     def on_submit(self, depth: int, order: int | None = None) -> None:
@@ -316,6 +318,51 @@ class ServiceStats:
             self.degraded_reason = None if degraded is None \
                 else str(degraded)
 
+    # -- multi-device pools ----------------------------------------------
+    def _device(self, index: int) -> dict:
+        """The (locked-caller) per-device counter dict for one pool slot."""
+        d = self._devices.get(index)
+        if d is None:
+            d = self._devices[index] = {
+                "dispatches": 0, "coalesced_requests": 0, "launches": 0,
+                "occupancy_total": 0.0, "sim_seconds": 0.0,
+                "link_bytes": 0, "resident_factor_bytes": 0,
+                "degraded_dispatches": 0, "breaker_state": "closed",
+            }
+        return d
+
+    def on_device_dispatch(self, index: int, record: DispatchRecord) -> None:
+        """Account one dispatch against the pool slot that executed it
+        (the global :meth:`on_dispatch` aggregates still see it too)."""
+        with self._lock:
+            d = self._device(index)
+            d["dispatches"] += 1
+            d["coalesced_requests"] += record.batch_size
+            d["launches"] += record.launches
+            d["occupancy_total"] += record.occupancy
+            d["sim_seconds"] += record.sim_seconds
+
+    def on_device_link(self, index: int, nbytes: int) -> None:
+        """``nbytes`` of request payload crossed a link to this device."""
+        if nbytes <= 0:
+            return
+        with self._lock:
+            self._device(index)["link_bytes"] += int(nbytes)
+
+    def on_device_resident(self, index: int, nbytes: int) -> None:
+        """Gauge: factor bytes currently resident on this device."""
+        with self._lock:
+            self._device(index)["resident_factor_bytes"] = int(nbytes)
+
+    def on_device_breaker(self, index: int, state: str,
+                          degraded: bool = False) -> None:
+        """Record one device's breaker state after a dispatch."""
+        with self._lock:
+            d = self._device(index)
+            d["breaker_state"] = state
+            if degraded:
+                d["degraded_dispatches"] += 1
+
     # -- mixed precision -------------------------------------------------
     def on_precision_fallback(self) -> None:
         with self._lock:
@@ -409,4 +456,9 @@ class ServiceStats:
                 }),
                 "wait": self.wait.snapshot(),
                 "exec": self.exec.snapshot(),
+                "devices": {
+                    idx: dict(d, mean_occupancy=(
+                        d["occupancy_total"] / d["dispatches"]
+                        if d["dispatches"] else 0.0))
+                    for idx, d in sorted(self._devices.items())},
             }

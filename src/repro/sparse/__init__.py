@@ -14,8 +14,10 @@ from .numeric.gpu_factor import GpuFactorResult, HYBRID_GEMM_CUTOFF, \
     STRUMPACK_BATCH_LIMIT, multifrontal_factor_gpu, plan_traversals
 from .numeric.gpu_solve import GpuSolveResult, multifrontal_solve_gpu
 from .numeric.solve_plan import DeviceFactorCache, SolvePlan
-from .distributed import DistributedFactorResult, RankAssignment, \
-    multifrontal_factor_distributed, partition_tree
+from .distributed import DistributedFactorResult, \
+    multifrontal_factor_distributed
+from .numeric.shard import RankAssignment, ShardedFactorResult, \
+    multifrontal_factor_sharded, partition_tree
 from .numeric.triangular import multifrontal_solve
 from .ordering.mc64 import Mc64Result, StructurallySingularError, mc64
 from .ordering.nested_dissection import NestedDissection, \
@@ -38,6 +40,7 @@ __all__ = [
     "plan_traversals", "multifrontal_solve_gpu", "GpuSolveResult",
     "SolvePlan", "DeviceFactorCache",
     "multifrontal_factor_distributed", "DistributedFactorResult",
+    "multifrontal_factor_sharded", "ShardedFactorResult",
     "partition_tree", "RankAssignment",
     "SparseCholesky", "CholeskyFactors",
 ]

@@ -6,17 +6,24 @@ rank and corresponding GPU, while the top log P levels of the tree are
 distributed ... and then processed using either ScaLAPACK (CPU-only) or
 SLATE."
 
-The reproduction models exactly that decomposition:
+This module is now a thin compatibility wrapper over the sharded
+multi-device subsystem (:mod:`repro.sparse.numeric.shard`): ranks map to
+the member devices of a :class:`~repro.device.node.Node` whose
+device↔device link models the network (``net_bandwidth`` /
+``net_latency``), and the factorization itself — level transactions,
+batch engines, the pivot policy and the recovery ladder — is exactly
+the sharded path.  Folding the two removed an old drift: the
+distributed ``run_fronts`` used to call the level kernels without the
+pivot-policy kwargs, silently reverting to pre-report ``== 0.0`` pivot
+semantics and producing no :class:`FactorReport`; the policy now
+threads through unchanged and ``factors.report`` is always attached.
 
-* the top ``⌈log₂ P⌉`` levels of the assembly tree form the *distributed
-  part*; the subtrees hanging below are assigned to ranks by
-  longest-processing-time on their flop counts;
-* each rank factors its subtrees on its own simulated GPU (the
-  per-rank timelines run concurrently: local makespan = slowest rank);
-* the subtree-root Schur complements are communicated to the top owner
-  (a latency + bandwidth network model);
-* the top part is factored with the batched kernels on the owner's GPU
-  (the SLATE-like path) or with a ScaLAPACK-style CPU time model.
+The result keeps the historical MPI-flavoured accounting: ``elapsed``
+is ``max(per-rank) + gather + top`` with a per-rank message model
+(every rank's boundary bytes pay the network, including the owner's
+own — an MPI rank has no shortcut to the top owner's GPU), which is
+intentionally *more* pessimistic than the node makespan reported by
+:class:`~repro.sparse.numeric.shard.ShardedFactorResult`.
 
 Numerics are identical to the single-device factorization — only the
 schedule and the communication change.
@@ -24,103 +31,20 @@ schedule and the communication change.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
-import numpy as np
 import scipy.sparse as sp
 
-from ..analysis.flops import gemm_flops, getrf_flops, trsm_flops
-from ..device.simulator import Device
-from ..device.spec import DeviceSpec, XEON_6140_2S
-from .numeric.factors import FrontFactors, MultifrontalFactors
-from .numeric.gpu_factor import _chunk_levels, _factor_level
+from ..device.node import Link, Node
+from ..device.spec import DeviceSpec
+from .numeric.factors import MultifrontalFactors
+from .numeric.report import FactorReport
+from .numeric.shard import RankAssignment, multifrontal_factor_sharded, \
+    partition_tree
 from .symbolic.analysis import SymbolicFactorization
 
 __all__ = ["partition_tree", "RankAssignment",
            "multifrontal_factor_distributed", "DistributedFactorResult"]
-
-
-@dataclass
-class RankAssignment:
-    """Which rank owns which front; -1 marks the distributed top part."""
-
-    n_ranks: int
-    rank_of_front: np.ndarray
-    top_fronts: list[int]
-    rank_fronts: list[list[int]]     # per rank, postorder
-    rank_flops: list[float]
-
-    @property
-    def imbalance(self) -> float:
-        """max/mean flop ratio across ranks (1.0 = perfect balance)."""
-        nonzero = [f for f in self.rank_flops if f > 0]
-        if not nonzero:
-            return 1.0
-        return max(nonzero) / (sum(nonzero) / len(nonzero))
-
-
-def _front_flops(symb: SymbolicFactorization, fid: int) -> float:
-    f = symb.fronts[fid]
-    s, u = f.sep_size, f.upd_size
-    return getrf_flops(s, s) + 2 * trsm_flops(s, u) + gemm_flops(u, u, s)
-
-
-def partition_tree(symb: SymbolicFactorization,
-                   n_ranks: int) -> RankAssignment:
-    """Split the assembly tree: top ⌈log₂P⌉ levels + LPT subtrees."""
-    if n_ranks < 1:
-        raise ValueError("need at least one rank")
-    nf = len(symb.fronts)
-    rank_of = np.full(nf, -1, dtype=np.int64)
-    if n_ranks == 1:
-        return RankAssignment(
-            n_ranks=1, rank_of_front=np.zeros(nf, dtype=np.int64),
-            top_fronts=[],
-            rank_fronts=[list(range(nf))],
-            rank_flops=[sum(_front_flops(symb, f) for f in range(nf))])
-
-    top_levels = max(1, math.ceil(math.log2(n_ranks)))
-    top = [fid for fid, f in enumerate(symb.fronts) if f.level < top_levels]
-    top_set = set(top)
-
-    # subtree roots: fronts below the top whose parent is in the top (or
-    # absent) — each subtree goes to one rank as a unit.
-    subtree_flops: dict[int, float] = {}
-    subtree_fronts: dict[int, list[int]] = {}
-
-    def collect(fid: int) -> tuple[float, list[int]]:
-        f = symb.fronts[fid]
-        fl = _front_flops(symb, fid)
-        fronts = []
-        for c in f.children:
-            cf, cl = collect(c)
-            fl += cf
-            fronts.extend(cl)
-        fronts.append(fid)
-        return fl, fronts
-
-    roots = [fid for fid, f in enumerate(symb.fronts)
-             if fid not in top_set and
-             (f.parent < 0 or f.parent in top_set)]
-    for r in roots:
-        subtree_flops[r], subtree_fronts[r] = collect(r)
-
-    # LPT assignment of subtrees to ranks
-    loads = [0.0] * n_ranks
-    rank_fronts: list[list[int]] = [[] for _ in range(n_ranks)]
-    for r in sorted(roots, key=lambda x: -subtree_flops[x]):
-        dest = int(np.argmin(loads))
-        loads[dest] += subtree_flops[r]
-        rank_fronts[dest].extend(sorted(subtree_fronts[r]))
-        for fid in subtree_fronts[r]:
-            rank_of[fid] = dest
-    for rf in rank_fronts:
-        rf.sort()
-
-    return RankAssignment(n_ranks=n_ranks, rank_of_front=rank_of,
-                          top_fronts=sorted(top), rank_fronts=rank_fronts,
-                          rank_flops=loads)
 
 
 @dataclass
@@ -134,6 +58,7 @@ class DistributedFactorResult:
     gather_seconds: float = 0.0
     top_seconds: float = 0.0
     comm_bytes: int = 0
+    report: "FactorReport | None" = None
 
 
 def multifrontal_factor_distributed(
@@ -147,84 +72,28 @@ def multifrontal_factor_distributed(
     ``top_mode="slate"`` factors the distributed top part with the
     batched kernels on the owner rank's GPU (the SLATE-like GPU path);
     ``"scalapack"`` models the CPU-only 2D block-cyclic alternative.
+    Pivot-policy and engine kwargs (``pivot_tol``, ``static_pivot``,
+    ``replace_scale``, ``breakdown``, ``engine``, ...) pass through to
+    the sharded factorization unchanged.
     """
     if top_mode not in ("slate", "scalapack"):
         raise ValueError(f"unknown top_mode {top_mode!r}")
-    a_perm = sp.csr_matrix(a_perm)
-    assign = partition_tree(symb, n_ranks)
+    node = Node(spec, n_ranks,
+                p2p_link=Link(bandwidth=net_bandwidth, latency=net_latency))
+    res = multifrontal_factor_sharded(
+        node, a_perm, symb, strategy=strategy, top_mode=top_mode, **kw)
 
-    host_factors: dict[int, FrontFactors] = {}
-    host_schur: dict[int, np.ndarray] = {}
-
-    def run_fronts(device: Device, fids: list[int]) -> float:
-        """Factor one rank's fronts; stream results to the host store."""
-        if not fids:
-            return 0.0
-        buffers: dict = {}
-        pivots_of: dict = {}
-        fid_set = set(fids)
-        with device.timed_region() as region:
-            for level_fids in _chunk_levels(symb, fids):
-                _factor_level(device, a_perm, symb, level_fids, buffers,
-                              pivots_of, strategy, kw.get("gemm_mode",
-                                                          "hybrid"),
-                              kw.get("hybrid_cutoff", 256),
-                              kw.get("laswp_variant", "rehearsed"),
-                              kw.get("nb", 32), host_schur=host_schur)
-        for fid in fids:
-            info = symb.fronts[fid]
-            s = info.sep_size
-            data = buffers[fid].to_host()
-            host_factors[fid] = FrontFactors(
-                f11=data[:s, :s].copy(), ipiv=pivots_of[fid],
-                f12=data[:s, s:].copy(), f21=data[s:, :s].copy())
-            if info.parent >= 0 and info.parent not in fid_set \
-                    and info.upd_size:
-                host_schur[fid] = data[s:, s:].copy()
-            buffers[fid].free()
-        return region["elapsed"]
-
-    # --- phase 1: rank-local subtrees (concurrent timelines) -------------
-    per_rank = []
-    comm_bytes = 0
-    rank_msgs = []
-    for r in range(assign.n_ranks):
-        dev = Device(spec)
-        per_rank.append(run_fronts(dev, assign.rank_fronts[r]))
-        # this rank's boundary Schur contributions travel to the top owner
-        nbytes = sum(host_schur[f].nbytes
-                     for f in assign.rank_fronts[r] if f in host_schur)
-        comm_bytes += nbytes
-        rank_msgs.append((nbytes, sum(1 for f in assign.rank_fronts[r]
-                                      if f in host_schur)))
-
+    # The MPI-flavoured network accounting: each rank ships its boundary
+    # Schur bytes as one stream of messages; ranks send concurrently, so
+    # the gather costs the slowest rank's stream.
     gather_seconds = max(
         (nb / net_bandwidth + cnt * net_latency
-         for nb, cnt in rank_msgs), default=0.0)
-
-    # --- phase 2: the distributed top part -------------------------------
-    top_seconds = 0.0
-    if assign.top_fronts:
-        if top_mode == "slate":
-            dev_top = Device(spec)
-            top_seconds = run_fronts(dev_top, assign.top_fronts)
-        else:
-            # ScaLAPACK model: CPU-only 2D block-cyclic over all ranks.
-            cpu = XEON_6140_2S()
-            flops = sum(_front_flops(symb, f) for f in assign.top_fronts)
-            rate = assign.n_ranks * 16 * cpu.freq_hz * \
-                cpu.flops_per_cycle_per_core
-            eff = cpu.getrf_efficiency(
-                max(symb.fronts[f].order for f in assign.top_fronts))
-            top_seconds = flops / (rate * max(eff, 1e-3))
-            # the CPU path still needs the numerics: run them untimed
-            dev_top = Device(spec)
-            run_fronts(dev_top, assign.top_fronts)
-
-    out = MultifrontalFactors(symb=symb)
-    out.fronts = [host_factors[fid] for fid in range(len(symb.fronts))]
-    elapsed = (max(per_rank, default=0.0) + gather_seconds + top_seconds)
+         for nb, cnt in res.rank_link_stats), default=0.0)
+    comm_bytes = sum(nb for nb, _ in res.rank_link_stats)
+    elapsed = (max(res.per_device_seconds, default=0.0) + gather_seconds +
+               res.top_seconds)
     return DistributedFactorResult(
-        factors=out, assignment=assign, elapsed=elapsed,
-        per_rank_seconds=per_rank, gather_seconds=gather_seconds,
-        top_seconds=top_seconds, comm_bytes=comm_bytes)
+        factors=res.factors, assignment=res.assignment, elapsed=elapsed,
+        per_rank_seconds=res.per_device_seconds,
+        gather_seconds=gather_seconds, top_seconds=res.top_seconds,
+        comm_bytes=comm_bytes, report=res.report)

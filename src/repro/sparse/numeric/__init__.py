@@ -2,6 +2,8 @@
 
 from .cpu_factor import factor_front_blocks, multifrontal_factor_cpu
 from .factors import FrontFactors, MultifrontalFactors, assemble_front
+from .shard import RankAssignment, ShardedFactorResult, \
+    multifrontal_factor_sharded, partition_tree
 from .solve_plan import DeviceFactorCache, LevelFactorBlocks, \
     LevelSolvePlan, SolveBucket, SolvePlan
 from .triangular import multifrontal_solve
@@ -10,6 +12,8 @@ __all__ = [
     "multifrontal_factor_cpu", "factor_front_blocks",
     "FrontFactors", "MultifrontalFactors", "assemble_front",
     "multifrontal_solve",
+    "multifrontal_factor_sharded", "ShardedFactorResult",
+    "partition_tree", "RankAssignment",
     "SolvePlan", "DeviceFactorCache", "LevelSolvePlan", "SolveBucket",
     "LevelFactorBlocks",
 ]

@@ -1,0 +1,344 @@
+"""Sharded multifrontal factorization across a multi-device node.
+
+§III-A: "for the distributed memory parallel code, the assembly tree is
+split in multiple subtrees, each of which is assigned to a single MPI
+rank and corresponding GPU, while the top log P levels of the tree are
+distributed ... and then processed using either ScaLAPACK (CPU-only) or
+SLATE."
+
+This module is the single-node, multi-GPU realisation of that design:
+
+* :func:`partition_tree` splits the assembly tree into the top
+  ``⌈log₂ P⌉`` levels plus rank-local subtrees, assigned to devices by
+  longest-processing-time on their flop counts;
+* each device factors its subtrees with the *same* level transactions
+  as the single-device path (:func:`~.gpu_factor._run_level`: bounded
+  retries, batch splitting, corruption quarantine, and the full pivot
+  policy — ``pivot_tol`` / ``static_pivot`` / ``replace_scale``), on
+  its own simulated timeline;
+* subtree-root Schur contributions ship to the owner device over the
+  node's modeled links (:meth:`~repro.device.node.Node.transfer`), and
+  the top part is factored there with the batched kernels (the
+  SLATE-like path) or costed with a ScaLAPACK-style CPU model.
+
+Bitwise parity with single-device execution holds at every device
+count, by construction rather than by luck: per-front numerics are
+batch-composition independent (the engines' documented contract), the
+extend-add consumes children in ``info.children`` order regardless of
+which buffer they arrive through, and a host round trip of a Schur
+block is byte-exact — exactly the invariants the out-of-core traversal
+mode already relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...analysis.flops import gemm_flops, getrf_flops, trsm_flops
+from ...batched.engine import resolve_engine
+from ...device.node import Node
+from ...device.simulator import Device
+from ...device.spec import XEON_6140_2S
+from ...errors import FactorizationError
+from ...recovery import RecoveryLog
+from ..symbolic.analysis import SymbolicFactorization
+from .factors import FrontFactors, MultifrontalFactors
+from .gpu_factor import HYBRID_GEMM_CUTOFF, _chunk_levels, _run_level
+from .report import FactorReport
+
+__all__ = ["partition_tree", "RankAssignment",
+           "multifrontal_factor_sharded", "ShardedFactorResult"]
+
+
+# ----------------------------------------------------------------------
+# tree partitioning (shared by the sharded and the simulated-MPI paths)
+# ----------------------------------------------------------------------
+
+@dataclass
+class RankAssignment:
+    """Which rank owns which front; -1 marks the distributed top part."""
+
+    n_ranks: int
+    rank_of_front: np.ndarray
+    top_fronts: list[int]
+    rank_fronts: list[list[int]]     # per rank, postorder
+    rank_flops: list[float]
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean flop ratio across ranks (1.0 = perfect balance)."""
+        nonzero = [f for f in self.rank_flops if f > 0]
+        if not nonzero:
+            return 1.0
+        return max(nonzero) / (sum(nonzero) / len(nonzero))
+
+
+def _front_flops(symb: SymbolicFactorization, fid: int) -> float:
+    f = symb.fronts[fid]
+    s, u = f.sep_size, f.upd_size
+    return getrf_flops(s, s) + 2 * trsm_flops(s, u) + gemm_flops(u, u, s)
+
+
+def partition_tree(symb: SymbolicFactorization,
+                   n_ranks: int) -> RankAssignment:
+    """Split the assembly tree: top ⌈log₂P⌉ levels + LPT subtrees."""
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    nf = len(symb.fronts)
+    rank_of = np.full(nf, -1, dtype=np.int64)
+    if n_ranks == 1:
+        return RankAssignment(
+            n_ranks=1, rank_of_front=np.zeros(nf, dtype=np.int64),
+            top_fronts=[],
+            rank_fronts=[list(range(nf))],
+            rank_flops=[sum(_front_flops(symb, f) for f in range(nf))])
+
+    top_levels = max(1, math.ceil(math.log2(n_ranks)))
+    top = [fid for fid, f in enumerate(symb.fronts) if f.level < top_levels]
+    top_set = set(top)
+
+    # subtree roots: fronts below the top whose parent is in the top (or
+    # absent) — each subtree goes to one rank as a unit.
+    subtree_flops: dict[int, float] = {}
+    subtree_fronts: dict[int, list[int]] = {}
+
+    def collect(fid: int) -> tuple[float, list[int]]:
+        f = symb.fronts[fid]
+        fl = _front_flops(symb, fid)
+        fronts = []
+        for c in f.children:
+            cf, cl = collect(c)
+            fl += cf
+            fronts.extend(cl)
+        fronts.append(fid)
+        return fl, fronts
+
+    roots = [fid for fid, f in enumerate(symb.fronts)
+             if fid not in top_set and
+             (f.parent < 0 or f.parent in top_set)]
+    for r in roots:
+        subtree_flops[r], subtree_fronts[r] = collect(r)
+
+    # LPT assignment of subtrees to ranks
+    loads = [0.0] * n_ranks
+    rank_fronts: list[list[int]] = [[] for _ in range(n_ranks)]
+    for r in sorted(roots, key=lambda x: -subtree_flops[x]):
+        dest = int(np.argmin(loads))
+        loads[dest] += subtree_flops[r]
+        rank_fronts[dest].extend(sorted(subtree_fronts[r]))
+        for fid in subtree_fronts[r]:
+            rank_of[fid] = dest
+    for rf in rank_fronts:
+        rf.sort()
+
+    return RankAssignment(n_ranks=n_ranks, rank_of_front=rank_of,
+                          top_fronts=sorted(top), rank_fronts=rank_fronts,
+                          rank_flops=loads)
+
+
+# ----------------------------------------------------------------------
+# sharded factorization
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardedFactorResult:
+    """Factors plus the simulated multi-device execution profile.
+
+    ``elapsed`` is the true node makespan (the latest member clock once
+    every device is idle — subtree phases overlap, so this is *not* the
+    sum of the parts).  ``rank_link_stats`` records, per device, the
+    ``(nbytes, n_messages)`` of boundary Schur contributions it produced
+    — including the owner's own, which never physically cross a link —
+    while ``link_bytes`` counts only bytes that actually travelled.
+    """
+
+    factors: MultifrontalFactors
+    assignment: RankAssignment
+    elapsed: float
+    per_device_seconds: list[float] = field(default_factory=list)
+    gather_seconds: float = 0.0
+    top_seconds: float = 0.0
+    link_bytes: int = 0
+    rank_link_stats: list[tuple[int, int]] = field(default_factory=list)
+    report: "FactorReport | None" = None
+
+
+def multifrontal_factor_sharded(
+        node: Node, a_perm: sp.spmatrix, symb: SymbolicFactorization, *,
+        strategy: str = "batched", gemm_mode: str = "hybrid",
+        hybrid_cutoff: int = HYBRID_GEMM_CUTOFF,
+        laswp_variant: str = "rehearsed", nb: int = 32,
+        pivot_tol: float = 0.0, static_pivot: bool = False,
+        replace_scale: float | None = None, breakdown: str = "raise",
+        engine="bucketed", top_mode: str = "slate",
+        top_device: int = 0) -> ShardedFactorResult:
+    """Factor the permuted sparse matrix across the node's devices.
+
+    Subtrees run on concurrent per-device timelines through the same
+    level transactions as :func:`multifrontal_factor_gpu` — the full
+    pivot policy (``pivot_tol``/``static_pivot``/``replace_scale``),
+    batch engine selection and the retry/level-split/quarantine ladder
+    all apply per device.  Boundary Schur contributions are shipped to
+    ``top_device`` over the node's modeled links; the top part is
+    factored there (``top_mode="slate"``, batched kernels) or costed
+    with the ScaLAPACK-style CPU model (``"scalapack"`` — the numerics
+    still run, on an untimed scratch device, so the factors are always
+    complete).
+
+    The aggregated :class:`FactorReport` (with every device's recovery
+    slice merged in) is attached to ``result.report`` and
+    ``factors.report``; ``breakdown="raise"`` (default) raises a typed
+    :class:`FactorizationError` on unrecovered pivot breakdown,
+    ``"report"`` returns the quarantined factors with ``report.ok ==
+    False``.  Factors are bitwise identical to the single-device path
+    at every device count.
+    """
+    if strategy not in ("batched", "looped", "strumpack"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if gemm_mode not in ("irr", "vendor", "hybrid"):
+        raise ValueError(f"unknown gemm_mode {gemm_mode!r}")
+    if breakdown not in ("raise", "report"):
+        raise ValueError(f"unknown breakdown mode {breakdown!r}")
+    if top_mode not in ("slate", "scalapack"):
+        raise ValueError(f"unknown top_mode {top_mode!r}")
+    if not 0 <= top_device < len(node):
+        raise ValueError(f"top_device {top_device} out of range for a "
+                         f"{len(node)}-device node")
+    a_perm = sp.csr_matrix(a_perm)
+    if a_perm.shape[0] != symb.n:
+        raise ValueError("matrix size does not match the symbolic analysis")
+
+    assign = partition_tree(symb, len(node))
+    engine = resolve_engine(engine)
+    marks = [dev.recovery_log.mark() for dev in node]
+    link_bytes0 = node.p2p_bytes + node.staged_bytes
+    a_dev_bytes = a_perm.data.nbytes + a_perm.indices.nbytes + \
+        a_perm.indptr.nbytes
+
+    host_factors: dict[int, FrontFactors] = {}
+    host_schur: dict[int, np.ndarray] = {}
+
+    def run_fronts(device: Device, fids: list[int]) -> float:
+        """Factor one device's fronts; stream results to the host store.
+
+        Identical level transactions to the single-device traversal
+        (same engine, same pivot policy, same recovery ladder); the
+        download/harvest happens outside the timed region, as the
+        single-device path does.
+        """
+        if not fids:
+            return 0.0
+        buffers: dict = {}
+        pivots_of: dict = {}
+        diag_of: dict[int, tuple[int, int, float, float]] = {}
+        fid_set = set(fids)
+        try:
+            with device.timed_region() as region:
+                for level_fids in _chunk_levels(symb, fids):
+                    _run_level(device, a_perm, symb, level_fids, buffers,
+                               pivots_of, strategy, gemm_mode,
+                               hybrid_cutoff, laswp_variant, nb,
+                               host_schur=host_schur, engine=engine,
+                               diag_of=diag_of, pivot_tol=pivot_tol,
+                               static_pivot=static_pivot,
+                               replace_scale=replace_scale)
+            for fid in fids:
+                info = symb.fronts[fid]
+                s = info.sep_size
+                data = buffers[fid].to_host()
+                d_info, d_rep, d_minp, d_growth = diag_of.get(
+                    fid, (0, 0, np.inf, 1.0))
+                host_factors[fid] = FrontFactors(
+                    f11=data[:s, :s].copy(), ipiv=pivots_of[fid],
+                    f12=data[:s, s:].copy(), f21=data[s:, :s].copy(),
+                    info=d_info, n_replaced=d_rep, min_pivot=d_minp,
+                    growth=d_growth)
+                if info.parent >= 0 and info.parent not in fid_set \
+                        and info.upd_size:
+                    host_schur[fid] = data[s:, s:].copy()
+                buffers[fid].free()
+                del buffers[fid]
+        finally:
+            for arr in buffers.values():
+                arr.free()
+        return region["elapsed"]
+
+    # Each participating device holds its own copy of A for assembly
+    # (uploaded outside the timed regions, like the single-device path).
+    active = [d for d in range(len(node)) if assign.rank_fronts[d]]
+    if assign.top_fronts and top_mode == "slate" \
+            and top_device not in active:
+        active.append(top_device)
+    claimed: list[int] = []
+    try:
+        for d in active:
+            node[d]._claim(a_dev_bytes, site="shard:a_csr")
+            claimed.append(d)
+            node[d]._account_transfer(a_dev_bytes)
+
+        # --- phase 1: rank-local subtrees (concurrent timelines) ---------
+        per_device = [run_fronts(node[d], assign.rank_fronts[d])
+                      for d in range(len(node))]
+
+        # --- phase 2: gather boundary Schur contributions to the owner ---
+        link_stats = [[0, 0] for _ in range(len(node))]
+        gather_seconds = 0.0
+        if assign.top_fronts:
+            owner = node[top_device]
+            t0 = owner.host_time
+            for d in range(len(node)):
+                for f in assign.rank_fronts[d]:
+                    if f in host_schur:
+                        nbytes = host_schur[f].nbytes
+                        link_stats[d][0] += nbytes
+                        link_stats[d][1] += 1
+                        node.transfer(d, top_device, nbytes)
+            gather_seconds = owner.host_time - t0
+
+        # --- phase 3: the top part on the owner device -------------------
+        top_seconds = 0.0
+        if assign.top_fronts:
+            if top_mode == "slate":
+                top_seconds = run_fronts(node[top_device],
+                                         assign.top_fronts)
+            else:
+                # ScaLAPACK model: CPU-only 2D block-cyclic over all
+                # devices' host processes; the numerics run on an
+                # untimed scratch device so the factors stay complete.
+                cpu = XEON_6140_2S()
+                flops = sum(_front_flops(symb, f)
+                            for f in assign.top_fronts)
+                rate = len(node) * 16 * cpu.freq_hz * \
+                    cpu.flops_per_cycle_per_core
+                eff = cpu.getrf_efficiency(
+                    max(symb.fronts[f].order for f in assign.top_fronts))
+                top_seconds = flops / (rate * max(eff, 1e-3))
+                run_fronts(Device(node.spec), assign.top_fronts)
+                node[top_device].host_compute(top_seconds)
+    finally:
+        for d in claimed:
+            node[d]._release(a_dev_bytes)
+
+    out = MultifrontalFactors(symb=symb)
+    out.fronts = [host_factors[fid] for fid in range(len(symb.fronts))]
+    out.report = FactorReport.from_factors(
+        out, pivot_tol=pivot_tol, static_pivot=static_pivot,
+        replace_scale=replace_scale)
+    events: list = []
+    for dev, mark in zip(node, marks):
+        events.extend(dev.recovery_log.since(mark).events)
+    out.report.recovery = RecoveryLog(events)
+    if breakdown == "raise" and not out.report.ok:
+        raise FactorizationError(out.report.summary(), out.report)
+
+    return ShardedFactorResult(
+        factors=out, assignment=assign, elapsed=node.synchronize(),
+        per_device_seconds=per_device, gather_seconds=gather_seconds,
+        top_seconds=top_seconds,
+        link_bytes=(node.p2p_bytes + node.staged_bytes) - link_bytes0,
+        rank_link_stats=[(nb_, cnt) for nb_, cnt in link_stats],
+        report=out.report)

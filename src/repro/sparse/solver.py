@@ -42,6 +42,7 @@ from .numeric.cpu_factor import multifrontal_factor_cpu
 from .numeric.gpu_factor import GpuFactorResult, multifrontal_factor_gpu
 from .numeric.gpu_solve import multifrontal_solve_gpu
 from .numeric.report import FactorReport, check_factors_ok
+from .numeric.shard import multifrontal_factor_sharded
 from .numeric.solve_plan import DeviceFactorCache, SolvePlan
 from .numeric.triangular import multifrontal_solve
 from .ordering.mc64 import mc64
@@ -50,7 +51,7 @@ from .symbolic.analysis import symbolic_analysis
 
 __all__ = ["SparseLU", "SolveInfo"]
 
-_BACKENDS = ("cpu", "batched", "looped", "strumpack", "superlu")
+_BACKENDS = ("cpu", "batched", "looped", "strumpack", "superlu", "sharded")
 
 #: Refinement steps a perturbed factorization is escalated to, and the
 #: backward error the escalated steps must reach (≈ eps^{3/4}).
@@ -179,7 +180,14 @@ class SparseLU:
         ``backend="cpu"`` runs the reference path; the other backends
         (``"batched"``, ``"looped"``, ``"strumpack"``, ``"superlu"``)
         require a simulated ``device`` and record simulated timings in
-        :attr:`factor_result`.
+        :attr:`factor_result`.  ``backend="sharded"`` factors across a
+        multi-device :class:`~repro.device.node.Node` passed as
+        ``device`` (subtrees on concurrent per-device timelines, Schur
+        contributions over the node's modeled links — see
+        :func:`~repro.sparse.numeric.shard.multifrontal_factor_sharded`);
+        the factors are bitwise identical to ``backend="batched"`` on a
+        single device, and :meth:`solve` works as usual (pass one of the
+        node's member devices, or no device for the host path).
 
         ``precision="fp32"`` factors in the reduced working precision
         (float32, or complex64 for complex matrices): the permuted
@@ -272,6 +280,17 @@ class SparseLU:
         if backend == "cpu":
             self.factors = multifrontal_factor_cpu(a_num, self.symb, **kw)
             self.factor_result = None
+            return
+        if backend == "sharded":
+            from ..device.node import Node
+            if not isinstance(device, Node):
+                raise ValueError(
+                    "backend 'sharded' needs a multi-device Node "
+                    "(repro.device.Node) as its device")
+            res = multifrontal_factor_sharded(device, a_num, self.symb,
+                                              **kw)
+            self.factors = res.factors
+            self.factor_result = res
             return
         if device is None:
             raise ValueError(f"backend {backend!r} needs a device")

@@ -1,0 +1,171 @@
+"""Sharded multifrontal factorization: bitwise parity with the
+single-device path at every device count (the tentpole contract)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.device import A100, Device, Node
+from repro.errors import FactorizationError
+from repro.sparse import SparseLU, multifrontal_factor_distributed, \
+    multifrontal_factor_gpu, multifrontal_factor_sharded, \
+    multifrontal_solve, nested_dissection, symbolic_analysis
+
+from .util import grid2d, grid3d
+
+pytestmark = pytest.mark.multidev
+
+
+def prepare(a, leaf_size=16):
+    nd = nested_dissection(a, leaf_size=leaf_size)
+    ap = a[nd.perm][:, nd.perm].tocsr()
+    return nd, ap, symbolic_analysis(ap, nd)
+
+
+def singular(k=40):
+    """Grid operator with row+column k zeroed — exactly singular, with a
+    guaranteed all-zero pivot column in the front that owns k."""
+    a = grid2d(9, 9).tolil()
+    a[k, :] = 0.0
+    a[:, k] = 0.0
+    return sp.csr_matrix(a)
+
+
+def assert_factors_equal(fa, fb):
+    assert len(fa.fronts) == len(fb.fronts)
+    for x, y in zip(fa.fronts, fb.fronts):
+        assert np.array_equal(x.f11, y.f11)
+        assert np.array_equal(x.f12, y.f12)
+        assert np.array_equal(x.f21, y.f21)
+        assert np.array_equal(x.ipiv, y.ipiv)
+        assert x.info == y.info
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("n_devices", [1, 2, 4, 8])
+    def test_bitwise_parity_with_single_device(self, n_devices):
+        _, ap, symb = prepare(grid3d(7))
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb)
+        node = Node(A100(), n_devices)
+        res = multifrontal_factor_sharded(node, ap, symb)
+        assert_factors_equal(ref.factors, res.factors)
+        assert res.report is not None and bool(res.report.ok)
+        assert np.array_equal(res.report.info, ref.report.info)
+        assert node.allocated_bytes == 0
+
+    def test_diagnostics_shape(self):
+        _, ap, symb = prepare(grid3d(6))
+        node = Node(A100(), 4)
+        res = multifrontal_factor_sharded(node, ap, symb)
+        assert res.elapsed > 0
+        assert len(res.per_device_seconds) == 4
+        assert res.gather_seconds >= 0 and res.top_seconds > 0
+        assert res.link_bytes == node.p2p_bytes + node.staged_bytes
+        assert res.link_bytes > 0
+        assert len(res.rank_link_stats) == 4
+        # rank_link_stats includes the owner's own (non-travelling)
+        # contributions, so it dominates the physical byte count
+        assert sum(nb for nb, _ in res.rank_link_stats) >= res.link_bytes
+
+    def test_solve_against_sharded_factors(self, rng):
+        a = grid2d(12, 11)
+        nd, ap, symb = prepare(a)
+        node = Node(A100(), 4)
+        res = multifrontal_factor_sharded(node, ap, symb)
+        b = rng.standard_normal(a.shape[0])
+        x = multifrontal_solve(res.factors, b[nd.perm])[np.argsort(nd.perm)]
+        assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-10
+
+    @pytest.mark.parametrize("kw", [
+        dict(static_pivot=True, pivot_tol=1e-10),
+        dict(pivot_tol=1e-12, replace_scale=1e4),
+        dict(gemm_mode="vendor", nb=16),
+    ])
+    def test_pivot_policy_parity(self, kw):
+        _, ap, symb = prepare(grid2d(11, 10))
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb, **kw)
+        res = multifrontal_factor_sharded(Node(A100(), 4), ap, symb, **kw)
+        assert_factors_equal(ref.factors, res.factors)
+        assert np.array_equal(res.report.n_replaced, ref.report.n_replaced)
+
+    def test_breakdown_report_parity(self):
+        _, ap, symb = prepare(singular())
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb,
+                                      breakdown="report")
+        res = multifrontal_factor_sharded(Node(A100(), 4), ap, symb,
+                                          breakdown="report")
+        assert not bool(res.report.ok)
+        assert np.array_equal(res.report.info, ref.report.info)
+
+    def test_breakdown_raise_parity(self):
+        _, ap, symb = prepare(singular())
+        with pytest.raises(FactorizationError):
+            multifrontal_factor_gpu(Device(A100()), ap, symb)
+        node = Node(A100(), 4)
+        with pytest.raises(FactorizationError):
+            multifrontal_factor_sharded(node, ap, symb)
+        assert node.allocated_bytes == 0
+
+    def test_rejects_bad_arguments(self):
+        _, ap, symb = prepare(grid2d(6, 6))
+        node = Node(A100(), 2)
+        with pytest.raises(ValueError, match="strategy"):
+            multifrontal_factor_sharded(node, ap, symb, strategy="nope")
+        with pytest.raises(ValueError, match="top_mode"):
+            multifrontal_factor_sharded(node, ap, symb, top_mode="mpi")
+        with pytest.raises(ValueError, match="top_device"):
+            multifrontal_factor_sharded(node, ap, symb, top_device=5)
+
+    def test_scalapack_top_matches_numerics(self):
+        _, ap, symb = prepare(grid3d(6))
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb)
+        res = multifrontal_factor_sharded(Node(A100(), 4), ap, symb,
+                                          top_mode="scalapack")
+        assert_factors_equal(ref.factors, res.factors)
+        assert res.top_seconds > 0
+
+
+class TestSparseLUSharded:
+    def test_backend_sharded_end_to_end(self, rng):
+        a = grid2d(13, 12)
+        node = Node(A100(), 4)
+        lu = SparseLU(a).factor(backend="sharded", device=node)
+        ref = SparseLU(a).factor(backend="batched", device=Device(A100()))
+        assert_factors_equal(lu.factors, ref.factors)
+        b = rng.standard_normal(a.shape[0])
+        x, info = lu.solve(b)
+        assert info.final_residual < 1e-12
+        assert np.array_equal(x, ref.solve(b)[0])
+
+    def test_backend_sharded_needs_a_node(self):
+        a = grid2d(6, 6)
+        with pytest.raises(ValueError, match="Node"):
+            SparseLU(a).factor(backend="sharded", device=Device(A100()))
+
+
+class TestDistributedWrapper:
+    """The simulated-MPI path is now a thin wrapper over the sharded
+    engine — same pivot policy, same breakdown semantics."""
+
+    def test_breakdown_parity_with_gpu_path(self):
+        _, ap, symb = prepare(singular())
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb,
+                                      breakdown="report")
+        res = multifrontal_factor_distributed(A100(), ap, symb, 4,
+                                              breakdown="report")
+        assert res.report is not None
+        assert np.array_equal(res.report.info, ref.report.info)
+
+    def test_raise_on_breakdown(self):
+        _, ap, symb = prepare(singular())
+        with pytest.raises(FactorizationError):
+            multifrontal_factor_distributed(A100(), ap, symb, 4)
+
+    def test_pivot_policy_threads_through(self):
+        _, ap, symb = prepare(grid2d(10, 10))
+        ref = multifrontal_factor_gpu(Device(A100()), ap, symb,
+                                      static_pivot=True, pivot_tol=1e-10)
+        res = multifrontal_factor_distributed(
+            A100(), ap, symb, 4, static_pivot=True, pivot_tol=1e-10)
+        assert_factors_equal(ref.factors, res.factors)
+        assert res.report.static_pivot is True
